@@ -1,0 +1,73 @@
+"""E10 — the "first come first grab" baseline and the fair-share landmark.
+
+Section 1 argues that the natural chaotic process — every holiday parents
+wake at random times and grab their available children — gives each parent a
+hosting probability of exactly ``1/(deg(p)+1)``, so ``deg(p)+1`` is the fair
+share every deterministic algorithm is measured against.  The benchmark
+simulates the process over a long horizon and reports:
+
+* the empirical hosting rate vs ``1/(deg+1)`` per degree class (they should
+  match closely),
+* the worst observed gap, which has no deterministic bound and indeed
+  exceeds the ``deg+1`` fair share by a large factor — the reason the paper
+  wants worst-case guarantees in the first place.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+import pytest
+
+from benchmarks.common import BENCH_SEED, print_table
+from repro.algorithms.naive import FirstComeFirstGrabScheduler
+from repro.core.metrics import HappinessTrace
+from repro.graphs.random_graphs import barabasi_albert
+
+HORIZON = 3000
+
+
+def run_fcfg():
+    graph = barabasi_albert(60, 3, seed=BENCH_SEED)
+    schedule = FirstComeFirstGrabScheduler().build(graph, seed=BENCH_SEED)
+    trace = HappinessTrace.from_schedule(schedule, graph, HORIZON)
+    return graph, trace
+
+
+def test_e10_first_come_first_grab(benchmark):
+    graph, trace = benchmark.pedantic(run_fcfg, rounds=1, iterations=1)
+
+    by_degree = defaultdict(list)
+    for p in graph.nodes():
+        by_degree[graph.degree(p)].append(p)
+
+    rows = []
+    max_rel_error = 0.0
+    worst_gap_over_fair_share = 0.0
+    for degree in sorted(by_degree):
+        nodes = by_degree[degree]
+        expected = 1.0 / (degree + 1)
+        observed = sum(trace.happiness_rate(p) for p in nodes) / len(nodes)
+        rel_error = abs(observed - expected) / expected
+        if len(nodes) >= 3:
+            max_rel_error = max(max_rel_error, rel_error)
+        worst_gap = max(trace.mul(p) for p in nodes)
+        worst_gap_over_fair_share = max(worst_gap_over_fair_share, worst_gap / (degree + 1))
+        rows.append([degree, len(nodes), round(expected, 4), round(observed, 4), round(rel_error, 3), worst_gap])
+
+    print_table(
+        f"E10: first-come-first-grab over {HORIZON} holidays (BA graph, n=60)",
+        ["degree", "nodes", "expected rate 1/(d+1)", "observed rate", "rel. error", "worst gap"],
+        rows,
+    )
+
+    # the empirical rate tracks the fair share (averaged over ≥3 nodes per class)
+    assert max_rel_error < 0.25
+    # but the worst-case gap far exceeds the fair share — no worst-case guarantee
+    assert worst_gap_over_fair_share > 1.5
+    benchmark.extra_info.update(
+        {
+            "max_rel_error": round(max_rel_error, 4),
+            "worst_gap_over_fair_share": round(worst_gap_over_fair_share, 3),
+        }
+    )

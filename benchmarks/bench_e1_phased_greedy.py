@@ -1,0 +1,66 @@
+"""E1 — Theorem 3.1: the Phased Greedy scheduler achieves ``mul(p) ≤ deg(p)+1``.
+
+For every workload graph the benchmark builds the §3 schedule, measures every
+node's maximum unhappiness interval over a horizon of several times the
+claimed bound, and reports the worst ratio ``mul(p)/(deg(p)+1)`` (must be
+``≤ 1``) together with the fraction of nodes that meet the bound exactly.
+The timed quantity is the per-holiday scheduling step (construction plus a
+full horizon of holidays), the cost the paper calls "O(1) rounds per
+holiday" in aggregate form.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.common import experiment_workloads, horizon_for_bound, print_table
+from repro.algorithms.phased_greedy import PhasedGreedyScheduler
+from repro.core.metrics import HappinessTrace
+
+WORKLOADS = experiment_workloads()
+
+
+def run_phased_greedy(graph):
+    scheduler = PhasedGreedyScheduler(initial_coloring="greedy")
+    schedule = scheduler.build(graph, seed=1)
+    horizon = horizon_for_bound(graph.max_degree() + 1)
+    trace = HappinessTrace.from_schedule(schedule, graph, horizon)
+    return trace, horizon
+
+
+@pytest.mark.parametrize("workload", sorted(WORKLOADS))
+def test_e1_phased_greedy_degree_bound(benchmark, workload):
+    graph = WORKLOADS[workload]
+    trace, horizon = benchmark(run_phased_greedy, graph)
+
+    rows = []
+    violations = 0
+    tight = 0
+    worst_ratio = 0.0
+    for p in graph.nodes():
+        d = graph.degree(p)
+        if d == 0:
+            continue
+        mul = trace.mul(p)
+        bound = d + 1
+        worst_ratio = max(worst_ratio, mul / bound)
+        violations += mul > bound
+        tight += mul == bound
+    checked = sum(1 for p in graph.nodes() if graph.degree(p) > 0)
+    rows.append([workload, graph.num_nodes(), graph.max_degree(), horizon, worst_ratio, violations, tight])
+    print_table(
+        "E1: Phased Greedy (Thm 3.1) — mul(p) vs deg(p)+1",
+        ["workload", "n", "Δ", "horizon", "worst mul/(deg+1)", "violations", "nodes at bound"],
+        rows,
+    )
+
+    benchmark.extra_info.update(
+        {
+            "workload": workload,
+            "worst_ratio": round(worst_ratio, 4),
+            "violations": violations,
+            "nodes_checked": checked,
+        }
+    )
+    assert violations == 0
+    assert worst_ratio <= 1.0

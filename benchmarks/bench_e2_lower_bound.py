@@ -1,0 +1,90 @@
+"""E2 — Theorem 4.1: the ``Σ 1/f(c) ≤ 1`` feasibility frontier.
+
+Any color-based schedule in which a node colored ``c`` repeats every
+``f(c)`` holidays must satisfy ``Σ_c 1/f(c) ≤ 1``.  The experiment evaluates
+the prefix sums for a range of candidate period functions and reports where
+each one first violates the budget:
+
+* ``f(c) = c`` and ``c·log c`` (sub-φ profiles) blow the budget after a
+  handful of colors — they are infeasible, exactly as the theorem predicts;
+* ``f(c) = 4·φ(c)`` stays within budget across 10^5 colors — φ is the
+  frontier (its reciprocal sum diverges, but only at an iterated-log rate);
+* ``f(c) = c^{1+ε}`` and ``2^c`` are comfortably feasible but give much
+  worse periods than the Elias-omega construction achieves (compare E3);
+* the exact Elias-omega profile ``2^{ρ(c)}`` is feasible — it is a
+  prefix-free code, so Kraft's inequality is exactly the budget constraint.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from benchmarks.common import print_table
+from repro.core.phi import condensation_feasible, phi_int, reciprocal_sum_partial, rho_ceil
+
+MAX_COLOR = 100_000
+
+CANDIDATES = {
+    "c (linear)": lambda c: float(c),
+    "c·log2(c+1)": lambda c: c * math.log2(c + 1),
+    "4·c^1.5": lambda c: 4.0 * float(c) ** 1.5,
+    "4·φ(c)": lambda c: 4.0 * phi_int(c),
+    "2^ρ(c) (Elias ω)": lambda c: float(2 ** rho_ceil(c)),
+    "2^c": lambda c: 2.0 ** min(c, 1000),
+}
+
+EXPECTED_FEASIBLE = {
+    "c (linear)": False,
+    "c·log2(c+1)": False,
+    "4·c^1.5": True,
+    "4·φ(c)": True,
+    "2^ρ(c) (Elias ω)": True,
+    "2^c": True,
+}
+
+
+def evaluate_candidates():
+    results = {}
+    for name, f in CANDIDATES.items():
+        feasible, first_violation = condensation_feasible(f, MAX_COLOR)
+        prefix = reciprocal_sum_partial(f, 2000)
+        results[name] = {
+            "feasible": feasible,
+            "first_violation": first_violation,
+            "sum_at_2000": prefix[-1],
+            "period_at_64": f(64),
+        }
+    return results
+
+
+def test_e2_condensation_frontier(benchmark):
+    results = benchmark.pedantic(evaluate_candidates, rounds=1, iterations=1)
+
+    rows = [
+        [
+            name,
+            "yes" if info["feasible"] else "no",
+            info["first_violation"] or "-",
+            round(info["sum_at_2000"], 3),
+            round(info["period_at_64"], 1),
+        ]
+        for name, info in results.items()
+    ]
+    print_table(
+        f"E2: Theorem 4.1 lower bound — Σ 1/f(c) ≤ 1 over the first {MAX_COLOR} colors",
+        ["candidate f(c)", "feasible", "first violation at", "Σ up to c=2000", "f(64)"],
+        rows,
+    )
+
+    for name, info in results.items():
+        assert info["feasible"] == EXPECTED_FEASIBLE[name], name
+    # sub-φ profiles fail almost immediately
+    assert results["c (linear)"]["first_violation"] <= 3
+    assert results["c·log2(c+1)"]["first_violation"] <= 10
+    # the Elias-omega profile respects Kraft's inequality with room to spare
+    assert results["2^ρ(c) (Elias ω)"]["sum_at_2000"] <= 1.0
+    benchmark.extra_info.update(
+        {name: ("feasible" if info["feasible"] else f"violates at {info['first_violation']}") for name, info in results.items()}
+    )

@@ -1,0 +1,114 @@
+"""E3 — Theorem 4.2: the Elias-omega color-bound schedule.
+
+For every workload graph the benchmark colors the graph (greedy, so that
+``col(p) ≤ deg(p)+1``), builds the §4 schedule, and verifies per node that
+
+* the schedule is perfectly periodic with period exactly ``2^{ρ(col(p))}``,
+* the period never exceeds the closed-form bound ``2^{1+log* c}·φ(c)``,
+* no two different colors ever share a holiday (independence).
+
+A second parameterised axis compares the period profile induced by the
+three Elias codes (gamma / delta / omega) plus the unary code, reproducing
+the papers' observation that the omega code is the right choice for large
+colors while any prefix-free code is correct.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.common import experiment_workloads, horizon_for_bound, print_table
+from repro.algorithms.color_periodic import ColorPeriodicScheduler, color_period
+from repro.coding.elias import EliasDeltaCode, EliasGammaCode, EliasOmegaCode
+from repro.coding.unary import UnaryCode
+from repro.core.metrics import HappinessTrace
+from repro.core.phi import elias_period_bound
+from repro.core.validation import certify_periodicity, check_independent_sets
+
+WORKLOADS = experiment_workloads()
+CODES = {
+    "unary": UnaryCode,
+    "elias-gamma": EliasGammaCode,
+    "elias-delta": EliasDeltaCode,
+    "elias-omega": EliasOmegaCode,
+}
+
+
+def run_color_periodic(graph):
+    scheduler = ColorPeriodicScheduler()
+    schedule = scheduler.build(graph, seed=1)
+    coloring = scheduler.last_coloring
+    worst_period = max(schedule.node_period(p) for p in graph.nodes()) if len(graph) else 2
+    horizon = horizon_for_bound(worst_period, multiplier=2, cap=4096)
+    trace = HappinessTrace.from_schedule(schedule, graph, horizon)
+    return schedule, coloring, trace, horizon
+
+
+@pytest.mark.parametrize("workload", sorted(WORKLOADS))
+def test_e3_omega_schedule_periods(benchmark, workload):
+    graph = WORKLOADS[workload]
+    schedule, coloring, trace, horizon = benchmark(run_color_periodic, graph)
+
+    worst_ratio_vs_bound = 0.0
+    max_color = coloring.max_color()
+    for p in graph.nodes():
+        c = coloring.color_of(p)
+        period = schedule.node_period(p)
+        assert period == color_period(c)
+        assert period <= elias_period_bound(c) + 1e-9
+        worst_ratio_vs_bound = max(worst_ratio_vs_bound, period / elias_period_bound(c))
+        observed = trace.observed_period(p)
+        if observed is not None:
+            assert observed == period
+
+    assert check_independent_sets(schedule, graph, min(horizon, 512)).ok
+    assert certify_periodicity(schedule, min(horizon, 512)).ok
+
+    print_table(
+        "E3: Elias-omega schedule (Thm 4.2)",
+        ["workload", "n", "colors", "worst period", "worst period / closed-form bound", "horizon"],
+        [
+            [
+                workload,
+                graph.num_nodes(),
+                max_color,
+                max(schedule.node_period(p) for p in graph.nodes()),
+                round(worst_ratio_vs_bound, 3),
+                horizon,
+            ]
+        ],
+    )
+    benchmark.extra_info.update(
+        {"workload": workload, "colors": max_color, "worst_ratio_vs_bound": round(worst_ratio_vs_bound, 4)}
+    )
+
+
+@pytest.mark.parametrize("code_name", sorted(CODES))
+def test_e3_code_ablation(benchmark, code_name):
+    """Ablation: period profile of each prefix-free code on the dense G(n, p) workload."""
+    graph = WORKLOADS["gnp-dense"]
+
+    def build():
+        scheduler = ColorPeriodicScheduler(code=CODES[code_name]())
+        schedule = scheduler.build(graph, seed=1)
+        return scheduler, schedule
+
+    scheduler, schedule = benchmark(build)
+    coloring = scheduler.last_coloring
+    periods = [schedule.node_period(p) for p in graph.nodes()]
+    rows = [
+        [
+            code_name,
+            coloring.max_color(),
+            min(periods),
+            sorted(periods)[len(periods) // 2],
+            max(periods),
+        ]
+    ]
+    print_table(
+        "E3 ablation: period profile per prefix-free code (gnp-dense workload)",
+        ["code", "colors", "min period", "median period", "max period"],
+        rows,
+    )
+    assert check_independent_sets(schedule, graph, 256).ok
+    benchmark.extra_info.update({"code": code_name, "max_period": max(periods)})

@@ -1,0 +1,100 @@
+"""E8 — Appendix A: happiness vs. satisfaction as one-shot problems.
+
+Three sub-experiments on random societies of growing size:
+
+* **A.1 hardness gap** — exact maximum happiness (MIS) vs the greedy
+  approximation on the conflict graph (small instances only, exact solver);
+* **A.3 satisfaction** — the Hopcroft–Karp optimum vs the paper's
+  linear-time single-child-first algorithm (they must agree), plus the
+  timing gap between the two;
+* **alternating schedule** — every family with at least one child is
+  satisfied at least every other holiday (gap ≤ 1).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.common import BENCH_SEED, print_table
+from repro.graphs.society import random_society
+from repro.satisfaction.independent_set import exact_maximum_independent_set, greedy_independent_set
+from repro.satisfaction.satisfaction import (
+    alternating_satisfaction_schedule,
+    max_satisfaction_by_matching,
+    satisfaction_gaps,
+    single_child_first_satisfaction,
+)
+
+SMALL_SIZES = [20, 35, 50]
+LARGE_SIZES = [50, 150, 400]
+
+
+@pytest.mark.parametrize("n", SMALL_SIZES)
+def test_e8_happiness_exact_vs_greedy(benchmark, n):
+    society = random_society(n, mean_children=2.4, marriage_fraction=0.8, seed=BENCH_SEED)
+    graph = society.conflict_graph(name=f"e8-society-{n}")
+
+    def solve():
+        exact = exact_maximum_independent_set(graph, node_limit=graph.num_nodes())
+        greedy = greedy_independent_set(graph)
+        return exact, greedy
+
+    exact, greedy = benchmark(solve)
+    assert graph.is_independent_set(exact)
+    assert graph.is_independent_set(greedy)
+    assert len(greedy) <= len(exact)
+    print_table(
+        "E8a: one-shot maximum happiness (Appendix A.1)",
+        ["families", "exact MIS", "greedy MIS", "greedy / exact"],
+        [[n, len(exact), len(greedy), round(len(greedy) / len(exact), 3)]],
+    )
+    benchmark.extra_info.update({"n": n, "exact": len(exact), "greedy": len(greedy)})
+
+
+@pytest.mark.parametrize("n", LARGE_SIZES)
+def test_e8_satisfaction_matching_vs_linear(benchmark, n):
+    society = random_society(n, mean_children=2.4, marriage_fraction=0.85, seed=BENCH_SEED)
+
+    def solve():
+        return (
+            max_satisfaction_by_matching(society),
+            single_child_first_satisfaction(society),
+        )
+
+    matching, linear = benchmark(solve)
+    assert matching.num_satisfied == linear.num_satisfied
+    with_children = sum(1 for f in society.families if f.num_children > 0)
+    print_table(
+        "E8b: maximum satisfaction (Appendix A.3)",
+        ["families", "with children", "couples", "matching optimum", "single-child-first", "satisfied fraction"],
+        [
+            [
+                n,
+                with_children,
+                society.num_couples(),
+                matching.num_satisfied,
+                linear.num_satisfied,
+                round(matching.num_satisfied / max(with_children, 1), 3),
+            ]
+        ],
+    )
+    benchmark.extra_info.update({"n": n, "optimum": matching.num_satisfied})
+
+
+@pytest.mark.parametrize("n", LARGE_SIZES)
+def test_e8_alternating_schedule_gap(benchmark, n):
+    society = random_society(n, mean_children=2.4, marriage_fraction=0.85, seed=BENCH_SEED)
+
+    def run(horizon: int = 16):
+        schedule = alternating_satisfaction_schedule(society, horizon=horizon)
+        return satisfaction_gaps(schedule, society)
+
+    gaps = benchmark(run)
+    worst = max(gaps.values()) if gaps else 0
+    print_table(
+        "E8c: alternating satisfaction schedule (Appendix A.3)",
+        ["families", "families with children", "worst satisfaction gap"],
+        [[n, len(gaps), worst]],
+    )
+    assert worst <= 1
+    benchmark.extra_info.update({"n": n, "worst_gap": worst})

@@ -1,0 +1,120 @@
+"""E9 — the radio application: collision-free TDMA with per-node periods.
+
+Unit-disk deployments at three densities.  For each density and scheduler
+the benchmark simulates a fixed number of slots and reports:
+
+* collisions (must be zero — the schedules are independent sets of the
+  interference graph),
+* the worst silent stretch vs. the local bound of the scheduler,
+* throughput (total successful transmissions),
+* energy per radio under the tx/listen/sleep model — the periodic
+  schedulers sleep between their slots, the online §3 scheduler listens
+  every slot, which is the paper's stated reason to want periodicity.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.common import BENCH_SEED, print_table
+from repro.algorithms.color_periodic import ColorPeriodicScheduler
+from repro.algorithms.degree_periodic import DegreePeriodicScheduler
+from repro.algorithms.phased_greedy import PhasedGreedyScheduler
+from repro.coloring.dsatur import dsatur_coloring
+from repro.radio.deployment import uniform_deployment
+from repro.radio.energy import EnergyModel
+from repro.radio.interference import interference_graph
+from repro.radio.simulation import RadioSimulation
+
+RADII = [0.10, 0.16, 0.24]
+NUM_RADIOS = 50
+HORIZON = 256
+
+SCHEDULERS = {
+    "degree-periodic": lambda: DegreePeriodicScheduler(),
+    "color-periodic-omega": lambda: ColorPeriodicScheduler(coloring_fn=dsatur_coloring),
+    "phased-greedy": lambda: PhasedGreedyScheduler(initial_coloring="greedy"),
+}
+
+
+def simulate(radius: float, scheduler_name: str):
+    deployment = uniform_deployment(NUM_RADIOS, seed=BENCH_SEED)
+    graph = interference_graph(deployment, radius)
+    scheduler = SCHEDULERS[scheduler_name]()
+    schedule = scheduler.build(graph, seed=1)
+    simulation = RadioSimulation(graph, schedule, energy_model=EnergyModel())
+    log = simulation.run(HORIZON)
+    energy = simulation.energy(log)
+    return graph, scheduler, log, energy
+
+
+@pytest.mark.parametrize("scheduler_name", sorted(SCHEDULERS))
+@pytest.mark.parametrize("radius", RADII)
+def test_e9_radio_tdma(benchmark, radius, scheduler_name):
+    graph, scheduler, log, energy = benchmark.pedantic(
+        simulate, args=(radius, scheduler_name), rounds=1, iterations=1
+    )
+
+    assert log.total_collisions == 0
+    worst_silence = max(log.longest_silence(p) for p in graph.nodes())
+    bound_fn = scheduler.bound_function(graph)
+    if bound_fn is not None:
+        for p in graph.nodes():
+            if graph.degree(p) > 0:
+                assert log.longest_silence(p) <= bound_fn(p)
+
+    print_table(
+        "E9: radio TDMA simulation",
+        [
+            "radius",
+            "scheduler",
+            "Δ",
+            "transmissions",
+            "collisions",
+            "worst silence",
+            "mean energy/radio",
+            "max energy/radio",
+        ],
+        [
+            [
+                radius,
+                scheduler_name,
+                graph.max_degree(),
+                log.total_transmissions,
+                log.total_collisions,
+                worst_silence,
+                round(energy.mean, 1),
+                round(energy.max, 1),
+            ]
+        ],
+    )
+    benchmark.extra_info.update(
+        {
+            "radius": radius,
+            "scheduler": scheduler_name,
+            "throughput": log.total_transmissions,
+            "mean_energy": round(energy.mean, 2),
+        }
+    )
+
+
+def test_e9_energy_advantage_of_periodicity(benchmark):
+    """The headline energy claim: at equal legality, periodic schedules cost a
+    fraction of the online scheduler's energy because radios can sleep."""
+
+    def run():
+        out = {}
+        for name in SCHEDULERS:
+            _, _, log, energy = simulate(0.16, name)
+            out[name] = (log.total_transmissions, energy.mean)
+        return out
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    print_table(
+        "E9 summary: throughput and energy at radius 0.16",
+        ["scheduler", "transmissions", "mean energy/radio"],
+        [[name, results[name][0], round(results[name][1], 1)] for name in sorted(results)],
+    )
+    assert results["degree-periodic"][1] < results["phased-greedy"][1]
+    assert results["color-periodic-omega"][1] < results["phased-greedy"][1]
+    benchmark.extra_info.update({name: round(vals[1], 1) for name, vals in results.items()})

@@ -1,0 +1,52 @@
+"""Shared workloads and reporting helpers for the benchmark suite.
+
+Every ``bench_e*.py`` module regenerates one experiment from EXPERIMENTS.md.
+The helpers here keep the workloads identical across experiments (same
+seeds, same graph sizes) so the numbers in EXPERIMENTS.md are reproducible
+with a plain ``pytest benchmarks/ --benchmark-only``.
+
+Run with ``-s`` to see the paper-style tables each experiment prints.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from repro.analysis.tables import render_table
+from repro.core.problem import ConflictGraph
+from repro.graphs.families import clique, complete_bipartite, cycle, grid, random_tree, star
+from repro.graphs.random_graphs import barabasi_albert, erdos_renyi
+from repro.graphs.society import random_society
+
+BENCH_SEED = 20160711  # SPAA'16 started on 2016-07-11
+
+
+def experiment_workloads(scale: int = 1) -> Dict[str, ConflictGraph]:
+    """The standard workload set used by E1, E3, E4 and E5."""
+    n = 60 * scale
+    return {
+        "clique-12": clique(12 * scale),
+        "star-20": star(20 * scale),
+        "bipartite-10x14": complete_bipartite(10 * scale, 14 * scale),
+        "cycle-40": cycle(40 * scale),
+        "grid-8x8": grid(8 * scale, 8 * scale),
+        "tree-60": random_tree(n, seed=BENCH_SEED),
+        "gnp-sparse": erdos_renyi(n, 3.0 / n, seed=BENCH_SEED, name="gnp-sparse"),
+        "gnp-dense": erdos_renyi(n, 0.2, seed=BENCH_SEED, name="gnp-dense"),
+        "powerlaw-60": barabasi_albert(n, 3, seed=BENCH_SEED),
+        "society-60": random_society(n, mean_children=2.5, marriage_fraction=0.75, seed=BENCH_SEED).conflict_graph(
+            name="society-60"
+        ),
+    }
+
+
+def horizon_for_bound(worst_bound: float, minimum: int = 64, multiplier: int = 3, cap: int = 8192) -> int:
+    """A horizon long enough to witness a per-node bound several times over."""
+    return max(minimum, min(int(multiplier * worst_bound) + 2, cap))
+
+
+def print_table(title: str, headers: Sequence[str], rows: List[Sequence[object]]) -> None:
+    """Print one paper-style table (visible under ``pytest -s``)."""
+    print()
+    print(render_table(headers, rows, title=title))
+    print()

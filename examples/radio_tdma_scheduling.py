@@ -1,0 +1,93 @@
+#!/usr/bin/env python3
+"""Interference-free radio transmission scheduling (the paper's application).
+
+Deploys radios on the unit square, derives the unit-disk interference graph,
+and uses the paper's schedulers as TDMA-style slot schedulers:
+
+* the degree-bound periodic scheduler (§5) gives every radio a transmission
+  slot every ``2^{⌈log(d+1)⌉}`` slots, where ``d`` is the number of radios it
+  interferes with — dense areas share the air more, sparse areas transmit
+  almost every slot;
+* the phased-greedy scheduler (§3) achieves slightly better worst-case
+  latency (``d+1``) but must stay awake every slot to coordinate, which the
+  energy model makes expensive.
+
+Run with::
+
+    python examples/radio_tdma_scheduling.py [num_radios] [radius] [seed]
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.algorithms.color_periodic import ColorPeriodicScheduler
+from repro.algorithms.degree_periodic import DegreePeriodicScheduler
+from repro.algorithms.phased_greedy import PhasedGreedyScheduler
+from repro.analysis.tables import render_table
+from repro.coloring.dsatur import dsatur_coloring
+from repro.radio.deployment import clustered_deployment
+from repro.radio.energy import EnergyModel
+from repro.radio.interference import interference_graph
+from repro.radio.simulation import RadioSimulation
+
+
+def main(num_radios: int = 60, radius: float = 0.18, seed: int = 5) -> None:
+    deployment = clustered_deployment(num_radios, clusters=4, spread=0.08, seed=seed)
+    graph = interference_graph(deployment, radius)
+    print(
+        f"Deployment: {num_radios} radios, interference radius {radius} -> "
+        f"{graph.num_edges()} interfering pairs, max degree {graph.max_degree()}\n"
+    )
+
+    horizon = 256
+    model = EnergyModel(tx_cost=20.0, listen_cost=10.0, sleep_cost=0.1)
+    schedulers = [
+        ("degree-periodic (§5)", DegreePeriodicScheduler()),
+        ("color-periodic omega (§4, DSATUR)", ColorPeriodicScheduler(coloring_fn=dsatur_coloring)),
+        ("phased-greedy (§3, online)", PhasedGreedyScheduler(initial_coloring="greedy")),
+    ]
+
+    rows = []
+    for label, scheduler in schedulers:
+        schedule = scheduler.build(graph, seed=seed)
+        simulation = RadioSimulation(graph, schedule, energy_model=model)
+        log = simulation.run(horizon)
+        energy = simulation.energy(log)
+        worst_silence = max(log.longest_silence(p) for p in graph.nodes())
+        rows.append(
+            [
+                label,
+                log.total_transmissions,
+                log.total_collisions,
+                worst_silence,
+                round(energy.mean, 1),
+                round(energy.max, 1),
+            ]
+        )
+
+    print(
+        render_table(
+            [
+                "scheduler",
+                "transmissions",
+                "collisions",
+                "worst silence (slots)",
+                "mean energy/radio",
+                "max energy/radio",
+            ],
+            rows,
+            title=f"TDMA simulation over {horizon} slots",
+        )
+    )
+    print(
+        "\nPeriodic schedules (first two rows) let radios sleep between their slots;"
+        "\nthe online scheduler pays idle-listening energy every slot."
+    )
+
+
+if __name__ == "__main__":
+    n = int(sys.argv[1]) if len(sys.argv) > 1 else 60
+    r = float(sys.argv[2]) if len(sys.argv) > 2 else 0.18
+    seed = int(sys.argv[3]) if len(sys.argv) > 3 else 5
+    main(n, r, seed)

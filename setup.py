@@ -1,0 +1,10 @@
+"""Legacy setup shim.
+
+All project metadata lives in ``pyproject.toml``; this file exists so that
+``pip install -e .`` works on environments whose setuptools predates PEP 660
+editable wheels (and on offline machines that cannot fetch build backends).
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,52 @@
+"""Scheduling algorithms: the paper's three constructions plus baselines.
+
+=====================================  ==========================================
+Module                                  Paper section
+=====================================  ==========================================
+:mod:`repro.algorithms.naive`           Section 1 strawmen (Δ+1 round robin,
+                                        sequential, first-come-first-grab)
+:mod:`repro.algorithms.phased_greedy`   Section 3 (Theorem 3.1, aperiodic,
+                                        ``mul ≤ deg+1``)
+:mod:`repro.algorithms.color_periodic`  Section 4 (Theorem 4.2, perfectly periodic,
+                                        Elias-omega color-bound)
+:mod:`repro.algorithms.degree_periodic` Section 5 (Theorem 5.3, perfectly periodic,
+                                        period ``2^{⌈log(d+1)⌉} ≤ 2d``)
+:mod:`repro.algorithms.dynamic`         Section 6 (dynamic conflict graphs)
+=====================================  ==========================================
+
+All schedulers implement the tiny :class:`repro.algorithms.base.Scheduler`
+interface (``build(graph, seed) -> Schedule``) and register themselves in
+:mod:`repro.algorithms.registry` so benchmarks and examples can enumerate
+them by name.
+"""
+
+from repro.algorithms.base import Scheduler, SchedulerInfo
+from repro.algorithms.naive import (
+    FirstComeFirstGrabScheduler,
+    RoundRobinColorScheduler,
+    SequentialScheduler,
+)
+from repro.algorithms.phased_greedy import PhasedGreedyScheduler, PhasedGreedyState
+from repro.algorithms.color_periodic import ColorPeriodicScheduler, color_period, color_pattern
+from repro.algorithms.degree_periodic import DegreePeriodicScheduler
+from repro.algorithms.dynamic import DynamicColorBoundScheduler, GraphEvent
+from repro.algorithms.registry import available_schedulers, get_scheduler, register_scheduler
+
+__all__ = [
+    "Scheduler",
+    "SchedulerInfo",
+    "RoundRobinColorScheduler",
+    "SequentialScheduler",
+    "FirstComeFirstGrabScheduler",
+    "PhasedGreedyScheduler",
+    "PhasedGreedyState",
+    "ColorPeriodicScheduler",
+    "color_period",
+    "color_pattern",
+    "DegreePeriodicScheduler",
+    "DynamicColorBoundScheduler",
+    "GraphEvent",
+    "available_schedulers",
+    "get_scheduler",
+    "register_scheduler",
+]

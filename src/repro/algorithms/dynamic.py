@@ -1,0 +1,229 @@
+"""Section 6: the dynamic setting — marriages and divorces after deployment.
+
+The paper observes that the color-bound scheduler of Section 4 adapts
+naturally to edge insertions: when two nodes that share a color become
+adjacent, one of them simply picks a new color (its palette has grown along
+with its degree) and derives its new periodic slot from the prefix-free
+encoding of that color; it will host again within ``φ(d)·2^{log* d + 1}``
+holidays of quiescence.  Edge deletions need no immediate action, but if a
+node's color drifts far above ``deg+1`` its hosting rate becomes
+disproportionate and it should recolor downward.
+
+:class:`DynamicColorBoundScheduler` implements exactly that policy on top of
+the Section 4 machinery and records every recoloring so the E7 benchmark can
+measure recovery times.  The Section 5 scheduler is intentionally *not*
+given a dynamic variant — the paper points out it does not fare well under
+churn (higher-degree nodes must pick before lower-degree ones) and leaves
+that as an open problem.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, FrozenSet, List, Optional, Sequence, Tuple
+
+from repro.algorithms.color_periodic import slot_for_color
+from repro.coding.elias import EliasOmegaCode
+from repro.coding.prefix_free import PrefixFreeCode
+from repro.coloring.base import Coloring, greedy_color_for
+from repro.coloring.greedy import greedy_coloring
+from repro.core.problem import ConflictGraph, Node
+from repro.core.schedule import SlotAssignment
+
+__all__ = ["GraphEvent", "RecoloringRecord", "DynamicColorBoundScheduler", "DynamicRunResult"]
+
+
+@dataclass(frozen=True)
+class GraphEvent:
+    """A topology change applied just *before* the given holiday.
+
+    ``kind`` is ``"marry"`` (edge insertion) or ``"divorce"`` (edge deletion).
+    """
+
+    holiday: int
+    kind: str
+    u: Node
+    v: Node
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("marry", "divorce"):
+            raise ValueError(f"event kind must be 'marry' or 'divorce', got {self.kind!r}")
+        if self.holiday < 1:
+            raise ValueError("events are applied before holidays numbered from 1")
+        if self.u == self.v:
+            raise ValueError("an event cannot relate a family to itself")
+
+
+@dataclass(frozen=True)
+class RecoloringRecord:
+    """One node recoloring triggered by a topology change."""
+
+    holiday: int
+    node: Node
+    old_color: int
+    new_color: int
+    reason: str
+
+
+@dataclass
+class DynamicRunResult:
+    """Trace of a dynamic simulation."""
+
+    happy_sets: List[FrozenSet[Node]]
+    recolorings: List[RecoloringRecord]
+    recovery: Dict[Tuple[int, Node], Optional[int]] = field(default_factory=dict)
+
+    @property
+    def num_recolorings(self) -> int:
+        """Total recoloring events during the run."""
+        return len(self.recolorings)
+
+    def max_recovery(self) -> Optional[int]:
+        """The worst observed recovery time (None when nothing recolored or unrecovered)."""
+        values = [v for v in self.recovery.values() if v is not None]
+        return max(values) if values else None
+
+
+class DynamicColorBoundScheduler:
+    """The Section 4 scheduler with on-line recoloring under topology changes.
+
+    Unlike the static :class:`~repro.algorithms.base.Scheduler` factories this
+    object *is* the schedule: it owns a mutable conflict graph, a coloring and
+    the induced periodic slots, and exposes ``happy_set(holiday)`` alongside
+    the mutation methods ``marry``/``divorce``.
+    """
+
+    def __init__(
+        self,
+        graph: ConflictGraph,
+        code: Optional[PrefixFreeCode] = None,
+        coloring_fn: Optional[Callable[[ConflictGraph], Coloring]] = None,
+        downsize_slack: int = 0,
+    ) -> None:
+        """
+        Args:
+            graph: the initial conflict graph (mutated in place by events).
+            code: prefix-free code for slot derivation (default Elias omega).
+            coloring_fn: initial coloring procedure (default greedy, which
+                guarantees ``col(p) ≤ deg(p)+1``).
+            downsize_slack: after a divorce, recolor a node only when its
+                color exceeds ``deg+1+downsize_slack`` (0 = recolor eagerly
+                whenever the degree bound is violated).
+        """
+        self.graph = graph
+        self.code = code or EliasOmegaCode()
+        initial = (coloring_fn or greedy_coloring)(graph)
+        self.colors: Dict[Node, int] = dict(initial.colors)
+        self.downsize_slack = int(downsize_slack)
+        self.recolorings: List[RecoloringRecord] = []
+        self._slots: Dict[Node, SlotAssignment] = {}
+        self._rebuild_slots(graph.nodes())
+
+    # -- slot bookkeeping ----------------------------------------------------------
+    def _rebuild_slots(self, nodes) -> None:
+        for p in nodes:
+            self._slots[p] = slot_for_color(self.colors[p], self.code)
+
+    def color_of(self, node: Node) -> int:
+        """Current color of ``node``."""
+        return self.colors[node]
+
+    def period_of(self, node: Node) -> int:
+        """Current hosting period of ``node``."""
+        return self._slots[node].period
+
+    def happy_set(self, holiday: int) -> FrozenSet[Node]:
+        """The independent set hosting at ``holiday`` under the current coloring."""
+        if holiday < 1:
+            raise ValueError("holidays are numbered from 1")
+        return frozenset(p for p, slot in self._slots.items() if slot.is_happy(holiday))
+
+    def next_hosting(self, node: Node, holiday: int) -> int:
+        """First holiday ``>= holiday`` at which ``node`` hosts."""
+        return self._slots[node].next_happy(holiday)
+
+    # -- mutations -----------------------------------------------------------------
+    def marry(self, u: Node, v: Node, holiday: int = 1) -> Optional[RecoloringRecord]:
+        """Insert the edge ``(u, v)``; recolor one endpoint if their colors collide.
+
+        The endpoint with the smaller degree (after insertion) recolors — its
+        palette grew by the insertion, so a legal color ``≤ deg+1`` always
+        exists.  Returns the recoloring record, or None when no recoloring
+        was needed.
+        """
+        if self.graph.has_edge(u, v):
+            raise ValueError(f"families {u!r} and {v!r} are already in-laws")
+        for node in (u, v):
+            if node not in self.graph:
+                self.graph.add_node(node)
+                self.colors[node] = 1
+                self._rebuild_slots([node])
+        self.graph.add_edge(u, v)
+        if self.colors[u] != self.colors[v]:
+            return None
+        victim = u if self.graph.degree(u) <= self.graph.degree(v) else v
+        return self._recolor(victim, holiday, reason="marriage-collision")
+
+    def divorce(self, u: Node, v: Node, holiday: int = 1) -> List[RecoloringRecord]:
+        """Remove the edge ``(u, v)``; recolor endpoints whose rate became disproportionate."""
+        self.graph.remove_edge(u, v)
+        records: List[RecoloringRecord] = []
+        for node in (u, v):
+            if self.colors[node] > self.graph.degree(node) + 1 + self.downsize_slack:
+                record = self._recolor(node, holiday, reason="divorce-downsize")
+                if record is not None:
+                    records.append(record)
+        return records
+
+    def _recolor(self, node: Node, holiday: int, reason: str) -> Optional[RecoloringRecord]:
+        old = self.colors[node]
+        # Choose the smallest legal color for the node's *current* neighborhood.
+        del self.colors[node]
+        new = greedy_color_for(node, self.graph, self.colors, start=1)
+        self.colors[node] = new
+        if new == old:
+            return None
+        record = RecoloringRecord(
+            holiday=holiday, node=node, old_color=old, new_color=new, reason=reason
+        )
+        self.recolorings.append(record)
+        self._rebuild_slots([node])
+        return record
+
+    # -- simulation ----------------------------------------------------------------
+    def simulate(self, events: Sequence[GraphEvent], horizon: int) -> DynamicRunResult:
+        """Run ``horizon`` holidays, applying each event before its holiday.
+
+        The result records, for every recoloring, the *recovery time*: the
+        number of holidays from the event until the recolored node hosts
+        again (None when it has not hosted by the end of the horizon).
+        """
+        if horizon < 1:
+            raise ValueError("horizon must be >= 1")
+        pending = sorted(events, key=lambda e: e.holiday)
+        idx = 0
+        happy_sets: List[FrozenSet[Node]] = []
+        before = len(self.recolorings)
+        for holiday in range(1, horizon + 1):
+            while idx < len(pending) and pending[idx].holiday == holiday:
+                event = pending[idx]
+                if event.kind == "marry":
+                    self.marry(event.u, event.v, holiday=holiday)
+                else:
+                    self.divorce(event.u, event.v, holiday=holiday)
+                idx += 1
+            happy_sets.append(self.happy_set(holiday))
+        if idx < len(pending):
+            raise ValueError(
+                f"{len(pending) - idx} event(s) are scheduled after the horizon {horizon}"
+            )
+
+        result = DynamicRunResult(happy_sets=happy_sets, recolorings=list(self.recolorings[before:]))
+        for record in result.recolorings:
+            recovery: Optional[int] = None
+            for offset, happy in enumerate(happy_sets[record.holiday - 1 :]):
+                if record.node in happy:
+                    recovery = offset + 1
+                    break
+            result.recovery[(record.holiday, record.node)] = recovery
+        return result

@@ -1,0 +1,74 @@
+"""Scheduler registry: enumerate algorithms by name.
+
+Benchmarks, examples and the comparison harness construct schedulers through
+this registry so that adding a new algorithm (or a new configuration of an
+existing one, e.g. the omega-vs-gamma code ablation) automatically shows up
+everywhere.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from repro.algorithms.base import Scheduler
+from repro.algorithms.color_periodic import ColorPeriodicScheduler
+from repro.algorithms.degree_periodic import DegreePeriodicScheduler
+from repro.algorithms.naive import (
+    FirstComeFirstGrabScheduler,
+    RoundRobinColorScheduler,
+    SequentialScheduler,
+)
+from repro.algorithms.phased_greedy import PhasedGreedyScheduler
+from repro.coding.elias import EliasDeltaCode, EliasGammaCode
+from repro.coloring.dsatur import dsatur_coloring
+
+__all__ = ["register_scheduler", "get_scheduler", "available_schedulers"]
+
+_FACTORIES: Dict[str, Callable[[], Scheduler]] = {}
+
+
+def register_scheduler(name: str, factory: Callable[[], Scheduler], overwrite: bool = False) -> None:
+    """Register a scheduler factory under ``name``.
+
+    Raises :class:`ValueError` on duplicate names unless ``overwrite`` is set.
+    """
+    if not overwrite and name in _FACTORIES:
+        raise ValueError(f"scheduler {name!r} is already registered")
+    _FACTORIES[name] = factory
+
+
+def get_scheduler(name: str) -> Scheduler:
+    """Instantiate the scheduler registered under ``name``."""
+    if name not in _FACTORIES:
+        raise KeyError(
+            f"unknown scheduler {name!r}; available: {', '.join(sorted(_FACTORIES))}"
+        )
+    return _FACTORIES[name]()
+
+
+def available_schedulers() -> List[str]:
+    """Names of all registered schedulers, sorted."""
+    return sorted(_FACTORIES)
+
+
+# -- built-in registrations --------------------------------------------------------
+register_scheduler("sequential", SequentialScheduler)
+register_scheduler("round-robin-color", RoundRobinColorScheduler)
+register_scheduler("first-come-first-grab", FirstComeFirstGrabScheduler)
+register_scheduler("phased-greedy", lambda: PhasedGreedyScheduler(initial_coloring="greedy"))
+register_scheduler("phased-greedy-distributed", lambda: PhasedGreedyScheduler(initial_coloring="distributed"))
+register_scheduler("color-periodic-omega", ColorPeriodicScheduler)
+register_scheduler(
+    "color-periodic-omega-dsatur",
+    lambda: ColorPeriodicScheduler(coloring_fn=dsatur_coloring),
+)
+register_scheduler(
+    "color-periodic-gamma", lambda: ColorPeriodicScheduler(code=EliasGammaCode())
+)
+register_scheduler(
+    "color-periodic-delta", lambda: ColorPeriodicScheduler(code=EliasDeltaCode())
+)
+register_scheduler("degree-periodic", DegreePeriodicScheduler)
+register_scheduler(
+    "degree-periodic-distributed", lambda: DegreePeriodicScheduler(mode="distributed")
+)

@@ -1,0 +1,282 @@
+"""Exploring the paper's closing open problem: periodic schedules at ``d + ω(1)``.
+
+Section 6 conjectures a separation between the aperiodic setting (where
+``deg(p) + 1`` is achievable, Theorem 3.1) and the perfectly periodic
+setting (where the paper only achieves ``2^{⌈log(d+1)⌉}``): *if one requires
+a periodic schedule, the best obtainable guarantee is ``d + ω(1)``*.
+
+This module provides exact searches for small instances so the conjecture can
+be probed empirically (benchmark E11):
+
+* a perfectly periodic schedule is a pair ``(τ_p, φ_p)`` per node with node
+  ``p`` hosting at holidays ``t ≡ φ_p (mod τ_p)``; adjacent nodes never
+  collide iff ``φ_u ≢ φ_v (mod gcd(τ_u, τ_v))``;
+* :func:`phase_assignment_exists` decides by backtracking whether a *given*
+  period vector admits conflict-free phases (and returns a witness);
+* :func:`minimal_max_stretch` additionally searches over the periods
+  themselves (each node may use any period between ``deg+1`` and the §5
+  value ``2^{⌈log(deg+1)⌉}``) and returns the smallest achievable value of
+  ``max_p τ_p/(deg(p)+1)`` — the "periodicity stretch".  A stretch of 1
+  means the graph admits a perfectly periodic schedule matching the
+  aperiodic guarantee; the conjecture says this must fail by a growing
+  amount on some family of graphs (the path ``P_3`` is the smallest witness
+  where stretch 1 is impossible).
+
+The searches are exponential in the worst case (they are constraint
+satisfaction problems) and intended for the small graphs of the benchmark.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.coloring.slot_assignment import modulus_for_degree
+from repro.core.problem import ConflictGraph, Node
+from repro.core.schedule import PeriodicSchedule, SlotAssignment
+
+__all__ = [
+    "PeriodFeasibility",
+    "StretchResult",
+    "phase_assignment_exists",
+    "degree_plus_slack_periods",
+    "default_period_options",
+    "minimal_max_stretch",
+    "feasible_schedule_or_none",
+]
+
+
+@dataclass
+class PeriodFeasibility:
+    """Outcome of a feasibility search for one fixed period vector."""
+
+    graph: ConflictGraph
+    periods: Dict[Node, int]
+    feasible: bool
+    phases: Optional[Dict[Node, int]] = None
+    nodes_explored: int = 0
+
+    def to_schedule(self) -> PeriodicSchedule:
+        """Build the witness schedule (only when feasible)."""
+        if not self.feasible or self.phases is None:
+            raise ValueError("no feasible phase assignment was found")
+        assignments = {
+            p: SlotAssignment(period=self.periods[p], phase=self.phases[p]) for p in self.graph.nodes()
+        }
+        return PeriodicSchedule(self.graph, assignments, check_conflicts=True, name="conjecture-witness")
+
+
+@dataclass
+class StretchResult:
+    """Outcome of the stretch-minimisation search."""
+
+    graph: ConflictGraph
+    stretch: float
+    periods: Dict[Node, int]
+    phases: Dict[Node, int]
+    thresholds_tried: int
+
+    def to_schedule(self) -> PeriodicSchedule:
+        """The witness schedule achieving the minimal stretch."""
+        assignments = {
+            p: SlotAssignment(period=self.periods[p], phase=self.phases[p]) for p in self.graph.nodes()
+        }
+        return PeriodicSchedule(self.graph, assignments, check_conflicts=True, name="min-stretch-witness")
+
+    @property
+    def matches_aperiodic_bound(self) -> bool:
+        """True when every node's period is exactly ``deg+1`` (stretch 1)."""
+        return self.stretch <= 1.0 + 1e-12
+
+
+def _conflicts(phase_u: int, period_u: int, phase_v: int, period_v: int) -> bool:
+    """True when the two periodic slots share at least one holiday."""
+    g = math.gcd(period_u, period_v)
+    return (phase_u - phase_v) % g == 0
+
+
+def phase_assignment_exists(
+    graph: ConflictGraph,
+    periods: Dict[Node, int],
+    node_budget: int = 2_000_000,
+) -> PeriodFeasibility:
+    """Decide whether conflict-free phases exist for the given periods.
+
+    Backtracking over phases in a most-constrained-first order (smallest
+    period / largest degree first).  ``node_budget`` caps the number of
+    search-tree nodes visited; exceeding it raises :class:`RuntimeError`
+    so inconclusive runs are never silently reported as infeasible.
+    """
+    for p in graph.nodes():
+        if p not in periods or periods[p] < 1:
+            raise ValueError(f"node {p!r} needs a positive period")
+
+    order = sorted(graph.nodes(), key=lambda p: (periods[p], -graph.degree(p), repr(p)))
+    phases: Dict[Node, int] = {}
+    explored = 0
+
+    def backtrack(index: int) -> bool:
+        nonlocal explored
+        if index == len(order):
+            return True
+        node = order[index]
+        explored += 1
+        if explored > node_budget:
+            raise RuntimeError(
+                f"phase search exceeded the node budget of {node_budget}; result inconclusive"
+            )
+        for phase in range(periods[node]):
+            ok = True
+            for neighbor in graph.neighbors(node):
+                if neighbor in phases and _conflicts(
+                    phase, periods[node], phases[neighbor], periods[neighbor]
+                ):
+                    ok = False
+                    break
+            if ok:
+                phases[node] = phase
+                if backtrack(index + 1):
+                    return True
+                del phases[node]
+        return False
+
+    feasible = backtrack(0)
+    return PeriodFeasibility(
+        graph=graph,
+        periods=dict(periods),
+        feasible=feasible,
+        phases=dict(phases) if feasible else None,
+        nodes_explored=explored,
+    )
+
+
+def degree_plus_slack_periods(graph: ConflictGraph, slack: int = 0) -> Dict[Node, int]:
+    """The period vector ``τ_p = deg(p) + 1 + slack`` (isolated nodes get period 1)."""
+    if slack < 0:
+        raise ValueError("slack must be non-negative")
+    periods = {}
+    for p in graph.nodes():
+        d = graph.degree(p)
+        periods[p] = 1 if d == 0 else d + 1 + slack
+    return periods
+
+
+def default_period_options(graph: ConflictGraph) -> Dict[Node, List[int]]:
+    """Allowed periods per node: every value from ``deg+1`` up to the §5 period.
+
+    The upper end ``2^{⌈log(deg+1)⌉}`` is always feasible (Theorem 5.3), so a
+    search restricted to these options always has a solution; the question
+    the conjecture asks is how close to the lower end one can get.
+    """
+    options: Dict[Node, List[int]] = {}
+    for p in graph.nodes():
+        d = graph.degree(p)
+        if d == 0:
+            options[p] = [1]
+        else:
+            options[p] = list(range(d + 1, modulus_for_degree(d) + 1))
+    return options
+
+
+def _joint_search(
+    graph: ConflictGraph,
+    options: Dict[Node, List[int]],
+    node_budget: int,
+) -> Optional[Tuple[Dict[Node, int], Dict[Node, int]]]:
+    """Backtracking over (period, phase) choices for every node."""
+    order = sorted(graph.nodes(), key=lambda p: (len(options[p]), -graph.degree(p), repr(p)))
+    periods: Dict[Node, int] = {}
+    phases: Dict[Node, int] = {}
+    explored = 0
+
+    def backtrack(index: int) -> bool:
+        nonlocal explored
+        if index == len(order):
+            return True
+        node = order[index]
+        explored += 1
+        if explored > node_budget:
+            raise RuntimeError(
+                f"joint period/phase search exceeded the node budget of {node_budget}"
+            )
+        for period in options[node]:
+            for phase in range(period):
+                ok = True
+                for neighbor in graph.neighbors(node):
+                    if neighbor in periods and _conflicts(
+                        phase, period, phases[neighbor], periods[neighbor]
+                    ):
+                        ok = False
+                        break
+                if ok:
+                    periods[node] = period
+                    phases[node] = phase
+                    if backtrack(index + 1):
+                        return True
+                    del periods[node]
+                    del phases[node]
+        return False
+
+    if backtrack(0):
+        return dict(periods), dict(phases)
+    return None
+
+
+def minimal_max_stretch(
+    graph: ConflictGraph,
+    period_options: Optional[Dict[Node, List[int]]] = None,
+    node_budget: int = 500_000,
+) -> StretchResult:
+    """The smallest achievable ``max_p τ_p/(deg(p)+1)`` over perfectly periodic schedules.
+
+    Periods are restricted to ``period_options`` (default:
+    :func:`default_period_options`, i.e. between the aperiodic bound and the
+    §5 bound).  The search sweeps candidate stretch thresholds in increasing
+    order and returns the first feasible one together with a witness
+    schedule.
+    """
+    options = period_options if period_options is not None else default_period_options(graph)
+    for p in graph.nodes():
+        if p not in options or not options[p]:
+            raise ValueError(f"node {p!r} needs at least one allowed period")
+
+    def ratio(node: Node, period: int) -> float:
+        d = graph.degree(node)
+        return period / (d + 1) if d > 0 else 1.0
+
+    thresholds = sorted({ratio(p, period) for p in graph.nodes() for period in options[p]})
+    tried = 0
+    for threshold in thresholds:
+        tried += 1
+        restricted = {
+            p: [period for period in options[p] if ratio(p, period) <= threshold + 1e-12]
+            for p in graph.nodes()
+        }
+        if any(not opts for opts in restricted.values()):
+            continue
+        found = _joint_search(graph, restricted, node_budget)
+        if found is not None:
+            periods, phases = found
+            achieved = max((ratio(p, periods[p]) for p in graph.nodes()), default=1.0)
+            return StretchResult(
+                graph=graph,
+                stretch=achieved,
+                periods=periods,
+                phases=phases,
+                thresholds_tried=tried,
+            )
+    raise RuntimeError(
+        "no feasible periodic schedule found within the allowed period options — "
+        "this should be impossible when the options include the Theorem 5.3 periods"
+    )
+
+
+def feasible_schedule_or_none(
+    graph: ConflictGraph, periods: Dict[Node, int], node_budget: int = 2_000_000
+) -> Optional[PeriodicSchedule]:
+    """Convenience wrapper: the witness schedule for ``periods``, or None."""
+    result = phase_assignment_exists(graph, periods, node_budget)
+    if not result.feasible:
+        return None
+    return result.to_schedule()

@@ -1,0 +1,119 @@
+"""Result records for experiments.
+
+An :class:`ExperimentRecord` is one (experiment, workload, algorithm) cell:
+a flat ``{metric: value}`` mapping plus identifying metadata.  A
+:class:`ResultSet` is an append-only collection with the small amount of
+group-by/aggregate machinery the benchmark tables need — deliberately tiny
+instead of pulling in pandas.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, Iterator, List, Mapping, Optional, Sequence, Tuple
+
+__all__ = ["ExperimentRecord", "ResultSet"]
+
+
+@dataclass(frozen=True)
+class ExperimentRecord:
+    """One measured cell of an experiment."""
+
+    experiment: str
+    workload: str
+    algorithm: str
+    metrics: Mapping[str, float]
+    params: Mapping[str, object] = field(default_factory=dict)
+
+    def metric(self, name: str, default: Optional[float] = None) -> Optional[float]:
+        """Fetch a metric by name."""
+        return self.metrics.get(name, default)
+
+    def as_row(self, metric_names: Sequence[str]) -> List[object]:
+        """``[workload, algorithm, metric...]`` row for table rendering."""
+        return [self.workload, self.algorithm] + [self.metrics.get(m) for m in metric_names]
+
+
+class ResultSet:
+    """An append-only collection of experiment records."""
+
+    def __init__(self, records: Iterable[ExperimentRecord] = ()) -> None:
+        self._records: List[ExperimentRecord] = list(records)
+
+    def add(self, record: ExperimentRecord) -> None:
+        """Append one record."""
+        self._records.append(record)
+
+    def extend(self, records: Iterable[ExperimentRecord]) -> None:
+        """Append many records."""
+        self._records.extend(records)
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __iter__(self) -> Iterator[ExperimentRecord]:
+        return iter(self._records)
+
+    def filter(
+        self,
+        experiment: Optional[str] = None,
+        workload: Optional[str] = None,
+        algorithm: Optional[str] = None,
+    ) -> "ResultSet":
+        """Records matching all the given identifiers (None = wildcard)."""
+        out = [
+            r
+            for r in self._records
+            if (experiment is None or r.experiment == experiment)
+            and (workload is None or r.workload == workload)
+            and (algorithm is None or r.algorithm == algorithm)
+        ]
+        return ResultSet(out)
+
+    def workloads(self) -> List[str]:
+        """Distinct workload names, in first-seen order."""
+        seen: Dict[str, None] = {}
+        for r in self._records:
+            seen.setdefault(r.workload, None)
+        return list(seen)
+
+    def algorithms(self) -> List[str]:
+        """Distinct algorithm names, in first-seen order."""
+        seen: Dict[str, None] = {}
+        for r in self._records:
+            seen.setdefault(r.algorithm, None)
+        return list(seen)
+
+    def pivot(self, metric: str) -> Dict[str, Dict[str, float]]:
+        """``{workload: {algorithm: metric value}}`` — the shape of a paper table."""
+        table: Dict[str, Dict[str, float]] = {}
+        for r in self._records:
+            value = r.metric(metric)
+            if value is None:
+                continue
+            table.setdefault(r.workload, {})[r.algorithm] = value
+        return table
+
+    def aggregate(
+        self, metric: str, key: Callable[[ExperimentRecord], str], reducer: Callable[[List[float]], float]
+    ) -> Dict[str, float]:
+        """Group records by ``key`` and reduce the chosen metric."""
+        groups: Dict[str, List[float]] = {}
+        for r in self._records:
+            value = r.metric(metric)
+            if value is None:
+                continue
+            groups.setdefault(key(r), []).append(float(value))
+        return {k: reducer(v) for k, v in groups.items()}
+
+    def best_algorithm_per_workload(self, metric: str, minimize: bool = True) -> Dict[str, str]:
+        """For each workload, the algorithm with the best (min/max) value of ``metric``.
+
+        This is the "who wins" summary used when comparing against the
+        paper's qualitative claims.
+        """
+        table = self.pivot(metric)
+        chooser = min if minimize else max
+        return {
+            workload: chooser(row, key=lambda alg: row[alg]) for workload, row in table.items() if row
+        }

@@ -1,0 +1,151 @@
+"""Experiment runner: build a scheduler, run it, measure it, certify it.
+
+The runner encapsulates the repetitive part of every experiment:
+
+1. pick an observation horizon long enough to witness several periods of the
+   slowest node (``choose_horizon``),
+2. build the schedule and time the construction,
+3. evaluate the metric suite (:func:`repro.core.metrics.evaluate_schedule`),
+4. validate legality and, when the scheduler states a per-node bound,
+   certify it (:func:`repro.core.validation.validate_schedule`).
+
+``compare_schedulers`` runs a list of registered scheduler names over a
+workload dictionary and returns a :class:`~repro.analysis.records.ResultSet`
+ready for table rendering — this is the engine behind benchmark E5.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence
+
+from repro.algorithms.base import Scheduler
+from repro.algorithms.registry import get_scheduler
+from repro.analysis.records import ExperimentRecord, ResultSet
+from repro.core.metrics import ScheduleReport, evaluate_schedule
+from repro.core.problem import ConflictGraph
+from repro.core.schedule import Schedule
+from repro.core.validation import ValidationReport, validate_schedule
+
+__all__ = ["RunOutcome", "choose_horizon", "run_scheduler", "compare_schedulers"]
+
+
+@dataclass
+class RunOutcome:
+    """Everything produced by one scheduler × graph run."""
+
+    scheduler_name: str
+    graph_name: str
+    horizon: int
+    schedule: Schedule
+    report: ScheduleReport
+    validation: ValidationReport
+    build_seconds: float
+    bound_satisfied: Optional[bool]
+
+    def metrics(self) -> Dict[str, float]:
+        """Flat metric dictionary (report summary + construction cost + validity)."""
+        out = dict(self.report.summary())
+        out["build_seconds"] = self.build_seconds
+        out["legal"] = 1.0 if self.validation.ok else 0.0
+        if self.bound_satisfied is not None:
+            out["bound_satisfied"] = 1.0 if self.bound_satisfied else 0.0
+        return out
+
+
+def choose_horizon(
+    graph: ConflictGraph, multiplier: int = 4, minimum: int = 32, cap: int = 20_000
+) -> int:
+    """An observation horizon long enough for every paper bound to be visible.
+
+    The slowest guarantee in the package is the Section 4 period
+    ``2^{ρ(c)}`` with ``c ≤ Δ + 1``; rather than computing it per scheduler
+    the horizon is simply ``multiplier`` times the largest power of two
+    reaching ``2·(Δ+1)`` (the Section 5 period), clamped to ``[minimum, cap]``.
+    Color-bound runs that need more (large Δ with the omega code) can pass
+    an explicit horizon instead.
+    """
+    delta = graph.max_degree()
+    base = 2 * (delta + 1)
+    horizon = multiplier * base
+    return max(minimum, min(horizon, cap))
+
+
+def run_scheduler(
+    scheduler: Scheduler,
+    graph: ConflictGraph,
+    horizon: Optional[int] = None,
+    seed: int = 0,
+    certify_bound: bool = True,
+    skip_isolated: bool = True,
+) -> RunOutcome:
+    """Build, evaluate and validate one scheduler on one graph."""
+    start = time.perf_counter()
+    schedule = scheduler.build(graph, seed=seed)
+    build_seconds = time.perf_counter() - start
+
+    bound_fn = scheduler.bound_function(graph) if certify_bound else None
+    if horizon is None:
+        horizon = choose_horizon(graph)
+        if bound_fn is not None and graph.num_nodes() > 0:
+            # Make sure the horizon can actually witness the claimed bound.
+            worst_bound = max(bound_fn(p) for p in graph.nodes())
+            horizon = max(horizon, int(2 * worst_bound) + 2)
+
+    report = evaluate_schedule(schedule, graph, horizon, name=scheduler.name)
+    validation = validate_schedule(
+        schedule,
+        graph,
+        horizon,
+        bound=bound_fn,
+        bound_name=scheduler.info.local_bound,
+        check_periodic=scheduler.info.periodic,
+        skip_isolated=skip_isolated,
+    )
+    bound_satisfied: Optional[bool] = None
+    if bound_fn is not None:
+        bound_satisfied = not any(v.kind == "bound-exceeded" for v in validation.violations)
+
+    return RunOutcome(
+        scheduler_name=scheduler.name,
+        graph_name=graph.name,
+        horizon=horizon,
+        schedule=schedule,
+        report=report,
+        validation=validation,
+        build_seconds=build_seconds,
+        bound_satisfied=bound_satisfied,
+    )
+
+
+def compare_schedulers(
+    workloads: Mapping[str, ConflictGraph],
+    scheduler_names: Sequence[str],
+    experiment: str = "comparison",
+    horizon: Optional[int] = None,
+    seed: int = 0,
+    certify_bound: bool = True,
+) -> ResultSet:
+    """Run every named scheduler over every workload and collect the results."""
+    results = ResultSet()
+    for workload_name, graph in workloads.items():
+        for scheduler_name in scheduler_names:
+            scheduler = get_scheduler(scheduler_name)
+            outcome = run_scheduler(
+                scheduler,
+                graph,
+                horizon=horizon,
+                seed=seed,
+                certify_bound=certify_bound,
+            )
+            results.add(
+                ExperimentRecord(
+                    experiment=experiment,
+                    workload=workload_name,
+                    algorithm=scheduler_name,
+                    metrics=outcome.metrics(),
+                    params={"horizon": outcome.horizon, "n": graph.num_nodes()},
+                )
+            )
+    return results

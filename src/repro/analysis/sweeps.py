@@ -1,0 +1,44 @@
+"""Parameter-sweep helpers.
+
+``sweep`` expands a dictionary of parameter lists into the cartesian product
+of parameter combinations and applies a runner callable to each, collecting
+the returned records.  Used by the density/size sweeps in E5, E6 and E9.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Callable, Dict, Iterable, List, Mapping, Sequence
+
+from repro.analysis.records import ExperimentRecord, ResultSet
+
+__all__ = ["sweep", "expand_grid"]
+
+
+def expand_grid(param_lists: Mapping[str, Sequence[object]]) -> List[Dict[str, object]]:
+    """All combinations of the given parameter lists, as dictionaries.
+
+    The iteration order is deterministic: parameters vary fastest in the
+    order they appear last in the mapping (standard cartesian-product order).
+    """
+    if not param_lists:
+        return [{}]
+    names = list(param_lists.keys())
+    combos = itertools.product(*(param_lists[name] for name in names))
+    return [dict(zip(names, combo)) for combo in combos]
+
+
+def sweep(
+    param_lists: Mapping[str, Sequence[object]],
+    runner: Callable[..., Iterable[ExperimentRecord]],
+) -> ResultSet:
+    """Run ``runner(**params)`` for every parameter combination.
+
+    The runner must return an iterable of
+    :class:`~repro.analysis.records.ExperimentRecord`; all records are
+    merged into a single :class:`~repro.analysis.records.ResultSet`.
+    """
+    results = ResultSet()
+    for params in expand_grid(param_lists):
+        results.extend(runner(**params))
+    return results

@@ -1,0 +1,86 @@
+"""Plain-text table rendering for benchmark output.
+
+The paper has no numeric tables of its own, so the reproduction prints its
+own "paper-style" rows: one line per (workload, algorithm) with the measured
+quantity next to the theoretical bound.  Rendering is dependency-free ASCII
+with right-aligned numeric columns.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence
+
+__all__ = ["format_value", "render_table"]
+
+
+def format_value(value: object, precision: int = 3) -> str:
+    """Human formatting: ints verbatim, floats to ``precision`` significant decimals."""
+    if value is None:
+        return "-"
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, int):
+        return str(value)
+    if isinstance(value, float):
+        if value == int(value) and abs(value) < 1e15:
+            return str(int(value))
+        return f"{value:.{precision}g}"
+    return str(value)
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    title: Optional[str] = None,
+    precision: int = 3,
+) -> str:
+    """Render an ASCII table with aligned columns.
+
+    Numeric cells are right-aligned, text cells left-aligned; a separator
+    line follows the header.  Returns the table as a single string (callers
+    print it), so benchmarks remain easy to capture in tests.
+    """
+    formatted_rows: List[List[str]] = [[format_value(cell, precision) for cell in row] for row in rows]
+    header_cells = [str(h) for h in headers]
+    num_cols = len(header_cells)
+    for row in formatted_rows:
+        if len(row) != num_cols:
+            raise ValueError(f"row {row!r} has {len(row)} cells, expected {num_cols}")
+
+    widths = [len(h) for h in header_cells]
+    for row in formatted_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def is_numeric(col: int) -> bool:
+        return all(
+            cell == "-" or _looks_numeric(cell) for cell in (row[col] for row in formatted_rows)
+        )
+
+    numeric_cols = [is_numeric(i) for i in range(num_cols)] if formatted_rows else [False] * num_cols
+
+    def fmt_row(cells: Sequence[str]) -> str:
+        parts = []
+        for i, cell in enumerate(cells):
+            if numeric_cols[i]:
+                parts.append(cell.rjust(widths[i]))
+            else:
+                parts.append(cell.ljust(widths[i]))
+        return "  ".join(parts).rstrip()
+
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    lines.append(fmt_row(header_cells))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in formatted_rows:
+        lines.append(fmt_row(row))
+    return "\n".join(lines)
+
+
+def _looks_numeric(cell: str) -> bool:
+    try:
+        float(cell)
+    except ValueError:
+        return False
+    return True

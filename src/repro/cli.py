@@ -1,0 +1,276 @@
+"""Command-line interface for the holiday-gathering scheduler.
+
+Installed as ``repro-holiday`` (see ``pyproject.toml``); also runnable as
+``python -m repro.cli``.  Subcommands:
+
+``generate``
+    Create a workload conflict graph (clique, star, G(n,p), power-law or a
+    random marriage society) and write it to an edge-list or JSON file.
+
+``schedule``
+    Build a schedule for a graph file with any registered algorithm, print a
+    holiday calendar and per-family statistics, optionally export the
+    calendar as CSV and (for perfectly periodic algorithms) the schedule
+    itself as JSON.
+
+``compare``
+    Run several algorithms over the same graph and print the comparison
+    table used in benchmark E5.
+
+``bounds``
+    Print the per-family theoretical bounds (Theorems 3.1, 4.2, 5.3) next to
+    each family's degree.
+
+``satisfaction``
+    Appendix A analysis of a society JSON file: maximum satisfaction via
+    matching, the linear-time algorithm, and the alternating schedule gap.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List, Optional, Sequence
+
+from repro.algorithms.registry import available_schedulers, get_scheduler
+from repro.analysis.runner import compare_schedulers, run_scheduler
+from repro.analysis.tables import render_table
+from repro.coloring.greedy import greedy_coloring
+from repro.core.bounds import bound_table
+from repro.core.problem import ConflictGraph
+from repro.core.schedule import PeriodicSchedule
+from repro.graphs.families import clique, star
+from repro.graphs.random_graphs import barabasi_albert, erdos_renyi
+from repro.graphs.society import random_society
+from repro.io.graphs import load_edge_list, read_graph_json, save_edge_list, write_graph_json
+from repro.io.schedules import save_periodic_schedule, write_calendar_csv
+from repro.io.societies import load_society, save_society
+from repro.satisfaction.satisfaction import (
+    alternating_satisfaction_schedule,
+    max_satisfaction_by_matching,
+    satisfaction_gaps,
+    single_child_first_satisfaction,
+)
+
+__all__ = ["main", "build_parser"]
+
+
+# ---------------------------------------------------------------------------
+# helpers
+# ---------------------------------------------------------------------------
+
+def _load_graph(path: str) -> ConflictGraph:
+    file = Path(path)
+    if not file.exists():
+        raise SystemExit(f"error: graph file {path!r} does not exist")
+    if file.suffix.lower() == ".json":
+        return read_graph_json(file)
+    return load_edge_list(file)
+
+
+def _write_graph(graph: ConflictGraph, path: str) -> None:
+    if Path(path).suffix.lower() == ".json":
+        write_graph_json(graph, path)
+    else:
+        save_edge_list(graph, path)
+
+
+# ---------------------------------------------------------------------------
+# subcommand implementations
+# ---------------------------------------------------------------------------
+
+def cmd_generate(args: argparse.Namespace) -> int:
+    kind = args.kind
+    if kind == "clique":
+        graph = clique(args.size)
+    elif kind == "star":
+        graph = star(args.size)
+    elif kind == "gnp":
+        graph = erdos_renyi(args.size, args.p, seed=args.seed)
+    elif kind == "powerlaw":
+        graph = barabasi_albert(args.size, max(args.m, 1), seed=args.seed)
+    elif kind == "society":
+        society = random_society(
+            args.size,
+            mean_children=args.mean_children,
+            marriage_fraction=args.marriage_fraction,
+            seed=args.seed,
+        )
+        if args.society_out:
+            save_society(society, args.society_out)
+            print(f"wrote society JSON to {args.society_out}")
+        graph = society.conflict_graph(name=f"society-{args.size}")
+    else:  # pragma: no cover - argparse restricts choices
+        raise SystemExit(f"unknown graph kind {kind!r}")
+    _write_graph(graph, args.output)
+    print(f"wrote {graph.num_nodes()} nodes / {graph.num_edges()} edges to {args.output}")
+    return 0
+
+
+def cmd_schedule(args: argparse.Namespace) -> int:
+    graph = _load_graph(args.graph)
+    scheduler = get_scheduler(args.algorithm)
+    outcome = run_scheduler(scheduler, graph, horizon=args.horizon, seed=args.seed)
+    schedule = outcome.schedule
+
+    calendar_years = min(args.calendar_years, outcome.horizon)
+    rows = [
+        [year, ", ".join(sorted(str(p) for p in happy)) or "(nobody)"]
+        for year, happy in schedule.iter_holidays(calendar_years)
+    ]
+    print(render_table(["holiday", "hosting families"], rows, title=f"{args.algorithm} on {graph.name}"))
+    print()
+
+    stats_rows = [
+        [
+            str(p),
+            graph.degree(p),
+            outcome.report.muls[p],
+            outcome.report.periods[p] if outcome.report.periods[p] is not None else "varies",
+        ]
+        for p in graph.nodes()
+    ]
+    print(render_table(["family", "degree", "worst wait", "observed period"], stats_rows))
+    print()
+    print(f"max mul = {outcome.report.max_mul}, legal = {outcome.validation.ok}, "
+          f"bound satisfied = {outcome.bound_satisfied}")
+
+    if args.calendar_csv:
+        write_calendar_csv(schedule, outcome.horizon, args.calendar_csv)
+        print(f"wrote calendar CSV to {args.calendar_csv}")
+    if args.save_schedule:
+        if isinstance(schedule, PeriodicSchedule):
+            save_periodic_schedule(schedule, args.save_schedule)
+            print(f"wrote periodic schedule JSON to {args.save_schedule}")
+        else:
+            print("note: --save-schedule ignored (the chosen algorithm is not perfectly periodic)")
+    return 0 if outcome.validation.ok else 1
+
+
+def cmd_compare(args: argparse.Namespace) -> int:
+    graph = _load_graph(args.graph)
+    algorithms = args.algorithms or [
+        "sequential",
+        "round-robin-color",
+        "phased-greedy",
+        "color-periodic-omega",
+        "degree-periodic",
+    ]
+    unknown = [a for a in algorithms if a not in available_schedulers()]
+    if unknown:
+        raise SystemExit(f"error: unknown algorithm(s): {', '.join(unknown)}")
+    results = compare_schedulers({graph.name: graph}, algorithms, horizon=args.horizon, seed=args.seed)
+    metrics = ["max_mul", "mean_mul", "max_norm_gap", "mean_norm_gap", "fairness"]
+    rows = [[r.algorithm] + [r.metrics.get(m) for m in metrics] for r in results]
+    print(render_table(["algorithm"] + metrics, rows, title=f"comparison on {graph.name}"))
+    winner = results.best_algorithm_per_workload("mean_norm_gap")[graph.name]
+    print(f"\nmost degree-local schedule: {winner}")
+    return 0
+
+
+def cmd_bounds(args: argparse.Namespace) -> int:
+    graph = _load_graph(args.graph)
+    coloring = greedy_coloring(graph)
+    table = bound_table(graph, coloring.colors)
+    headers = ["family", "degree", "Δ+1", "Thm3.1 deg+1", "Thm5.3 2^⌈log(d+1)⌉", "color", "Thm4.2 2^ρ(c)"]
+    rows = [
+        [
+            str(p),
+            row["degree"],
+            row["delta_plus_one"],
+            row["thm31_degree_plus_one"],
+            row["thm53_periodic_degree"],
+            row["color"],
+            row["thm42_exact_period"],
+        ]
+        for p, row in table.items()
+    ]
+    print(render_table(headers, rows, title=f"paper bounds for {graph.name}"))
+    return 0
+
+
+def cmd_satisfaction(args: argparse.Namespace) -> int:
+    society = load_society(args.society)
+    matching = max_satisfaction_by_matching(society)
+    linear = single_child_first_satisfaction(society)
+    schedule = alternating_satisfaction_schedule(society, horizon=args.horizon)
+    gaps = satisfaction_gaps(schedule, society)
+    print(
+        render_table(
+            ["quantity", "value"],
+            [
+                ["families", society.num_families()],
+                ["couples", society.num_couples()],
+                ["max satisfaction (matching)", matching.num_satisfied],
+                ["max satisfaction (single-child-first)", linear.num_satisfied],
+                ["trivially satisfied", len(matching.trivially_satisfied)],
+                ["worst alternating-schedule gap", max(gaps.values()) if gaps else 0],
+            ],
+            title="Appendix A satisfaction analysis",
+        )
+    )
+    return 0 if matching.num_satisfied == linear.num_satisfied else 1
+
+
+# ---------------------------------------------------------------------------
+# parser
+# ---------------------------------------------------------------------------
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-holiday",
+        description="Fair and periodic scheduling of independent sets (Amir et al., SPAA 2016).",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    gen = sub.add_parser("generate", help="generate a workload conflict graph")
+    gen.add_argument("kind", choices=["clique", "star", "gnp", "powerlaw", "society"])
+    gen.add_argument("output", help="output file (.json or edge list)")
+    gen.add_argument("--size", type=int, default=30, help="number of families / nodes")
+    gen.add_argument("--p", type=float, default=0.1, help="edge probability for gnp")
+    gen.add_argument("--m", type=int, default=2, help="attachment parameter for powerlaw")
+    gen.add_argument("--mean-children", type=float, default=2.5)
+    gen.add_argument("--marriage-fraction", type=float, default=0.75)
+    gen.add_argument("--society-out", help="also write the full society JSON here")
+    gen.add_argument("--seed", type=int, default=0)
+    gen.set_defaults(func=cmd_generate)
+
+    sch = sub.add_parser("schedule", help="schedule holidays for a conflict graph")
+    sch.add_argument("graph", help="graph file (.json or edge list)")
+    sch.add_argument("--algorithm", default="degree-periodic", choices=available_schedulers())
+    sch.add_argument("--horizon", type=int, default=None, help="evaluation horizon (default: auto)")
+    sch.add_argument("--calendar-years", type=int, default=12, help="years printed to the terminal")
+    sch.add_argument("--calendar-csv", help="write the full calendar to this CSV file")
+    sch.add_argument("--save-schedule", help="write the periodic schedule JSON to this file")
+    sch.add_argument("--seed", type=int, default=0)
+    sch.set_defaults(func=cmd_schedule)
+
+    cmp_ = sub.add_parser("compare", help="compare algorithms on one conflict graph")
+    cmp_.add_argument("graph", help="graph file (.json or edge list)")
+    cmp_.add_argument("--algorithms", nargs="*", help="algorithm names (default: a representative set)")
+    cmp_.add_argument("--horizon", type=int, default=None)
+    cmp_.add_argument("--seed", type=int, default=0)
+    cmp_.set_defaults(func=cmd_compare)
+
+    bounds = sub.add_parser("bounds", help="print the paper's per-family bounds for a graph")
+    bounds.add_argument("graph", help="graph file (.json or edge list)")
+    bounds.set_defaults(func=cmd_bounds)
+
+    sat = sub.add_parser("satisfaction", help="Appendix A satisfaction analysis of a society JSON")
+    sat.add_argument("society", help="society JSON file (see 'generate society --society-out')")
+    sat.add_argument("--horizon", type=int, default=10)
+    sat.set_defaults(func=cmd_satisfaction)
+
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

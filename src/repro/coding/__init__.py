@@ -1,0 +1,65 @@
+"""Prefix-free integer codes.
+
+Section 4 of the paper schedules a node colored ``c`` on exactly those
+holidays ``i`` whose binary representation ends with the *reversed*
+prefix-free encoding of ``c``.  Because the code is prefix-free, no two
+distinct colors can match the same holiday, so the resulting set of happy
+nodes is always an independent set; because the matched pattern has a fixed
+length ``L``, the schedule of that color is perfectly periodic with period
+``2^L``.
+
+This subpackage implements the machinery from scratch:
+
+* :mod:`repro.coding.bits` — bit-string utilities (``B(n)``, ``LSB``, reversal),
+* :mod:`repro.coding.prefix_free` — the :class:`PrefixFreeCode` interface,
+  Kraft-inequality checking and the suffix-match schedule primitive,
+* :mod:`repro.coding.elias` — Elias gamma / delta / omega codes,
+* :mod:`repro.coding.unary` — unary and Golomb/Rice codes (extra baselines).
+"""
+
+from repro.coding.bits import (
+    binary_representation,
+    bits_from_int,
+    bits_to_int,
+    lsb,
+    pad_left,
+    reverse_bits,
+)
+from repro.coding.prefix_free import (
+    CodewordTable,
+    PrefixFreeCode,
+    is_prefix_free,
+    kraft_sum,
+    verify_prefix_free,
+)
+from repro.coding.elias import (
+    EliasDeltaCode,
+    EliasGammaCode,
+    EliasOmegaCode,
+    omega_decode,
+    omega_encode,
+    omega_length,
+)
+from repro.coding.unary import GolombRiceCode, UnaryCode
+
+__all__ = [
+    "binary_representation",
+    "bits_from_int",
+    "bits_to_int",
+    "lsb",
+    "pad_left",
+    "reverse_bits",
+    "CodewordTable",
+    "PrefixFreeCode",
+    "is_prefix_free",
+    "kraft_sum",
+    "verify_prefix_free",
+    "EliasGammaCode",
+    "EliasDeltaCode",
+    "EliasOmegaCode",
+    "omega_encode",
+    "omega_decode",
+    "omega_length",
+    "UnaryCode",
+    "GolombRiceCode",
+]

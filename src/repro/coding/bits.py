@@ -1,0 +1,132 @@
+"""Bit-string utilities mirroring the paper's notation.
+
+The paper (Section 4.2 and Appendix B) works with three primitives:
+
+* ``B(n)`` — the binary representation of ``n`` with no leading zeros,
+* ``S^R`` — the left-to-right reversal of a string ``S``,
+* ``LSB(S, k)`` — the suffix of ``S`` of length ``k`` (the ``k`` least
+  significant bits when ``S`` is read as a binary numeral).
+
+Bit strings are represented as ordinary Python ``str`` objects over the
+alphabet ``{'0', '1'}``; this keeps the scheduling code easy to audit
+against the paper, and the strings involved are tiny (a handful of bits per
+color), so there is no performance reason to pack them.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List
+
+__all__ = [
+    "binary_representation",
+    "bits_from_int",
+    "bits_to_int",
+    "lsb",
+    "pad_left",
+    "reverse_bits",
+    "is_bitstring",
+    "suffix_matches",
+]
+
+
+def is_bitstring(s: str) -> bool:
+    """Return True when ``s`` consists only of '0'/'1' characters (may be empty)."""
+    return all(ch in "01" for ch in s)
+
+
+def _require_bitstring(s: str, name: str = "value") -> None:
+    if not isinstance(s, str) or not is_bitstring(s):
+        raise ValueError(f"{name} must be a string over {{'0','1'}}, got {s!r}")
+
+
+def binary_representation(n: int) -> str:
+    """``B(n)``: binary representation of ``n >= 1`` with no leading zeros.
+
+    The paper defines ``B`` on positive integers only (colors and holiday
+    numbers start at 1), so ``n = 0`` is rejected.
+    """
+    if n < 1:
+        raise ValueError(f"B(n) is defined for positive integers, got {n!r}")
+    return format(n, "b")
+
+
+def bits_from_int(n: int, width: int | None = None) -> str:
+    """Binary representation of ``n >= 0`` optionally zero-padded to ``width``."""
+    if n < 0:
+        raise ValueError(f"bits_from_int requires a non-negative integer, got {n!r}")
+    s = format(n, "b")
+    if width is not None:
+        if width < len(s):
+            raise ValueError(f"width {width} too small for value {n} ({len(s)} bits)")
+        s = s.rjust(width, "0")
+    return s
+
+
+def bits_to_int(bits: str) -> int:
+    """Interpret a bit string as an unsigned binary numeral (empty string -> 0)."""
+    _require_bitstring(bits, "bits")
+    if bits == "":
+        return 0
+    return int(bits, 2)
+
+
+def reverse_bits(bits: str) -> str:
+    """``S^R``: reverse a bit string left-to-right."""
+    _require_bitstring(bits, "bits")
+    return bits[::-1]
+
+
+def pad_left(bits: str, width: int, fill: str = "0") -> str:
+    """Left-pad ``bits`` with ``fill`` characters up to ``width``."""
+    _require_bitstring(bits, "bits")
+    if fill not in ("0", "1"):
+        raise ValueError("fill must be '0' or '1'")
+    if width < len(bits):
+        raise ValueError(f"width {width} smaller than current length {len(bits)}")
+    return bits.rjust(width, fill)
+
+
+def lsb(bits: str, k: int) -> str:
+    """``LSB(S, k)``: the ``k`` least-significant bits (length-``k`` suffix) of ``S``.
+
+    When ``k`` exceeds ``len(bits)`` the string is implicitly padded with
+    leading zeros, matching the paper's convention of "an infinite sequence
+    of 0's padded" to the binary representation of the holiday number.
+    """
+    _require_bitstring(bits, "bits")
+    if k < 0:
+        raise ValueError(f"k must be non-negative, got {k!r}")
+    if k == 0:
+        return ""
+    if k <= len(bits):
+        return bits[-k:]
+    return bits.rjust(k, "0")
+
+
+def suffix_matches(holiday: int, pattern: str) -> bool:
+    """Return True when the binary representation of ``holiday`` (padded with
+    leading zeros) ends with ``pattern``.
+
+    This is the core test of the Section 4 scheduler: node ``p`` is happy at
+    holiday ``i`` iff ``LSB(B(i), len(pattern)) == pattern`` where ``pattern``
+    is the reversed prefix-free codeword of ``col(p)``.
+
+    Implemented arithmetically (``holiday mod 2^len == value(pattern)``) so it
+    is cheap enough to call inside long simulation loops.
+    """
+    _require_bitstring(pattern, "pattern")
+    if holiday < 0:
+        raise ValueError(f"holiday numbers are non-negative, got {holiday!r}")
+    k = len(pattern)
+    if k == 0:
+        return True
+    return holiday % (1 << k) == bits_to_int(pattern)
+
+
+def concat(parts: Iterable[str]) -> str:
+    """Concatenate bit strings, validating each part."""
+    out: List[str] = []
+    for part in parts:
+        _require_bitstring(part, "part")
+        out.append(part)
+    return "".join(out)

@@ -1,0 +1,201 @@
+"""Elias universal codes: gamma, delta and omega.
+
+The paper's color-bound scheduler (Section 4.2) encodes each node's color
+with the **Elias omega code** (Elias, 1975), the recursively length-prefixed
+universal code.  The omega code of ``i`` is ``re(i) ◦ '0'`` where
+
+* ``re(1) = λ`` (the empty string),
+* ``re(i) = re(|B(i)| - 1) ◦ B(i)`` for ``i > 1``,
+
+``B(i)`` being the binary representation of ``i`` with no leading zeros.
+Its length ``ρ(i) = 1 + ⌊log i⌋+1 + …`` is ``log i + log log i + …`` up to
+lower-order terms, which is what yields the near-optimal ``φ(c)·2^{log*c+1}``
+period bound of Theorem 4.2.
+
+Gamma and delta codes are also provided: the scheduler of
+:mod:`repro.algorithms.color_periodic` is generic over any
+:class:`~repro.coding.prefix_free.PrefixFreeCode`, and the E3 benchmark
+compares the period profiles the three codes induce.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from repro.coding.bits import binary_representation
+from repro.coding.prefix_free import DecodeError, PrefixFreeCode
+from repro.utils.math import floor_log2
+
+__all__ = [
+    "EliasGammaCode",
+    "EliasDeltaCode",
+    "EliasOmegaCode",
+    "omega_encode",
+    "omega_decode",
+    "omega_length",
+    "gamma_encode",
+    "gamma_decode",
+    "delta_encode",
+    "delta_decode",
+]
+
+
+# ---------------------------------------------------------------------------
+# Elias gamma
+# ---------------------------------------------------------------------------
+
+def gamma_encode(value: int) -> str:
+    """Elias gamma code of ``value >= 1``: ``⌊log v⌋`` zeros, then ``B(v)``.
+
+    Length ``2⌊log v⌋ + 1``.
+    """
+    if value < 1:
+        raise ValueError(f"gamma code is defined for positive integers, got {value!r}")
+    n = floor_log2(value)
+    return "0" * n + binary_representation(value)
+
+
+def gamma_decode(bits: str) -> Tuple[int, int]:
+    """Decode one gamma codeword from the start of ``bits`` -> ``(value, consumed)``."""
+    zeros = 0
+    while zeros < len(bits) and bits[zeros] == "0":
+        zeros += 1
+    total = 2 * zeros + 1
+    if zeros >= len(bits) or len(bits) < total:
+        raise DecodeError("truncated Elias gamma codeword")
+    payload = bits[zeros:total]
+    return int(payload, 2), total
+
+
+class EliasGammaCode(PrefixFreeCode):
+    """Elias gamma code: length ``2⌊log v⌋ + 1`` (period ``≈ v^2`` as a schedule)."""
+
+    name = "elias-gamma"
+
+    def encode(self, value: int) -> str:
+        return gamma_encode(value)
+
+    def decode(self, bits: str) -> Tuple[int, int]:
+        return gamma_decode(bits)
+
+    def codeword_length(self, value: int) -> int:
+        if value < 1:
+            raise ValueError(f"gamma code is defined for positive integers, got {value!r}")
+        return 2 * floor_log2(value) + 1
+
+
+# ---------------------------------------------------------------------------
+# Elias delta
+# ---------------------------------------------------------------------------
+
+def delta_encode(value: int) -> str:
+    """Elias delta code of ``value >= 1``: gamma-code ``|B(v)|`` then the low bits of ``v``.
+
+    Length ``⌊log v⌋ + 2⌊log(⌊log v⌋ + 1)⌋ + 1``.
+    """
+    if value < 1:
+        raise ValueError(f"delta code is defined for positive integers, got {value!r}")
+    body = binary_representation(value)
+    return gamma_encode(len(body)) + body[1:]
+
+
+def delta_decode(bits: str) -> Tuple[int, int]:
+    """Decode one delta codeword from the start of ``bits`` -> ``(value, consumed)``."""
+    length, consumed = gamma_decode(bits)
+    extra = length - 1
+    if len(bits) < consumed + extra:
+        raise DecodeError("truncated Elias delta codeword")
+    payload = "1" + bits[consumed : consumed + extra]
+    return int(payload, 2), consumed + extra
+
+
+class EliasDeltaCode(PrefixFreeCode):
+    """Elias delta code: asymptotically ``log v + 2 log log v`` bits."""
+
+    name = "elias-delta"
+
+    def encode(self, value: int) -> str:
+        return delta_encode(value)
+
+    def decode(self, bits: str) -> Tuple[int, int]:
+        return delta_decode(bits)
+
+    def codeword_length(self, value: int) -> int:
+        if value < 1:
+            raise ValueError(f"delta code is defined for positive integers, got {value!r}")
+        body = floor_log2(value) + 1
+        return (body - 1) + 2 * floor_log2(body) + 1
+
+
+# ---------------------------------------------------------------------------
+# Elias omega
+# ---------------------------------------------------------------------------
+
+def _omega_re(value: int) -> str:
+    """The recursive part ``re(i)`` of the omega code (Definition B.1)."""
+    if value <= 1:
+        return ""
+    body = binary_representation(value)
+    return _omega_re(len(body) - 1) + body
+
+
+def omega_encode(value: int) -> str:
+    """Elias omega code ``ω(i) = re(i) ◦ '0'`` of ``value >= 1``.
+
+    Examples (matching the paper's Appendix B): ``ω(1) = '0'``,
+    ``ω(9) = '1110010'`` (written ``11 1001 0``).
+    """
+    if value < 1:
+        raise ValueError(f"omega code is defined for positive integers, got {value!r}")
+    return _omega_re(value) + "0"
+
+
+def omega_decode(bits: str) -> Tuple[int, int]:
+    """Decode one omega codeword from the start of ``bits`` -> ``(value, consumed)``.
+
+    Standard omega decoding: start with ``n = 1``; while the next bit is '1',
+    read ``n + 1`` bits as the new ``n``; a '0' bit terminates.
+    """
+    value = 1
+    pos = 0
+    while True:
+        if pos >= len(bits):
+            raise DecodeError("truncated Elias omega codeword")
+        if bits[pos] == "0":
+            return value, pos + 1
+        group_len = value + 1
+        if pos + group_len > len(bits):
+            raise DecodeError("truncated Elias omega codeword group")
+        value = int(bits[pos : pos + group_len], 2)
+        pos += group_len
+
+
+def omega_length(value: int) -> int:
+    """Exact bit length of ``omega_encode(value)`` without building the string.
+
+    Matches :func:`repro.core.phi.rho_ceil`.
+    """
+    if value < 1:
+        raise ValueError(f"omega code is defined for positive integers, got {value!r}")
+    length = 1  # terminating '0'
+    current = value
+    while current > 1:
+        bits = current.bit_length()
+        length += bits
+        current = bits - 1
+    return length
+
+
+class EliasOmegaCode(PrefixFreeCode):
+    """Elias omega code — the code used by the paper's Theorem 4.2 scheduler."""
+
+    name = "elias-omega"
+
+    def encode(self, value: int) -> str:
+        return omega_encode(value)
+
+    def decode(self, bits: str) -> Tuple[int, int]:
+        return omega_decode(bits)
+
+    def codeword_length(self, value: int) -> int:
+        return omega_length(value)

@@ -1,0 +1,193 @@
+"""Prefix-free code interface, Kraft-inequality checks and codeword tables.
+
+A *prefix-free* (instantaneous) code maps integers to bit strings such that
+no codeword is a prefix of another.  The paper's Section 4 scheduler uses
+exactly this property: when holiday ``i``'s binary representation is read
+from the least-significant bit, at most one codeword can match as a prefix,
+hence at most one color is made happy per holiday and the set of happy nodes
+is an independent set for any legal coloring.
+
+The abstract base class :class:`PrefixFreeCode` defines ``encode``,
+``decode`` and ``codeword_length`` plus generic stream-decoding,
+Kraft-inequality and prefix-freeness verification helpers that concrete
+codes (Elias gamma/delta/omega, unary, Golomb/Rice) inherit.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+from repro.coding.bits import is_bitstring
+
+__all__ = [
+    "PrefixFreeCode",
+    "CodewordTable",
+    "is_prefix_free",
+    "kraft_sum",
+    "verify_prefix_free",
+    "DecodeError",
+]
+
+
+class DecodeError(ValueError):
+    """Raised when a bit stream cannot be parsed as a codeword sequence."""
+
+
+def is_prefix_free(codewords: Iterable[str]) -> bool:
+    """Return True when no codeword in the collection is a prefix of another.
+
+    Duplicate codewords count as violations (a string is trivially a prefix
+    of itself).  The check is ``O(total bits)`` using a binary trie.
+    """
+    root: Dict[str, dict] = {}
+    words = list(codewords)
+    for word in words:
+        if not is_bitstring(word) or word == "":
+            raise ValueError(f"codewords must be non-empty bit strings, got {word!r}")
+    # Insert longer words later so prefix relationships are caught both ways.
+    for word in words:
+        node = root
+        for idx, bit in enumerate(word):
+            if "$" in node:
+                # An existing codeword is a strict prefix of this one.
+                return False
+            node = node.setdefault(bit, {})
+        if node:
+            # This word is a strict prefix of an existing codeword.
+            return False
+        if "$" in node:
+            # Duplicate codeword.
+            return False
+        node["$"] = {}
+    return True
+
+
+def kraft_sum(lengths: Iterable[int]) -> float:
+    """Kraft inequality sum ``Σ 2^{-len}`` over codeword lengths.
+
+    Any prefix-free binary code satisfies ``kraft_sum <= 1``; this is the
+    coding-theory twin of the paper's Theorem 4.1 constraint
+    ``Σ_c 1/f(c) <= 1`` (with ``f(c) = 2^{len(code(c))}``).
+    """
+    total = 0.0
+    for length in lengths:
+        if length < 1:
+            raise ValueError(f"codeword lengths must be >= 1, got {length!r}")
+        total += 2.0 ** (-length)
+    return total
+
+
+@dataclass
+class CodewordTable:
+    """A finite explicit prefix-free code given by a ``{value: codeword}`` mapping.
+
+    Useful in tests (hand-built adversarial codes) and for representing the
+    finite slice of an infinite universal code actually used by a schedule.
+    """
+
+    mapping: Dict[int, str] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        for value, word in self.mapping.items():
+            if value < 1:
+                raise ValueError(f"coded values must be positive integers, got {value!r}")
+            if not is_bitstring(word) or word == "":
+                raise ValueError(f"codeword for {value} must be a non-empty bit string")
+
+    def codeword(self, value: int) -> str:
+        """Return the codeword of ``value`` (KeyError when absent)."""
+        return self.mapping[value]
+
+    def lengths(self) -> Dict[int, int]:
+        """Return ``{value: codeword length}``."""
+        return {value: len(word) for value, word in self.mapping.items()}
+
+    def is_prefix_free(self) -> bool:
+        """Check prefix-freeness of the stored codewords."""
+        return is_prefix_free(self.mapping.values())
+
+    def kraft(self) -> float:
+        """Kraft sum of the stored codewords."""
+        return kraft_sum(len(word) for word in self.mapping.values())
+
+    def inverse(self) -> Dict[str, int]:
+        """Return ``{codeword: value}`` (raises on duplicate codewords)."""
+        inv: Dict[str, int] = {}
+        for value, word in self.mapping.items():
+            if word in inv:
+                raise ValueError(f"duplicate codeword {word!r} for {inv[word]} and {value}")
+            inv[word] = value
+        return inv
+
+
+class PrefixFreeCode(ABC):
+    """Abstract interface for a universal prefix-free code over positive integers."""
+
+    #: human-readable name used in benchmark tables
+    name: str = "prefix-free"
+
+    @abstractmethod
+    def encode(self, value: int) -> str:
+        """Return the codeword (a bit string) of ``value >= 1``."""
+
+    @abstractmethod
+    def decode(self, bits: str) -> Tuple[int, int]:
+        """Decode one codeword from the *start* of ``bits``.
+
+        Returns ``(value, consumed_bits)``.  Raises :class:`DecodeError` when
+        ``bits`` does not begin with a complete codeword.
+        """
+
+    # -- generic helpers ----------------------------------------------------------
+    def codeword_length(self, value: int) -> int:
+        """Length in bits of ``encode(value)`` (override for O(1) computation)."""
+        return len(self.encode(value))
+
+    def decode_stream(self, bits: str) -> List[int]:
+        """Decode a concatenation of codewords into the list of values."""
+        values: List[int] = []
+        pos = 0
+        while pos < len(bits):
+            value, consumed = self.decode(bits[pos:])
+            if consumed <= 0:
+                raise DecodeError("decoder consumed zero bits; refusing to loop forever")
+            values.append(value)
+            pos += consumed
+        return values
+
+    def encode_stream(self, values: Sequence[int]) -> str:
+        """Concatenate the codewords of ``values``."""
+        return "".join(self.encode(v) for v in values)
+
+    def table(self, max_value: int) -> CodewordTable:
+        """Materialise the first ``max_value`` codewords as a :class:`CodewordTable`."""
+        if max_value < 1:
+            raise ValueError("max_value must be >= 1")
+        return CodewordTable({v: self.encode(v) for v in range(1, max_value + 1)})
+
+    def verify(self, max_value: int) -> None:
+        """Verify prefix-freeness, Kraft inequality and round-trip decoding
+        for values ``1..max_value``; raises AssertionError on failure.
+        """
+        table = self.table(max_value)
+        if not table.is_prefix_free():
+            raise AssertionError(f"{self.name} code is not prefix-free up to {max_value}")
+        if table.kraft() > 1.0 + 1e-12:
+            raise AssertionError(f"{self.name} code violates Kraft inequality up to {max_value}")
+        for value, word in table.mapping.items():
+            decoded, consumed = self.decode(word)
+            if decoded != value or consumed != len(word):
+                raise AssertionError(
+                    f"{self.name} round-trip failed for {value}: got {decoded} ({consumed} bits)"
+                )
+
+
+def verify_prefix_free(code: PrefixFreeCode, max_value: int = 256) -> bool:
+    """Convenience wrapper returning True/False instead of raising."""
+    try:
+        code.verify(max_value)
+    except AssertionError:
+        return False
+    return True

@@ -1,0 +1,93 @@
+"""Unary and Golomb/Rice codes.
+
+These are *not* used by the paper's main construction, but they round out
+the code-vs-period study of benchmark E3: the unary code gives period
+``2^c`` for color ``c`` — exactly the ``f(c) = 2^c`` profile the paper's
+Theorem 4.1 discussion mentions as trivially feasible but far from the
+``φ(c)`` frontier — while Rice codes interpolate between unary and
+binary-block behaviour.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from repro.coding.bits import bits_from_int
+from repro.coding.prefix_free import DecodeError, PrefixFreeCode
+
+__all__ = ["UnaryCode", "GolombRiceCode", "unary_encode", "unary_decode"]
+
+
+def unary_encode(value: int) -> str:
+    """Unary code of ``value >= 1``: ``value - 1`` ones followed by a zero."""
+    if value < 1:
+        raise ValueError(f"unary code is defined for positive integers, got {value!r}")
+    return "1" * (value - 1) + "0"
+
+
+def unary_decode(bits: str) -> Tuple[int, int]:
+    """Decode one unary codeword from the start of ``bits`` -> ``(value, consumed)``."""
+    ones = 0
+    while ones < len(bits) and bits[ones] == "1":
+        ones += 1
+    if ones >= len(bits):
+        raise DecodeError("truncated unary codeword")
+    return ones + 1, ones + 1
+
+
+class UnaryCode(PrefixFreeCode):
+    """Unary code: codeword length equals the value (schedule period ``2^c``)."""
+
+    name = "unary"
+
+    def encode(self, value: int) -> str:
+        return unary_encode(value)
+
+    def decode(self, bits: str) -> Tuple[int, int]:
+        return unary_decode(bits)
+
+    def codeword_length(self, value: int) -> int:
+        if value < 1:
+            raise ValueError(f"unary code is defined for positive integers, got {value!r}")
+        return value
+
+
+class GolombRiceCode(PrefixFreeCode):
+    """Rice code with divisor ``2^k``: unary quotient then ``k`` binary remainder bits.
+
+    ``k = 0`` degenerates to the plain unary code.
+    """
+
+    def __init__(self, k: int = 2) -> None:
+        if k < 0:
+            raise ValueError(f"Rice parameter k must be non-negative, got {k!r}")
+        self.k = k
+        self.name = f"rice-{k}"
+
+    def encode(self, value: int) -> str:
+        if value < 1:
+            raise ValueError(f"Rice code is defined for positive integers, got {value!r}")
+        shifted = value - 1
+        quotient = shifted >> self.k
+        remainder = shifted & ((1 << self.k) - 1)
+        prefix = "1" * quotient + "0"
+        if self.k == 0:
+            return prefix
+        return prefix + bits_from_int(remainder, width=self.k)
+
+    def decode(self, bits: str) -> Tuple[int, int]:
+        ones = 0
+        while ones < len(bits) and bits[ones] == "1":
+            ones += 1
+        if ones >= len(bits):
+            raise DecodeError("truncated Rice codeword (no terminator)")
+        consumed = ones + 1 + self.k
+        if len(bits) < consumed:
+            raise DecodeError("truncated Rice codeword (missing remainder)")
+        remainder = int(bits[ones + 1 : consumed], 2) if self.k else 0
+        return (ones << self.k) + remainder + 1, consumed
+
+    def codeword_length(self, value: int) -> int:
+        if value < 1:
+            raise ValueError(f"Rice code is defined for positive integers, got {value!r}")
+        return ((value - 1) >> self.k) + 1 + self.k

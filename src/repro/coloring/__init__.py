@@ -1,0 +1,53 @@
+"""Graph-coloring substrate.
+
+Both periodic schedulers of the paper start from a coloring:
+
+* Section 4 works for *any* legal coloring (the better the coloring, the
+  better the period bound, since the period depends only on the color);
+* Section 5 needs the special *modular slot assignment* obtained by
+  coloring nodes in decreasing degree order with palettes restricted modulo
+  powers of two;
+* Section 3's Phased Greedy scheduler bootstraps from a (deg+1)-coloring
+  obtained distributively (the paper uses BEPS as a black box — our
+  randomized LOCAL-model stand-in lives in
+  :mod:`repro.coloring.distributed`).
+"""
+
+from repro.coloring.base import (
+    Coloring,
+    color_classes,
+    greedy_color_for,
+    is_legal_coloring,
+    max_color,
+    verify_coloring,
+)
+from repro.coloring.greedy import (
+    greedy_coloring,
+    degree_descending_coloring,
+    smallest_last_coloring,
+)
+from repro.coloring.dsatur import dsatur_coloring
+from repro.coloring.distributed import DistributedColoringProcess, distributed_deg_plus_one_coloring
+from repro.coloring.slot_assignment import (
+    ModularSlotAssignment,
+    distributed_slot_assignment,
+    sequential_slot_assignment,
+)
+
+__all__ = [
+    "Coloring",
+    "color_classes",
+    "greedy_color_for",
+    "is_legal_coloring",
+    "max_color",
+    "verify_coloring",
+    "greedy_coloring",
+    "degree_descending_coloring",
+    "smallest_last_coloring",
+    "dsatur_coloring",
+    "DistributedColoringProcess",
+    "distributed_deg_plus_one_coloring",
+    "ModularSlotAssignment",
+    "sequential_slot_assignment",
+    "distributed_slot_assignment",
+]

@@ -1,0 +1,61 @@
+"""DSATUR (degree of saturation) coloring heuristic.
+
+DSATUR (Brélaz, 1979) colors the node with the largest number of distinct
+colors among its neighbors first, breaking ties by degree.  It is optimal on
+bipartite graphs (2 colors) and generally uses noticeably fewer colors than
+plain greedy on random graphs, which makes it the strongest coloring we feed
+to the Section 4 color-bound scheduler in the benchmark comparison (a better
+coloring means smaller colors, hence shorter Elias codewords, hence shorter
+periods).
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Dict, Set
+
+from repro.coloring.base import Coloring
+from repro.core.problem import ConflictGraph, Node
+
+__all__ = ["dsatur_coloring"]
+
+
+def dsatur_coloring(graph: ConflictGraph) -> Coloring:
+    """Color ``graph`` with the DSATUR heuristic.
+
+    Runs in ``O((n + m) log n)`` using a lazy-deletion heap keyed by
+    (saturation, degree).
+    """
+    nodes = graph.nodes()
+    if not nodes:
+        return Coloring(graph=graph, colors={}, algorithm="dsatur")
+
+    colors: Dict[Node, int] = {}
+    saturation: Dict[Node, Set[int]] = {p: set() for p in nodes}
+    degrees = graph.degrees()
+
+    # Max-heap via negated keys; entries may be stale (lazy deletion).
+    heap = [(-0, -degrees[p], graph.index_of(p), p) for p in nodes]
+    heapq.heapify(heap)
+
+    while heap:
+        neg_sat, neg_deg, _, p = heapq.heappop(heap)
+        if p in colors:
+            continue
+        if -neg_sat != len(saturation[p]):
+            # Stale entry: the node's saturation changed since it was pushed.
+            heapq.heappush(heap, (-len(saturation[p]), neg_deg, graph.index_of(p), p))
+            continue
+        forbidden = saturation[p]
+        color = 1
+        while color in forbidden:
+            color += 1
+        colors[p] = color
+        for q in graph.neighbors(p):
+            if q in colors:
+                continue
+            if color not in saturation[q]:
+                saturation[q].add(color)
+                heapq.heappush(heap, (-len(saturation[q]), -degrees[q], graph.index_of(q), q))
+
+    return Coloring(graph=graph, colors=colors, algorithm="dsatur")

@@ -1,0 +1,212 @@
+"""Schedule validation and bound certification.
+
+Three levels of checking are provided:
+
+1. **Legality** — every holiday's happy set is an independent set of the
+   conflict graph and only mentions known nodes
+   (:func:`check_independent_sets`).
+2. **Bound certification** — every node's measured ``mul`` is within a
+   claimed per-node bound such as ``deg(p)+1`` or ``2^{⌈log(d+1)⌉}``
+   (:func:`certify_local_bound`), which is how the benchmark harness turns
+   the paper's theorems into pass/fail assertions.
+3. **Periodicity certification** — a schedule that claims to be perfectly
+   periodic indeed shows a constant inter-appearance gap equal to the
+   advertised period for every node (:func:`certify_periodicity`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.core.metrics import HappinessTrace, ScheduleLike, materialize
+from repro.core.problem import ConflictGraph, Node
+from repro.core.schedule import Schedule
+
+__all__ = [
+    "Violation",
+    "ValidationReport",
+    "check_independent_sets",
+    "certify_local_bound",
+    "certify_periodicity",
+    "validate_schedule",
+]
+
+
+@dataclass(frozen=True)
+class Violation:
+    """A single validation failure."""
+
+    kind: str
+    node: Optional[Node]
+    holiday: Optional[int]
+    detail: str
+
+    def __str__(self) -> str:  # pragma: no cover - human-facing formatting
+        parts = [self.kind]
+        if self.node is not None:
+            parts.append(f"node={self.node!r}")
+        if self.holiday is not None:
+            parts.append(f"holiday={self.holiday}")
+        parts.append(self.detail)
+        return " ".join(parts)
+
+
+@dataclass
+class ValidationReport:
+    """Outcome of a validation run: a (possibly empty) list of violations."""
+
+    checked_holidays: int
+    violations: List[Violation] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        """True when no violations were found."""
+        return not self.violations
+
+    def raise_if_failed(self) -> None:
+        """Raise :class:`AssertionError` summarising the violations, if any."""
+        if self.violations:
+            lines = "\n".join(str(v) for v in self.violations[:20])
+            more = "" if len(self.violations) <= 20 else f"\n... and {len(self.violations) - 20} more"
+            raise AssertionError(
+                f"schedule validation failed with {len(self.violations)} violation(s):\n{lines}{more}"
+            )
+
+    def merge(self, other: "ValidationReport") -> "ValidationReport":
+        """Combine two reports (max of horizons, concatenated violations)."""
+        return ValidationReport(
+            checked_holidays=max(self.checked_holidays, other.checked_holidays),
+            violations=self.violations + other.violations,
+        )
+
+
+def check_independent_sets(
+    schedule: ScheduleLike, graph: ConflictGraph, horizon: int
+) -> ValidationReport:
+    """Verify that every holiday in the prefix schedules an independent set."""
+    sets = materialize(schedule, graph, horizon)
+    report = ValidationReport(checked_holidays=horizon)
+    node_set = set(graph.nodes())
+    for t, happy in enumerate(sets, start=1):
+        unknown = [p for p in happy if p not in node_set]
+        for p in unknown:
+            report.violations.append(
+                Violation("unknown-node", p, t, "scheduled node is not in the conflict graph")
+            )
+        known = [p for p in happy if p in node_set]
+        if not graph.is_independent_set(known):
+            offending = _find_adjacent_pair(graph, known)
+            report.violations.append(
+                Violation(
+                    "not-independent",
+                    None,
+                    t,
+                    f"adjacent nodes scheduled together: {offending!r}",
+                )
+            )
+    return report
+
+
+def _find_adjacent_pair(graph: ConflictGraph, nodes: Sequence[Node]) -> Optional[Tuple[Node, Node]]:
+    selected = set(nodes)
+    for p in nodes:
+        for q in graph.neighbors(p):
+            if q in selected:
+                return (p, q)
+    return None
+
+
+def certify_local_bound(
+    schedule: ScheduleLike,
+    graph: ConflictGraph,
+    horizon: int,
+    bound: Callable[[Node], float] | Mapping[Node, float],
+    bound_name: str = "bound",
+    skip_isolated: bool = False,
+) -> ValidationReport:
+    """Check ``mul(p) <= bound(p)`` for every node over the given horizon.
+
+    ``bound`` may be a callable ``node -> value`` or a precomputed mapping.
+    ``skip_isolated`` excludes degree-0 nodes (some schedulers legitimately
+    never schedule nodes with no conflicts because they can host every
+    holiday without coordination; the paper's guarantees are stated for
+    nodes that actually have in-laws).
+    """
+    trace = HappinessTrace.from_schedule(schedule, graph, horizon)
+    report = ValidationReport(checked_holidays=horizon)
+    for p in graph.nodes():
+        if skip_isolated and graph.degree(p) == 0:
+            continue
+        limit = bound[p] if isinstance(bound, Mapping) else bound(p)
+        measured = trace.mul(p)
+        if measured > limit:
+            report.violations.append(
+                Violation(
+                    "bound-exceeded",
+                    p,
+                    None,
+                    f"mul={measured} exceeds {bound_name}={limit} (degree {graph.degree(p)})",
+                )
+            )
+    return report
+
+
+def certify_periodicity(
+    schedule: Schedule,
+    horizon: int,
+    require_advertised: bool = True,
+) -> ValidationReport:
+    """Check that a schedule claiming periodicity really is perfectly periodic.
+
+    For every node with at least two appearances in the horizon the
+    inter-appearance gap must be constant; when ``require_advertised`` and
+    the schedule advertises :meth:`~repro.core.schedule.Schedule.node_period`,
+    the observed period must also equal the advertised one.
+    """
+    graph = schedule.graph
+    trace = HappinessTrace.from_schedule(schedule, graph, horizon)
+    report = ValidationReport(checked_holidays=horizon)
+    for p in graph.nodes():
+        diffs = trace.inter_appearance_gaps(p)
+        if not diffs:
+            continue
+        if len(set(diffs)) != 1:
+            report.violations.append(
+                Violation("aperiodic", p, None, f"inter-appearance gaps vary: {sorted(set(diffs))}")
+            )
+            continue
+        if require_advertised and schedule.is_periodic():
+            advertised = schedule.node_period(p)
+            if advertised is not None and diffs[0] != advertised:
+                report.violations.append(
+                    Violation(
+                        "period-mismatch",
+                        p,
+                        None,
+                        f"observed period {diffs[0]} != advertised {advertised}",
+                    )
+                )
+    return report
+
+
+def validate_schedule(
+    schedule: ScheduleLike,
+    graph: ConflictGraph,
+    horizon: int,
+    bound: Callable[[Node], float] | Mapping[Node, float] | None = None,
+    bound_name: str = "bound",
+    check_periodic: bool = False,
+    skip_isolated: bool = False,
+) -> ValidationReport:
+    """Run legality + optional bound + optional periodicity checks in one call."""
+    report = check_independent_sets(schedule, graph, horizon)
+    if bound is not None:
+        report = report.merge(
+            certify_local_bound(
+                schedule, graph, horizon, bound, bound_name=bound_name, skip_isolated=skip_isolated
+            )
+        )
+    if check_periodic and isinstance(schedule, Schedule):
+        report = report.merge(certify_periodicity(schedule, horizon))
+    return report

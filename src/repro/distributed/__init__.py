@@ -1,0 +1,30 @@
+"""A synchronous LOCAL-model message-passing simulator.
+
+The paper's algorithms are distributed by nature (Section 1.1, "Distributed"):
+parents are processes in a network whose topology *is* the conflict graph,
+computation proceeds in synchronous rounds, and in each round a node may send
+a message to each neighbor and update its local state based on the messages
+it received.  This is Linial's LOCAL model.
+
+The paper uses the BEPS distributed coloring algorithm as a black box for its
+initialisation steps; this package provides the simulation substrate on which
+our stand-in coloring algorithm (:mod:`repro.coloring.distributed`) and the
+distributed schedulers run, with full accounting of rounds, messages and bits
+so the E6 benchmark can report communication costs.
+"""
+
+from repro.distributed.messages import Message
+from repro.distributed.node import NodeContext, NodeProcess
+from repro.distributed.network import Network
+from repro.distributed.simulator import SimulationResult, SyncSimulator
+from repro.distributed.stats import RoundStats
+
+__all__ = [
+    "Message",
+    "NodeContext",
+    "NodeProcess",
+    "Network",
+    "SyncSimulator",
+    "SimulationResult",
+    "RoundStats",
+]

@@ -1,0 +1,57 @@
+"""Message objects exchanged by simulated nodes.
+
+Messages are tiny frozen dataclasses; the payload is an arbitrary picklable
+Python object whose "size" is estimated in bits for the communication-cost
+statistics (E6).  The estimate is intentionally simple — integers count
+their bit length, strings count 8 bits per character, containers sum their
+elements — because the paper's lightweight/heavyweight distinction is about
+orders of magnitude (a color vs. the whole topology), not exact byte counts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Hashable
+
+__all__ = ["Message", "payload_bits"]
+
+
+def payload_bits(payload: Any) -> int:
+    """Rough size of ``payload`` in bits (see module docstring for the convention)."""
+    if payload is None:
+        return 1
+    if isinstance(payload, bool):
+        return 1
+    if isinstance(payload, int):
+        return max(payload.bit_length(), 1)
+    if isinstance(payload, float):
+        return 64
+    if isinstance(payload, str):
+        return 8 * len(payload)
+    if isinstance(payload, (list, tuple, set, frozenset)):
+        return sum(payload_bits(item) for item in payload) + 1
+    if isinstance(payload, dict):
+        return sum(payload_bits(k) + payload_bits(v) for k, v in payload.items()) + 1
+    # Fallback: charge a flat word for opaque objects.
+    return 64
+
+
+@dataclass(frozen=True)
+class Message:
+    """A single message delivered at the *start of the next round*.
+
+    Attributes:
+        sender: node id of the sender.
+        receiver: node id of the receiver (must be a neighbor of the sender).
+        round_sent: round index in which the message was produced.
+        payload: arbitrary content.
+    """
+
+    sender: Hashable
+    receiver: Hashable
+    round_sent: int
+    payload: Any
+
+    def size_bits(self) -> int:
+        """Estimated payload size in bits (headers are not charged)."""
+        return payload_bits(self.payload)

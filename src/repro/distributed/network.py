@@ -1,0 +1,51 @@
+"""Network topology adapter.
+
+A :class:`Network` binds a :class:`~repro.core.problem.ConflictGraph` to the
+simulator: it owns the adjacency used for message routing and the per-node
+random streams.  Keeping it separate from the simulator makes it easy to run
+several algorithms (coloring, then scheduling) over the same topology with
+independent randomness.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, List
+
+from repro.core.problem import ConflictGraph, Node
+from repro.utils.rng import RngStream
+
+__all__ = ["Network"]
+
+
+class Network:
+    """A static topology plus per-node RNG streams."""
+
+    def __init__(self, graph: ConflictGraph, seed: int = 0) -> None:
+        self.graph = graph
+        self.seed = seed
+        self._root = RngStream(seed, ("network", graph.name))
+        self._streams: Dict[Node, RngStream] = {}
+
+    def nodes(self) -> List[Node]:
+        """All node identifiers in deterministic order."""
+        return self.graph.nodes()
+
+    def neighbors(self, node: Node) -> List[Node]:
+        """Neighbors of ``node``."""
+        return self.graph.neighbors(node)
+
+    def degree(self, node: Node) -> int:
+        """Degree of ``node``."""
+        return self.graph.degree(node)
+
+    def rng_for(self, node: Node) -> RngStream:
+        """The private random stream of ``node`` (created lazily, cached)."""
+        if node not in self._streams:
+            self._streams[node] = self._root.child("node", node)
+        return self._streams[node]
+
+    def reseed(self, seed: int) -> None:
+        """Reset all node streams with a new seed (used between algorithm phases)."""
+        self.seed = seed
+        self._root = RngStream(seed, ("network", self.graph.name))
+        self._streams.clear()

@@ -1,0 +1,88 @@
+"""Node process abstraction for the LOCAL-model simulator.
+
+A :class:`NodeProcess` implements the per-node program: it is given a
+:class:`NodeContext` (its identity, neighbor list, a private random stream
+and a send function) and reacts to rounds.  The contract is:
+
+* :meth:`NodeProcess.on_start` runs once before round 1 and may send
+  messages that will be delivered at the start of round 1;
+* :meth:`NodeProcess.on_round` runs every round with the messages delivered
+  this round and may send messages for the next round;
+* a node signals local termination by calling :meth:`NodeContext.halt`;
+  halted nodes stop being scheduled but still receive (and silently drop)
+  late messages, matching the usual LOCAL-model convention that termination
+  is local.
+
+Nodes only ever see their neighbors' identifiers — any global information
+must be learned through messages, which keeps the simulated algorithms
+honestly distributed.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Any, Callable, Hashable, List, Sequence
+
+from repro.distributed.messages import Message
+from repro.utils.rng import RngStream
+
+__all__ = ["NodeContext", "NodeProcess"]
+
+
+class NodeContext:
+    """Runtime context handed to a node program each round."""
+
+    __slots__ = ("node", "neighbors", "rng", "_send", "_halt", "round_index")
+
+    def __init__(
+        self,
+        node: Hashable,
+        neighbors: Sequence[Hashable],
+        rng: RngStream,
+        send: Callable[[Hashable, Any], None],
+        halt: Callable[[], None],
+    ) -> None:
+        self.node = node
+        self.neighbors = list(neighbors)
+        self.rng = rng
+        self._send = send
+        self._halt = halt
+        self.round_index = 0
+
+    @property
+    def degree(self) -> int:
+        """Number of neighbors of this node."""
+        return len(self.neighbors)
+
+    def send(self, neighbor: Hashable, payload: Any) -> None:
+        """Queue a message to ``neighbor`` for delivery at the next round."""
+        if neighbor not in self.neighbors:
+            raise ValueError(
+                f"node {self.node!r} tried to message non-neighbor {neighbor!r} "
+                "(the LOCAL model only allows edge-wise communication)"
+            )
+        self._send(neighbor, payload)
+
+    def broadcast(self, payload: Any) -> None:
+        """Send the same payload to every neighbor."""
+        for neighbor in self.neighbors:
+            self._send(neighbor, payload)
+
+    def halt(self) -> None:
+        """Locally terminate this node (it will not be scheduled again)."""
+        self._halt()
+
+
+class NodeProcess(ABC):
+    """Base class for per-node programs run by :class:`~repro.distributed.simulator.SyncSimulator`."""
+
+    def on_start(self, ctx: NodeContext) -> None:
+        """Hook executed once before the first round (default: no-op)."""
+
+    @abstractmethod
+    def on_round(self, ctx: NodeContext, inbox: List[Message]) -> None:
+        """Process the messages delivered this round and optionally send new ones."""
+
+    def result(self) -> Any:
+        """Value collected by the simulator after the node halts (default: None)."""
+        return None

@@ -1,0 +1,72 @@
+"""Communication-cost accounting for simulated runs.
+
+The paper's "lightweight" requirement is about how much communication and
+local state a schedule needs; :class:`RoundStats` records rounds executed,
+messages delivered and total payload bits so the E6 benchmark can compare
+the one-off cost of the periodic schedulers' initialisation against the
+per-holiday cost of the Phased Greedy scheduler.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Hashable, List
+
+__all__ = ["RoundStats"]
+
+
+@dataclass
+class RoundStats:
+    """Aggregated statistics of one simulation run."""
+
+    rounds: int = 0
+    messages: int = 0
+    bits: int = 0
+    messages_per_round: List[int] = field(default_factory=list)
+    messages_by_node: Dict[Hashable, int] = field(default_factory=dict)
+
+    def record_round(self, delivered: int, delivered_bits: int) -> None:
+        """Record one completed round with its delivered message count and bits."""
+        self.rounds += 1
+        self.messages += delivered
+        self.bits += delivered_bits
+        self.messages_per_round.append(delivered)
+
+    def record_sender(self, node: Hashable, count: int = 1) -> None:
+        """Attribute ``count`` sent messages to ``node``."""
+        self.messages_by_node[node] = self.messages_by_node.get(node, 0) + count
+
+    @property
+    def mean_messages_per_round(self) -> float:
+        """Average number of messages delivered per round."""
+        if not self.messages_per_round:
+            return 0.0
+        return sum(self.messages_per_round) / len(self.messages_per_round)
+
+    @property
+    def max_messages_by_node(self) -> int:
+        """The heaviest single node's total sent-message count."""
+        return max(self.messages_by_node.values(), default=0)
+
+    def summary(self) -> Dict[str, float]:
+        """Flat dictionary for table rows."""
+        return {
+            "rounds": float(self.rounds),
+            "messages": float(self.messages),
+            "bits": float(self.bits),
+            "mean_msgs_per_round": self.mean_messages_per_round,
+            "max_msgs_one_node": float(self.max_messages_by_node),
+        }
+
+    def merge(self, other: "RoundStats") -> "RoundStats":
+        """Combine two runs (e.g. the phases of the Section 5 algorithm)."""
+        merged = RoundStats(
+            rounds=self.rounds + other.rounds,
+            messages=self.messages + other.messages,
+            bits=self.bits + other.bits,
+            messages_per_round=self.messages_per_round + other.messages_per_round,
+            messages_by_node=dict(self.messages_by_node),
+        )
+        for node, count in other.messages_by_node.items():
+            merged.messages_by_node[node] = merged.messages_by_node.get(node, 0) + count
+        return merged

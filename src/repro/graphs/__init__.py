@@ -1,0 +1,56 @@
+"""Workload generators: conflict-graph families used by tests and benchmarks.
+
+Three kinds of generators are provided:
+
+* deterministic structured families (cliques, paths, cycles, stars, trees,
+  complete bipartite graphs, grids) in :mod:`repro.graphs.families` — these
+  exercise the extreme cases of the paper's analysis (the clique is the
+  ``deg+1`` lower-bound instance, the bipartite graph is the "two groups"
+  best case of the introduction);
+* random graph models (Erdős–Rényi, Barabási–Albert power-law, random
+  regular, Watts–Strogatz) in :mod:`repro.graphs.random_graphs`;
+* the "marriage society" generator in :mod:`repro.graphs.society`, which
+  builds conflict graphs from an explicit families-and-children story
+  matching the paper's motivation.
+"""
+
+from repro.graphs.families import (
+    clique,
+    complete_bipartite,
+    cycle,
+    empty_graph,
+    grid,
+    path,
+    star,
+    random_tree,
+)
+from repro.graphs.random_graphs import (
+    barabasi_albert,
+    erdos_renyi,
+    gnm_random,
+    random_regular,
+    watts_strogatz,
+)
+from repro.graphs.society import Family, Society, random_society
+from repro.graphs.suites import benchmark_suite, small_suite
+
+__all__ = [
+    "clique",
+    "complete_bipartite",
+    "cycle",
+    "empty_graph",
+    "grid",
+    "path",
+    "star",
+    "random_tree",
+    "erdos_renyi",
+    "gnm_random",
+    "barabasi_albert",
+    "random_regular",
+    "watts_strogatz",
+    "Family",
+    "Society",
+    "random_society",
+    "benchmark_suite",
+    "small_suite",
+]

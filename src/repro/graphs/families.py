@@ -1,0 +1,113 @@
+"""Deterministic structured conflict-graph families.
+
+These cover the instances the paper reasons about explicitly:
+
+* the **clique** ``K_n`` — the instance showing no schedule can beat
+  ``deg(p) + 1`` (every holiday at most one parent of the clique hosts);
+* the **complete bipartite** graph — the "two groups, alternate years" best
+  case from the introduction where every parent hosts every 2 years
+  regardless of degree;
+* **stars** — one high-degree hub with many leaves, the motivating example
+  for local (degree-dependent) bounds instead of ``Δ+1``;
+* paths, cycles, trees and grids as generic sparse topologies.
+"""
+
+from __future__ import annotations
+
+import networkx as nx
+
+from repro.core.problem import ConflictGraph
+from repro.utils.rng import RngStream
+
+__all__ = [
+    "empty_graph",
+    "clique",
+    "path",
+    "cycle",
+    "star",
+    "complete_bipartite",
+    "grid",
+    "random_tree",
+]
+
+
+def empty_graph(n: int, name: str | None = None) -> ConflictGraph:
+    """``n`` isolated families — no conflicts at all (everyone hosts every year)."""
+    if n < 0:
+        raise ValueError("n must be non-negative")
+    return ConflictGraph(nodes=range(n), name=name or f"empty-{n}")
+
+
+def clique(n: int, name: str | None = None) -> ConflictGraph:
+    """The complete graph ``K_n``: every pair of families are in-laws.
+
+    The paper's tight instance: at most one family can be happy per holiday,
+    so no schedule gives any node a gap better than ``n = deg + 1``.
+    """
+    if n < 1:
+        raise ValueError("clique requires n >= 1")
+    return ConflictGraph.from_networkx(nx.complete_graph(n), name=name or f"clique-{n}")
+
+
+def path(n: int, name: str | None = None) -> ConflictGraph:
+    """The path ``P_n`` on ``n`` nodes."""
+    if n < 1:
+        raise ValueError("path requires n >= 1")
+    return ConflictGraph.from_networkx(nx.path_graph(n), name=name or f"path-{n}")
+
+
+def cycle(n: int, name: str | None = None) -> ConflictGraph:
+    """The cycle ``C_n`` (requires ``n >= 3``)."""
+    if n < 3:
+        raise ValueError("cycle requires n >= 3")
+    return ConflictGraph.from_networkx(nx.cycle_graph(n), name=name or f"cycle-{n}")
+
+
+def star(leaves: int, name: str | None = None) -> ConflictGraph:
+    """A star: one hub family with ``leaves`` in-law families.
+
+    The hub has degree ``leaves`` while every leaf has degree 1 — the
+    canonical example where ``Δ+1`` scheduling is unfair to the leaves.
+    """
+    if leaves < 0:
+        raise ValueError("leaves must be non-negative")
+    return ConflictGraph.from_networkx(nx.star_graph(leaves), name=name or f"star-{leaves}")
+
+
+def complete_bipartite(a: int, b: int, name: str | None = None) -> ConflictGraph:
+    """The complete bipartite graph ``K_{a,b}``: the "group A / group B" example.
+
+    Two-colorable, so the color-bound schedulers give every node a period of
+    at most 4 (and the idealised alternating schedule gives 2), independent
+    of the degrees ``a`` and ``b``.
+    """
+    if a < 1 or b < 1:
+        raise ValueError("both sides of the bipartition must be non-empty")
+    return ConflictGraph.from_networkx(
+        nx.complete_bipartite_graph(a, b), name=name or f"bipartite-{a}x{b}"
+    )
+
+
+def grid(rows: int, cols: int, name: str | None = None) -> ConflictGraph:
+    """A 2D grid graph (max degree 4) — a stand-in for planar radio layouts."""
+    if rows < 1 or cols < 1:
+        raise ValueError("grid dimensions must be positive")
+    g = nx.grid_2d_graph(rows, cols)
+    # Relabel tuple nodes to integers for cheaper hashing downstream.
+    mapping = {node: i for i, node in enumerate(sorted(g.nodes()))}
+    g = nx.relabel_nodes(g, mapping)
+    return ConflictGraph.from_networkx(g, name=name or f"grid-{rows}x{cols}")
+
+
+def random_tree(n: int, seed: int = 0, name: str | None = None) -> ConflictGraph:
+    """A uniformly random labelled tree on ``n`` nodes (via a random Prüfer sequence)."""
+    if n < 1:
+        raise ValueError("tree requires n >= 1")
+    if n == 1:
+        return ConflictGraph(nodes=[0], name=name or "tree-1")
+    if n == 2:
+        return ConflictGraph(edges=[(0, 1)], name=name or "tree-2")
+    rng = RngStream(seed, ("tree", n))
+    prufer = [int(rng.integers(0, n)) for _ in range(n - 2)]
+    g = nx.from_prufer_sequence(prufer)
+    return ConflictGraph.from_networkx(g, name=name or f"tree-{n}")

@@ -1,0 +1,88 @@
+"""Random conflict-graph models.
+
+All generators take an explicit ``seed`` and funnel it through
+:class:`repro.utils.rng.RngStream` so that benchmark workloads are exactly
+reproducible.  Where networkx provides the underlying sampler we pass it a
+seed derived from the same stream.
+"""
+
+from __future__ import annotations
+
+import networkx as nx
+
+from repro.core.problem import ConflictGraph
+from repro.utils.rng import derive_seed
+
+__all__ = [
+    "erdos_renyi",
+    "gnm_random",
+    "barabasi_albert",
+    "random_regular",
+    "watts_strogatz",
+]
+
+
+def _nx_seed(seed: int, *labels) -> int:
+    """A 32-bit seed for networkx samplers, derived deterministically."""
+    return derive_seed(seed, *labels) % (2**31 - 1)
+
+
+def erdos_renyi(n: int, p: float, seed: int = 0, name: str | None = None) -> ConflictGraph:
+    """Erdős–Rényi ``G(n, p)``: every in-law relation appears independently with probability ``p``."""
+    if n < 0:
+        raise ValueError("n must be non-negative")
+    if not (0.0 <= p <= 1.0):
+        raise ValueError("p must be in [0, 1]")
+    g = nx.gnp_random_graph(n, p, seed=_nx_seed(seed, "gnp", n, p))
+    return ConflictGraph.from_networkx(g, name=name or f"gnp-{n}-{p:g}")
+
+
+def gnm_random(n: int, m: int, seed: int = 0, name: str | None = None) -> ConflictGraph:
+    """Uniform random graph with exactly ``n`` nodes and ``m`` edges."""
+    if n < 0 or m < 0:
+        raise ValueError("n and m must be non-negative")
+    max_edges = n * (n - 1) // 2
+    if m > max_edges:
+        raise ValueError(f"m={m} exceeds the maximum {max_edges} for n={n}")
+    g = nx.gnm_random_graph(n, m, seed=_nx_seed(seed, "gnm", n, m))
+    return ConflictGraph.from_networkx(g, name=name or f"gnm-{n}-{m}")
+
+
+def barabasi_albert(n: int, m: int, seed: int = 0, name: str | None = None) -> ConflictGraph:
+    """Barabási–Albert preferential attachment (power-law degree distribution).
+
+    Produces the skewed-degree societies where degree-local bounds matter
+    most: a few very connected families and many families with one in-law.
+    """
+    if n < 2:
+        raise ValueError("Barabási–Albert requires n >= 2")
+    if not (1 <= m < n):
+        raise ValueError("attachment parameter m must satisfy 1 <= m < n")
+    g = nx.barabasi_albert_graph(n, m, seed=_nx_seed(seed, "ba", n, m))
+    return ConflictGraph.from_networkx(g, name=name or f"ba-{n}-{m}")
+
+
+def random_regular(n: int, d: int, seed: int = 0, name: str | None = None) -> ConflictGraph:
+    """Random ``d``-regular graph (``n·d`` must be even, ``d < n``)."""
+    if d < 0 or n < 1:
+        raise ValueError("n must be >= 1 and d >= 0")
+    if d >= n:
+        raise ValueError("regular degree must be smaller than n")
+    if (n * d) % 2 != 0:
+        raise ValueError("n*d must be even for a d-regular graph to exist")
+    g = nx.random_regular_graph(d, n, seed=_nx_seed(seed, "regular", n, d))
+    return ConflictGraph.from_networkx(g, name=name or f"regular-{n}-{d}")
+
+
+def watts_strogatz(
+    n: int, k: int, p: float, seed: int = 0, name: str | None = None
+) -> ConflictGraph:
+    """Watts–Strogatz small-world graph (ring lattice with rewiring)."""
+    if n < 3:
+        raise ValueError("Watts–Strogatz requires n >= 3")
+    if not (0 <= k < n):
+        raise ValueError("k must satisfy 0 <= k < n")
+    if not (0.0 <= p <= 1.0):
+        raise ValueError("rewiring probability must be in [0, 1]")
+    g = nx.watts_strogatz_graph(n, k, p, seed=_nx_seed(seed, "ws", n, k, p))
+    return ConflictGraph.from_networkx(g, name=name or f"ws-{n}-{k}-{p:g}")

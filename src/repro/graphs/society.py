@@ -1,0 +1,237 @@
+"""The "marriage society" workload generator.
+
+The paper's story has an explicit two-level structure that the plain random
+graph models do not capture: *families* (parent pairs) have *children*, and
+a conflict edge appears when a child of one family is in a relationship with
+a child of another.  This module models that story directly:
+
+* :class:`Family` — a parent pair with a set of children,
+* :class:`Society` — a collection of families plus a list of couples
+  (child, child) across families, from which the conflict graph, the
+  parent–child bipartite graph used by the satisfaction algorithms
+  (Appendix A.3), and dynamic marriage/divorce event streams (Section 6)
+  are all derived.
+
+The random generator :func:`random_society` draws family sizes from a
+configurable distribution and marries children uniformly at random, with a
+"homophily" knob that biases marriages inside community blocks to produce
+clustered conflict graphs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+import networkx as nx
+
+from repro.core.problem import ConflictGraph
+from repro.utils.rng import RngStream
+
+__all__ = ["Family", "Society", "random_society"]
+
+ChildId = Tuple[int, int]  # (family index, child index within family)
+
+
+@dataclass
+class Family:
+    """A parent pair and its children.
+
+    Attributes:
+        index: integer identifier of the family (the conflict-graph node).
+        num_children: number of children of this family.
+        label: optional human-readable name for examples.
+    """
+
+    index: int
+    num_children: int
+    label: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if self.index < 0:
+            raise ValueError("family index must be non-negative")
+        if self.num_children < 0:
+            raise ValueError("a family cannot have a negative number of children")
+
+    def children(self) -> List[ChildId]:
+        """Identifiers of this family's children."""
+        return [(self.index, j) for j in range(self.num_children)]
+
+    @property
+    def name(self) -> str:
+        """Display name (defaults to ``family-<index>``)."""
+        return self.label or f"family-{self.index}"
+
+
+@dataclass
+class Society:
+    """Families plus the couples formed by their children.
+
+    A child can be in at most one couple (monogamy, per the paper); each
+    couple joins two *different* families.  The society is the single source
+    of truth from which every view needed by the reproduction is derived.
+    """
+
+    families: List[Family]
+    couples: List[Tuple[ChildId, ChildId]] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        by_index = {f.index: f for f in self.families}
+        if len(by_index) != len(self.families):
+            raise ValueError("family indices must be unique")
+        self._by_index: Dict[int, Family] = by_index
+        seen: set = set()
+        for a, b in self.couples:
+            self._check_child(a)
+            self._check_child(b)
+            if a[0] == b[0]:
+                raise ValueError(f"couple {a} - {b} joins the same family (siblings)")
+            for child in (a, b):
+                if child in seen:
+                    raise ValueError(f"child {child} appears in more than one couple")
+                seen.add(child)
+
+    def _check_child(self, child: ChildId) -> None:
+        fam, idx = child
+        if fam not in self._by_index:
+            raise ValueError(f"unknown family {fam} in couple")
+        if not (0 <= idx < self._by_index[fam].num_children):
+            raise ValueError(f"family {fam} has no child {idx}")
+
+    # -- derived views -------------------------------------------------------------
+    def family(self, index: int) -> Family:
+        """Look up a family by index."""
+        return self._by_index[index]
+
+    def num_families(self) -> int:
+        """Number of families in the society."""
+        return len(self.families)
+
+    def num_couples(self) -> int:
+        """Number of married couples."""
+        return len(self.couples)
+
+    def conflict_graph(self, name: str = "society") -> ConflictGraph:
+        """The conflict graph: families as nodes, one edge per cross-family couple.
+
+        Multiple couples between the same two families collapse into a single
+        edge (the paper notes this only simplifies the problem).
+        """
+        edges = {(min(a[0], b[0]), max(a[0], b[0])) for a, b in self.couples}
+        return ConflictGraph(
+            edges=sorted(edges), nodes=[f.index for f in self.families], name=name
+        )
+
+    def parent_child_graph(self) -> nx.Graph:
+        """The bipartite parents/children graph of Appendix A.3.
+
+        Nodes are ``("parent", family_index)`` and ``("child", child_id)``;
+        a *married* child is connected to both its own family and its
+        in-law family (it can spend the holiday at either), an unmarried
+        child only to its own family.  Maximum satisfaction is a maximum
+        matching of this graph restricted to married children — unmarried
+        children trivially satisfy their parents.
+        """
+        g = nx.Graph()
+        for fam in self.families:
+            g.add_node(("parent", fam.index), bipartite=0)
+        married: Dict[ChildId, int] = {}
+        for a, b in self.couples:
+            married[a] = b[0]
+            married[b] = a[0]
+        for fam in self.families:
+            for child in fam.children():
+                g.add_node(("child", child), bipartite=1)
+                g.add_edge(("parent", fam.index), ("child", child))
+                if child in married:
+                    g.add_edge(("parent", married[child]), ("child", child))
+        return g
+
+    def marriage_events(
+        self, additional_couples: Sequence[Tuple[ChildId, ChildId]]
+    ) -> "Society":
+        """Return a new society with extra couples (used by the dynamic experiments)."""
+        return Society(families=list(self.families), couples=list(self.couples) + list(additional_couples))
+
+    def unmarried_children(self) -> List[ChildId]:
+        """Children that are not part of any couple."""
+        married = {c for pair in self.couples for c in pair}
+        singles: List[ChildId] = []
+        for fam in self.families:
+            for child in fam.children():
+                if child not in married:
+                    singles.append(child)
+        return singles
+
+    def degree_histogram(self) -> Dict[int, int]:
+        """Histogram of conflict-graph degrees (distinct in-law families per family)."""
+        graph = self.conflict_graph()
+        hist: Dict[int, int] = {}
+        for _, d in graph.degrees().items():
+            hist[d] = hist.get(d, 0) + 1
+        return dict(sorted(hist.items()))
+
+
+def random_society(
+    num_families: int,
+    mean_children: float = 2.5,
+    marriage_fraction: float = 0.7,
+    blocks: int = 1,
+    homophily: float = 0.0,
+    seed: int = 0,
+) -> Society:
+    """Generate a random society.
+
+    Args:
+        num_families: number of parent pairs.
+        mean_children: mean of the (shifted) Poisson family-size distribution;
+            every family has at least one child.
+        marriage_fraction: target fraction of children that end up married.
+        blocks: number of community blocks; families are assigned to blocks
+            round-robin.
+        homophily: probability in ``[0, 1]`` that a marriage is constrained to
+            stay inside the same block (0 = fully mixed society).
+        seed: RNG seed.
+
+    Returns:
+        A :class:`Society` whose conflict graph has ``num_families`` nodes.
+    """
+    if num_families < 1:
+        raise ValueError("a society needs at least one family")
+    if not (0.0 <= marriage_fraction <= 1.0):
+        raise ValueError("marriage_fraction must be in [0, 1]")
+    if not (0.0 <= homophily <= 1.0):
+        raise ValueError("homophily must be in [0, 1]")
+    if blocks < 1:
+        raise ValueError("blocks must be >= 1")
+
+    rng = RngStream(seed, ("society", num_families))
+    families = [
+        Family(index=i, num_children=1 + int(rng.generator.poisson(max(mean_children - 1.0, 0.0))))
+        for i in range(num_families)
+    ]
+    block_of = {f.index: f.index % blocks for f in families}
+
+    singles: List[ChildId] = [c for f in families for c in f.children()]
+    rng.shuffle(singles)
+    target_marriages = int(len(singles) * marriage_fraction / 2)
+
+    couples: List[Tuple[ChildId, ChildId]] = []
+    available = list(singles)
+    attempts = 0
+    max_attempts = 50 * max(target_marriages, 1)
+    while len(couples) < target_marriages and len(available) >= 2 and attempts < max_attempts:
+        attempts += 1
+        i = int(rng.integers(0, len(available)))
+        j = int(rng.integers(0, len(available)))
+        if i == j:
+            continue
+        a, b = available[i], available[j]
+        if a[0] == b[0]:
+            continue  # siblings cannot marry
+        if homophily > 0.0 and rng.random() < homophily and block_of[a[0]] != block_of[b[0]]:
+            continue  # homophilous marriage attempt rejected across blocks
+        couples.append((a, b))
+        for k in sorted((i, j), reverse=True):
+            available.pop(k)
+    return Society(families=families, couples=couples)

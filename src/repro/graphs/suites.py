@@ -1,0 +1,72 @@
+"""Curated graph suites used by the integration tests and benchmarks.
+
+``small_suite`` is cheap enough to run inside unit tests; ``benchmark_suite``
+is the workload set that the E1–E5 benchmarks sweep over (structured
+extremes plus random and society graphs at a few densities).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.core.problem import ConflictGraph
+from repro.graphs.families import (
+    clique,
+    complete_bipartite,
+    cycle,
+    empty_graph,
+    grid,
+    path,
+    random_tree,
+    star,
+)
+from repro.graphs.random_graphs import barabasi_albert, erdos_renyi, random_regular
+from repro.graphs.society import random_society
+
+__all__ = ["small_suite", "benchmark_suite"]
+
+
+def small_suite(seed: int = 7) -> List[ConflictGraph]:
+    """A small, fast suite covering the structural extremes.
+
+    Contains: an edgeless graph, a single edge, a path, a cycle, a star, a
+    clique, a complete bipartite graph, a random tree and a sparse G(n,p).
+    """
+    return [
+        empty_graph(5, name="empty-5"),
+        ConflictGraph(edges=[(0, 1)], name="single-edge"),
+        path(8),
+        cycle(9),
+        star(6),
+        clique(5),
+        complete_bipartite(3, 4),
+        random_tree(12, seed=seed),
+        erdos_renyi(16, 0.25, seed=seed),
+    ]
+
+
+def benchmark_suite(seed: int = 11, scale: int = 1) -> Dict[str, ConflictGraph]:
+    """The benchmark workload set (E1, E3, E4, E5).
+
+    ``scale`` multiplies node counts so the same suite can be run at a
+    larger size for the comparison benchmark without touching call sites.
+    """
+    if scale < 1:
+        raise ValueError("scale must be >= 1")
+    n = 60 * scale
+    suite: Dict[str, ConflictGraph] = {
+        "clique": clique(12 * scale),
+        "star": star(20 * scale),
+        "bipartite": complete_bipartite(10 * scale, 14 * scale),
+        "cycle": cycle(40 * scale),
+        "grid": grid(8 * scale, 8 * scale),
+        "tree": random_tree(n, seed=seed),
+        "gnp-sparse": erdos_renyi(n, 3.0 / n, seed=seed, name=f"gnp-{n}-sparse"),
+        "gnp-dense": erdos_renyi(n, 0.2, seed=seed, name=f"gnp-{n}-dense"),
+        "powerlaw": barabasi_albert(n, 3, seed=seed),
+        "regular": random_regular(n if (n * 6) % 2 == 0 else n + 1, 6, seed=seed),
+        "society": random_society(
+            num_families=n, mean_children=2.5, marriage_fraction=0.75, seed=seed
+        ).conflict_graph(name=f"society-{n}"),
+    }
+    return suite

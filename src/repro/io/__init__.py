@@ -1,0 +1,47 @@
+"""Serialization of conflict graphs, societies and schedules.
+
+Plain-text / JSON formats so that schedules produced by this package can be
+consumed by other tools (and so the CLI can operate on files):
+
+* edge-list text files for conflict graphs (``u v`` per line, ``#`` comments),
+* JSON documents for societies (families, children, couples),
+* JSON documents for perfectly periodic schedules (per-node period/phase),
+* CSV calendars (one row per holiday, the hosting families as columns).
+"""
+
+from repro.io.graphs import (
+    graph_from_json,
+    graph_to_json,
+    load_edge_list,
+    read_graph_json,
+    save_edge_list,
+    write_graph_json,
+)
+from repro.io.schedules import (
+    calendar_rows,
+    load_periodic_schedule,
+    periodic_schedule_from_dict,
+    periodic_schedule_to_dict,
+    save_periodic_schedule,
+    write_calendar_csv,
+)
+from repro.io.societies import load_society, save_society, society_from_dict, society_to_dict
+
+__all__ = [
+    "load_edge_list",
+    "save_edge_list",
+    "graph_to_json",
+    "graph_from_json",
+    "read_graph_json",
+    "write_graph_json",
+    "periodic_schedule_to_dict",
+    "periodic_schedule_from_dict",
+    "save_periodic_schedule",
+    "load_periodic_schedule",
+    "calendar_rows",
+    "write_calendar_csv",
+    "society_to_dict",
+    "society_from_dict",
+    "save_society",
+    "load_society",
+]

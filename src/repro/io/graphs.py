@@ -1,0 +1,97 @@
+"""Conflict-graph serialization: edge lists and JSON documents.
+
+Node identifiers are written as strings; on load they are converted back to
+integers when every identifier looks like one (the common case for generated
+workloads), otherwise kept as strings.  This keeps round-trips faithful for
+both integer-labelled and name-labelled graphs.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, List, Union
+
+from repro.core.problem import ConflictGraph, Node
+
+__all__ = [
+    "load_edge_list",
+    "save_edge_list",
+    "graph_to_json",
+    "graph_from_json",
+    "write_graph_json",
+    "read_graph_json",
+]
+
+PathLike = Union[str, Path]
+
+
+def _maybe_int(token: str) -> Node:
+    try:
+        return int(token)
+    except ValueError:
+        return token
+
+
+def save_edge_list(graph: ConflictGraph, path: PathLike) -> None:
+    """Write a graph as a plain edge list (``u v`` per line, isolated nodes as single tokens)."""
+    lines = [f"# conflict graph: {graph.name}", f"# nodes={graph.num_nodes()} edges={graph.num_edges()}"]
+    connected = set()
+    for u, v in graph.edges():
+        lines.append(f"{u} {v}")
+        connected.add(u)
+        connected.add(v)
+    for p in graph.nodes():
+        if p not in connected:
+            lines.append(f"{p}")
+    Path(path).write_text("\n".join(lines) + "\n", encoding="utf-8")
+
+
+def load_edge_list(path: PathLike, name: str | None = None) -> ConflictGraph:
+    """Read a graph written by :func:`save_edge_list` (or any whitespace edge list).
+
+    Lines starting with ``#`` are comments; lines with a single token are
+    isolated nodes; lines with two tokens are edges.
+    """
+    edges: List[tuple] = []
+    nodes: List[Node] = []
+    for raw in Path(path).read_text(encoding="utf-8").splitlines():
+        line = raw.strip()
+        if not line or line.startswith("#"):
+            continue
+        tokens = line.split()
+        if len(tokens) == 1:
+            nodes.append(_maybe_int(tokens[0]))
+        elif len(tokens) == 2:
+            edges.append((_maybe_int(tokens[0]), _maybe_int(tokens[1])))
+        else:
+            raise ValueError(f"cannot parse edge-list line: {raw!r}")
+    return ConflictGraph(edges=edges, nodes=nodes, name=name or Path(path).stem)
+
+
+def graph_to_json(graph: ConflictGraph) -> Dict:
+    """JSON-serialisable dictionary representation of a conflict graph."""
+    return {
+        "name": graph.name,
+        "nodes": [str(p) for p in graph.nodes()],
+        "edges": [[str(u), str(v)] for u, v in graph.edges()],
+    }
+
+
+def graph_from_json(payload: Dict) -> ConflictGraph:
+    """Inverse of :func:`graph_to_json`."""
+    if "nodes" not in payload or "edges" not in payload:
+        raise ValueError("graph JSON must contain 'nodes' and 'edges'")
+    nodes = [_maybe_int(p) for p in payload["nodes"]]
+    edges = [(_maybe_int(u), _maybe_int(v)) for u, v in payload["edges"]]
+    return ConflictGraph(edges=edges, nodes=nodes, name=payload.get("name", "conflict-graph"))
+
+
+def write_graph_json(graph: ConflictGraph, path: PathLike) -> None:
+    """Write the JSON representation to a file."""
+    Path(path).write_text(json.dumps(graph_to_json(graph), indent=2) + "\n", encoding="utf-8")
+
+
+def read_graph_json(path: PathLike) -> ConflictGraph:
+    """Read a graph from a JSON file written by :func:`write_graph_json`."""
+    return graph_from_json(json.loads(Path(path).read_text(encoding="utf-8")))

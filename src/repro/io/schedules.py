@@ -1,0 +1,84 @@
+"""Schedule serialization: periodic-schedule JSON and calendar CSV export.
+
+A perfectly periodic schedule is fully described by its per-node
+``(period, phase)`` table, which is exactly what the paper means by a
+*lightweight* schedule: a node needs only those two integers to know its
+entire future.  The JSON format stores that table (plus the graph, so the
+schedule can be re-validated on load); the CSV calendar is the human-facing
+view used by the CLI.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+from typing import Dict, List, Sequence, Union
+
+from repro.core.problem import ConflictGraph
+from repro.core.schedule import PeriodicSchedule, Schedule, SlotAssignment
+from repro.io.graphs import graph_from_json, graph_to_json, _maybe_int
+
+__all__ = [
+    "periodic_schedule_to_dict",
+    "periodic_schedule_from_dict",
+    "save_periodic_schedule",
+    "load_periodic_schedule",
+    "calendar_rows",
+    "write_calendar_csv",
+]
+
+PathLike = Union[str, Path]
+
+
+def periodic_schedule_to_dict(schedule: PeriodicSchedule) -> Dict:
+    """JSON-serialisable representation of a perfectly periodic schedule."""
+    return {
+        "name": schedule.name,
+        "graph": graph_to_json(schedule.graph),
+        "assignments": {
+            str(p): {"period": slot.period, "phase": slot.phase}
+            for p, slot in schedule.assignments.items()
+        },
+    }
+
+
+def periodic_schedule_from_dict(payload: Dict) -> PeriodicSchedule:
+    """Inverse of :func:`periodic_schedule_to_dict` (re-validates conflict-freeness)."""
+    if "graph" not in payload or "assignments" not in payload:
+        raise ValueError("schedule JSON must contain 'graph' and 'assignments'")
+    graph = graph_from_json(payload["graph"])
+    assignments = {}
+    for key, slot in payload["assignments"].items():
+        assignments[_maybe_int(key)] = SlotAssignment(period=int(slot["period"]), phase=int(slot["phase"]))
+    return PeriodicSchedule(
+        graph, assignments, check_conflicts=True, name=payload.get("name", "loaded-schedule")
+    )
+
+
+def save_periodic_schedule(schedule: PeriodicSchedule, path: PathLike) -> None:
+    """Write a periodic schedule to a JSON file."""
+    Path(path).write_text(
+        json.dumps(periodic_schedule_to_dict(schedule), indent=2) + "\n", encoding="utf-8"
+    )
+
+
+def load_periodic_schedule(path: PathLike) -> PeriodicSchedule:
+    """Read a periodic schedule from a JSON file written by :func:`save_periodic_schedule`."""
+    return periodic_schedule_from_dict(json.loads(Path(path).read_text(encoding="utf-8")))
+
+
+def calendar_rows(schedule: Schedule, horizon: int) -> List[List[str]]:
+    """``[[holiday, "family1;family2", ...], ...]`` rows for the first ``horizon`` holidays."""
+    rows: List[List[str]] = []
+    for holiday, happy in schedule.iter_holidays(horizon):
+        rows.append([str(holiday), ";".join(sorted(str(p) for p in happy))])
+    return rows
+
+
+def write_calendar_csv(schedule: Schedule, horizon: int, path: PathLike) -> None:
+    """Write a holiday calendar as CSV (columns: holiday, hosting families)."""
+    with Path(path).open("w", newline="", encoding="utf-8") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(["holiday", "hosting_families"])
+        writer.writerows(calendar_rows(schedule, horizon))

@@ -1,0 +1,50 @@
+"""Society serialization (families, children and couples) to/from JSON."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, Union
+
+from repro.graphs.society import Family, Society
+
+__all__ = ["society_to_dict", "society_from_dict", "save_society", "load_society"]
+
+PathLike = Union[str, Path]
+
+
+def society_to_dict(society: Society) -> Dict:
+    """JSON-serialisable representation of a society."""
+    return {
+        "families": [
+            {"index": f.index, "num_children": f.num_children, "label": f.label}
+            for f in society.families
+        ],
+        "couples": [
+            {"a": list(a), "b": list(b)} for a, b in society.couples
+        ],
+    }
+
+
+def society_from_dict(payload: Dict) -> Society:
+    """Inverse of :func:`society_to_dict` (re-validates monogamy and family membership)."""
+    if "families" not in payload or "couples" not in payload:
+        raise ValueError("society JSON must contain 'families' and 'couples'")
+    families = [
+        Family(index=int(f["index"]), num_children=int(f["num_children"]), label=f.get("label"))
+        for f in payload["families"]
+    ]
+    couples = [
+        (tuple(int(x) for x in c["a"]), tuple(int(x) for x in c["b"])) for c in payload["couples"]
+    ]
+    return Society(families=families, couples=couples)
+
+
+def save_society(society: Society, path: PathLike) -> None:
+    """Write a society to a JSON file."""
+    Path(path).write_text(json.dumps(society_to_dict(society), indent=2) + "\n", encoding="utf-8")
+
+
+def load_society(path: PathLike) -> Society:
+    """Read a society from a JSON file written by :func:`save_society`."""
+    return society_from_dict(json.loads(Path(path).read_text(encoding="utf-8")))

@@ -1,0 +1,38 @@
+"""Cellular-radio application substrate.
+
+The paper motivates the Holiday Gathering Problem with interference-free
+scheduling of radio transmissions: radios are parents, two radios that share
+air (are within interference range of a common region) are in-laws, and a
+radio is "happy" on a slot in which it can transmit without any interfering
+radio transmitting.  Perfectly periodic schedules additionally let a radio
+*sleep* between its slots instead of listening, which is the energy
+argument of Section 1.1.
+
+This subpackage provides:
+
+* :mod:`repro.radio.deployment` — node placement models (uniform, clustered,
+  grid) on the unit square;
+* :mod:`repro.radio.interference` — construction of the conflict graph from
+  transmission radii (unit-disk interference);
+* :mod:`repro.radio.simulation` — slotted transmission simulation driven by
+  any :class:`~repro.core.schedule.Schedule`, with collision detection;
+* :mod:`repro.radio.energy` — a simple transmit/listen/sleep energy model
+  used by the E9 benchmark to quantify the advantage of periodic schedules.
+"""
+
+from repro.radio.deployment import Deployment, clustered_deployment, grid_deployment, uniform_deployment
+from repro.radio.interference import interference_graph
+from repro.radio.energy import EnergyModel, EnergyReport
+from repro.radio.simulation import RadioSimulation, TransmissionLog
+
+__all__ = [
+    "Deployment",
+    "uniform_deployment",
+    "clustered_deployment",
+    "grid_deployment",
+    "interference_graph",
+    "EnergyModel",
+    "EnergyReport",
+    "RadioSimulation",
+    "TransmissionLog",
+]

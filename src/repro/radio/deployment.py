@@ -1,0 +1,106 @@
+"""Radio deployment models: where the radios sit on the plane.
+
+A :class:`Deployment` is simply a set of labelled points in the unit square
+(positions are stored as a ``(n, 2)`` NumPy array for vectorised distance
+computations in :mod:`repro.radio.interference`).  Three placement models
+are provided: uniform random, clustered (Gaussian blobs around random
+centers, modelling dense cells), and a jittered grid (planned deployments).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.utils.rng import RngStream
+
+__all__ = ["Deployment", "uniform_deployment", "clustered_deployment", "grid_deployment"]
+
+
+@dataclass
+class Deployment:
+    """Labelled radio positions in the unit square.
+
+    Attributes:
+        positions: float array of shape ``(n, 2)`` with coordinates in [0, 1].
+        labels: node identifiers, one per row of ``positions``.
+    """
+
+    positions: np.ndarray
+    labels: List[int]
+
+    def __post_init__(self) -> None:
+        self.positions = np.asarray(self.positions, dtype=float)
+        if self.positions.ndim != 2 or self.positions.shape[1] != 2:
+            raise ValueError("positions must have shape (n, 2)")
+        if len(self.labels) != self.positions.shape[0]:
+            raise ValueError("labels must match the number of positions")
+        if np.any(self.positions < -1e-9) or np.any(self.positions > 1 + 1e-9):
+            raise ValueError("positions must lie in the unit square")
+
+    def __len__(self) -> int:
+        return self.positions.shape[0]
+
+    def position_of(self, label: int) -> Tuple[float, float]:
+        """Coordinates of the radio with the given label."""
+        idx = self.labels.index(label)
+        return float(self.positions[idx, 0]), float(self.positions[idx, 1])
+
+    def as_dict(self) -> Dict[int, Tuple[float, float]]:
+        """``{label: (x, y)}`` mapping."""
+        return {
+            label: (float(x), float(y))
+            for label, (x, y) in zip(self.labels, self.positions)
+        }
+
+
+def uniform_deployment(n: int, seed: int = 0) -> Deployment:
+    """``n`` radios placed independently and uniformly in the unit square."""
+    if n < 0:
+        raise ValueError("n must be non-negative")
+    rng = RngStream(seed, ("deploy-uniform", n))
+    positions = rng.generator.random((n, 2))
+    return Deployment(positions=positions, labels=list(range(n)))
+
+
+def clustered_deployment(
+    n: int, clusters: int = 4, spread: float = 0.05, seed: int = 0
+) -> Deployment:
+    """``n`` radios in Gaussian clusters (dense-cell deployments).
+
+    Cluster centers are uniform in the unit square; each radio is assigned a
+    cluster round-robin and placed with isotropic Gaussian jitter of standard
+    deviation ``spread``, clipped back into the unit square.
+    """
+    if n < 0:
+        raise ValueError("n must be non-negative")
+    if clusters < 1:
+        raise ValueError("clusters must be >= 1")
+    if spread < 0:
+        raise ValueError("spread must be non-negative")
+    rng = RngStream(seed, ("deploy-clustered", n, clusters))
+    centers = rng.generator.random((clusters, 2))
+    assignments = np.arange(n) % clusters
+    jitter = rng.generator.normal(0.0, spread, size=(n, 2))
+    positions = np.clip(centers[assignments] + jitter, 0.0, 1.0)
+    return Deployment(positions=positions, labels=list(range(n)))
+
+
+def grid_deployment(rows: int, cols: int, jitter: float = 0.0, seed: int = 0) -> Deployment:
+    """Radios on a regular ``rows × cols`` grid with optional uniform jitter."""
+    if rows < 1 or cols < 1:
+        raise ValueError("grid dimensions must be positive")
+    if jitter < 0:
+        raise ValueError("jitter must be non-negative")
+    xs = (np.arange(cols) + 0.5) / cols
+    ys = (np.arange(rows) + 0.5) / rows
+    grid_x, grid_y = np.meshgrid(xs, ys)
+    positions = np.column_stack([grid_x.ravel(), grid_y.ravel()])
+    if jitter > 0:
+        rng = RngStream(seed, ("deploy-grid", rows, cols))
+        positions = np.clip(
+            positions + rng.generator.uniform(-jitter, jitter, size=positions.shape), 0.0, 1.0
+        )
+    return Deployment(positions=positions, labels=list(range(rows * cols)))

@@ -1,0 +1,82 @@
+"""Energy accounting for radio schedules.
+
+Section 1.1's "Periodic" desideratum has an energy justification: with a
+perfectly periodic schedule a radio knows every future transmission slot in
+advance, so between slots it can power its receiver down (*sleep*); with an
+online schedule such as Phased Greedy it must stay awake every slot to run
+the per-holiday coordination (*listen*).  The model here charges:
+
+* ``tx_cost`` per slot in which the radio transmits,
+* ``listen_cost`` per slot in which the radio is awake but not transmitting,
+* ``sleep_cost`` per slot in which it sleeps (typically orders of magnitude
+  below ``listen_cost``).
+
+A radio following a periodic schedule listens only in its own slots; a radio
+following an aperiodic schedule listens in every slot.  The E9 benchmark
+reports the resulting totals for the Section 4/5 schedulers versus the
+Section 3 scheduler on the same interference graph.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Hashable, Mapping
+
+__all__ = ["EnergyModel", "EnergyReport"]
+
+
+@dataclass(frozen=True)
+class EnergyModel:
+    """Per-slot energy costs (arbitrary units; defaults follow the common
+    ~20:10:0.1 tx/listen/sleep ratio of low-power radio datasheets)."""
+
+    tx_cost: float = 20.0
+    listen_cost: float = 10.0
+    sleep_cost: float = 0.1
+
+    def __post_init__(self) -> None:
+        for name in ("tx_cost", "listen_cost", "sleep_cost"):
+            if getattr(self, name) < 0:
+                raise ValueError(f"{name} must be non-negative")
+
+    def node_energy(self, slots: int, transmissions: int, awake_non_tx: int) -> float:
+        """Total energy of one radio over ``slots`` slots.
+
+        ``transmissions + awake_non_tx`` must not exceed ``slots``; the
+        remainder is charged at the sleep rate.
+        """
+        if transmissions + awake_non_tx > slots:
+            raise ValueError("transmissions + awake slots cannot exceed the horizon")
+        sleeping = slots - transmissions - awake_non_tx
+        return (
+            transmissions * self.tx_cost
+            + awake_non_tx * self.listen_cost
+            + sleeping * self.sleep_cost
+        )
+
+
+@dataclass
+class EnergyReport:
+    """Per-node and aggregate energy totals for one simulated run."""
+
+    horizon: int
+    per_node: Dict[Hashable, float] = field(default_factory=dict)
+
+    @property
+    def total(self) -> float:
+        """Total energy over all radios."""
+        return sum(self.per_node.values())
+
+    @property
+    def mean(self) -> float:
+        """Mean per-radio energy."""
+        return self.total / len(self.per_node) if self.per_node else 0.0
+
+    @property
+    def max(self) -> float:
+        """Worst single radio's energy (battery-lifetime bottleneck)."""
+        return max(self.per_node.values(), default=0.0)
+
+    def summary(self) -> Dict[str, float]:
+        """Flat dictionary for table rows."""
+        return {"total": self.total, "mean": self.mean, "max": self.max}

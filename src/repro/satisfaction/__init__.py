@@ -1,0 +1,48 @@
+"""Appendix A substrate: happiness vs. satisfaction as one-shot optimisation problems.
+
+* maximising *happiness* in a single holiday is exactly the maximum
+  independent set problem (MAXSNP-hard) — :mod:`repro.satisfaction.independent_set`
+  provides an exact branch-and-bound solver for small graphs plus greedy
+  approximations, used to quantify the hardness gap empirically;
+* maximising *satisfaction* (every satisfied parent hosts at least one
+  child) reduces to maximum bipartite matching —
+  :mod:`repro.satisfaction.matching` implements Hopcroft–Karp from scratch
+  and :mod:`repro.satisfaction.satisfaction` adds the paper's linear-time
+  single-child-first algorithm and the alternating schedule that guarantees
+  no parent is unsatisfied two holidays in a row.
+"""
+
+from repro.satisfaction.independent_set import (
+    exact_maximum_independent_set,
+    greedy_independent_set,
+    independence_number_bounds,
+)
+from repro.satisfaction.matching import HopcroftKarp, maximum_bipartite_matching
+from repro.satisfaction.satisfaction import (
+    alternating_satisfaction_schedule,
+    max_satisfaction_by_matching,
+    single_child_first_satisfaction,
+)
+from repro.satisfaction.shapley import (
+    ShapleyEstimate,
+    coalition_value,
+    estimate_shapley_values,
+    fair_share_vector,
+    marginal_contributions,
+)
+
+__all__ = [
+    "ShapleyEstimate",
+    "coalition_value",
+    "estimate_shapley_values",
+    "fair_share_vector",
+    "marginal_contributions",
+    "exact_maximum_independent_set",
+    "greedy_independent_set",
+    "independence_number_bounds",
+    "HopcroftKarp",
+    "maximum_bipartite_matching",
+    "max_satisfaction_by_matching",
+    "single_child_first_satisfaction",
+    "alternating_satisfaction_schedule",
+]

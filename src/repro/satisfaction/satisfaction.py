@@ -1,0 +1,206 @@
+"""Appendix A.3: maximum satisfaction and the alternating schedule.
+
+A parent is *satisfied* on a holiday when at least one of its children is at
+home.  Unlike happiness, satisfaction is easy to maximise:
+
+* parents with an unmarried child are always satisfied (the child has
+  nowhere else to go);
+* for the remaining ("needy") parents, each married couple can satisfy one
+  of its two parent families, so maximising satisfaction is a maximum
+  matching between needy parents and couples —
+  :func:`max_satisfaction_by_matching` solves it with Hopcroft–Karp;
+* the paper's observation that "a general matching algorithm is an
+  overkill" is reproduced by :func:`single_child_first_satisfaction`, the
+  linear-time peeling algorithm (repeatedly satisfy a parent with exactly
+  one remaining couple, then hand out the remaining couples arbitrarily);
+  the tests verify it always ties the matching optimum;
+* a single maximum-satisfaction gathering is socially unacceptable (the same
+  parents win every year), so :func:`alternating_satisfaction_schedule`
+  implements the fix described at the end of Appendix A.3: every couple
+  alternates between its two families, guaranteeing no parent with at least
+  one child is unsatisfied two holidays in a row.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Set, Tuple
+
+from repro.graphs.society import ChildId, Society
+from repro.satisfaction.matching import HopcroftKarp
+
+__all__ = [
+    "SatisfactionResult",
+    "max_satisfaction_by_matching",
+    "single_child_first_satisfaction",
+    "alternating_satisfaction_schedule",
+    "satisfaction_gaps",
+]
+
+Couple = Tuple[ChildId, ChildId]
+
+
+@dataclass
+class SatisfactionResult:
+    """Outcome of a single-holiday satisfaction assignment.
+
+    Attributes:
+        satisfied: indices of satisfied families.
+        assignment: ``{couple: family index hosting it}`` for assigned couples.
+        trivially_satisfied: families satisfied by an unmarried child.
+    """
+
+    satisfied: FrozenSet[int]
+    assignment: Dict[Couple, int]
+    trivially_satisfied: FrozenSet[int]
+
+    @property
+    def num_satisfied(self) -> int:
+        """Number of satisfied families."""
+        return len(self.satisfied)
+
+
+def _trivially_satisfied(society: Society) -> Set[int]:
+    """Families with at least one unmarried child (always satisfied)."""
+    return {child[0] for child in society.unmarried_children()}
+
+
+def _needy_parents(society: Society) -> Set[int]:
+    """Families with children but no unmarried child: they need a couple to visit."""
+    have_children = {f.index for f in society.families if f.num_children > 0}
+    return have_children - _trivially_satisfied(society)
+
+
+def max_satisfaction_by_matching(society: Society) -> SatisfactionResult:
+    """Maximum-satisfaction assignment via Hopcroft–Karp (Theorem A.2).
+
+    Builds the bipartite graph between needy parents and the couples that
+    could visit them and extracts a maximum matching; every matched parent
+    plus every trivially satisfied parent is satisfied, and no assignment
+    can do better.
+    """
+    trivial = _trivially_satisfied(society)
+    needy = _needy_parents(society)
+
+    adjacency: Dict[int, List[Couple]] = {p: [] for p in needy}
+    for couple in society.couples:
+        a, b = couple
+        for family in (a[0], b[0]):
+            if family in needy:
+                adjacency[family].append(couple)
+
+    matching = HopcroftKarp(adjacency).solve()
+    assignment: Dict[Couple, int] = {couple: parent for parent, couple in matching.items()}
+    satisfied = frozenset(trivial | set(matching.keys()))
+    return SatisfactionResult(
+        satisfied=satisfied,
+        assignment=assignment,
+        trivially_satisfied=frozenset(trivial),
+    )
+
+
+def single_child_first_satisfaction(society: Society) -> SatisfactionResult:
+    """The paper's linear-time satisfaction algorithm.
+
+    Phase 1 repeatedly satisfies a needy parent with exactly one remaining
+    couple (peeling).  Phase 2 hands the remaining couples out one at a
+    time, always serving a parent that has exactly one remaining couple if
+    such a parent exists (the paper notes there is at most one at any time).
+    The result always satisfies as many parents as the matching optimum —
+    verified against :func:`max_satisfaction_by_matching` in the tests.
+    """
+    trivial = _trivially_satisfied(society)
+    needy = _needy_parents(society)
+
+    remaining: Dict[int, Set[Couple]] = {p: set() for p in needy}
+    live_couples: Set[Couple] = set()
+    for couple in society.couples:
+        endpoints = [f for f in (couple[0][0], couple[1][0]) if f in needy]
+        if not endpoints:
+            continue
+        live_couples.add(couple)
+        for family in endpoints:
+            remaining[family].add(couple)
+
+    satisfied: Set[int] = set()
+    assignment: Dict[Couple, int] = {}
+
+    def assign(parent: int, couple: Couple) -> None:
+        assignment[couple] = parent
+        satisfied.add(parent)
+        live_couples.discard(couple)
+        for family in (couple[0][0], couple[1][0]):
+            if family in remaining:
+                remaining[family].discard(couple)
+
+    def pop_single() -> Optional[int]:
+        for parent in sorted(remaining):
+            if parent not in satisfied and len(remaining[parent]) == 1:
+                return parent
+        return None
+
+    # Phase 1: peel single-couple parents.
+    parent = pop_single()
+    while parent is not None:
+        couple = next(iter(remaining[parent]))
+        assign(parent, couple)
+        parent = pop_single()
+
+    # Phase 2: hand out the remaining couples, preferring single-couple parents.
+    while True:
+        parent = pop_single()
+        if parent is None:
+            candidates = [
+                p for p in sorted(remaining) if p not in satisfied and remaining[p]
+            ]
+            if not candidates:
+                break
+            parent = candidates[0]
+        couple = next(iter(sorted(remaining[parent])))
+        assign(parent, couple)
+
+    return SatisfactionResult(
+        satisfied=frozenset(trivial | satisfied),
+        assignment=assignment,
+        trivially_satisfied=frozenset(trivial),
+    )
+
+
+def alternating_satisfaction_schedule(society: Society, horizon: int) -> List[FrozenSet[int]]:
+    """The "no parent waits more than a year" schedule.
+
+    Every couple alternates between its two families: on odd holidays it
+    visits the family of its first partner, on even holidays the family of
+    its second partner.  Parents with an unmarried child are satisfied every
+    holiday.  Consequently every family with at least one child is satisfied
+    at least every other holiday.
+    """
+    if horizon < 1:
+        raise ValueError("horizon must be >= 1")
+    trivial = _trivially_satisfied(society)
+    schedule: List[FrozenSet[int]] = []
+    for holiday in range(1, horizon + 1):
+        satisfied: Set[int] = set(trivial)
+        for a, b in society.couples:
+            host = a[0] if holiday % 2 == 1 else b[0]
+            satisfied.add(host)
+        schedule.append(frozenset(satisfied))
+    return schedule
+
+
+def satisfaction_gaps(schedule: List[FrozenSet[int]], society: Society) -> Dict[int, int]:
+    """Longest run of consecutive unsatisfied holidays per family with children."""
+    gaps: Dict[int, int] = {}
+    for family in society.families:
+        if family.num_children == 0:
+            continue
+        longest = 0
+        current = 0
+        for satisfied in schedule:
+            if family.index in satisfied:
+                current = 0
+            else:
+                current += 1
+                longest = max(longest, current)
+        gaps[family.index] = longest
+    return gaps

@@ -1,0 +1,143 @@
+"""Appendix A.2: the hardness of being fair — the happiness coalitional game.
+
+The appendix defines a coalitional game on the conflict graph: the value
+``v(S)`` of a coalition ``S ⊆ P`` is the size of the maximum independent set
+of the subgraph induced by ``S`` (the most happiness the families of ``S``
+can collectively obtain if everyone else gives up).  Two observations are
+made:
+
+1. for **any** ordering of the players, the sum of marginal contributions is
+   exactly ``v(P) = MIS(G)`` — so the Shapley value (the expectation of the
+   marginal contribution over a random order) sums to the MIS size, and any
+   scheme that approximates these fair shares also approximates the MIS,
+   which is ``n^{1-ε}``-inapproximable;
+2. consequently fairness notions based on maximum happiness are impractical,
+   which is why the paper competes with the first-come-first-grab landmark
+   ``1/(deg(p)+1)`` instead.
+
+This module makes both observations executable: exact per-order marginal
+contributions (using the exact MIS solver, so small graphs only), Monte Carlo
+Shapley estimation, and the closed-form fair-share vector
+``1/(deg(p)+1)`` they are compared against in benchmark E11.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from repro.core.problem import ConflictGraph, Node
+from repro.satisfaction.independent_set import exact_maximum_independent_set, greedy_independent_set
+from repro.utils.rng import RngStream
+
+__all__ = [
+    "coalition_value",
+    "marginal_contributions",
+    "ShapleyEstimate",
+    "estimate_shapley_values",
+    "fair_share_vector",
+]
+
+
+def coalition_value(graph: ConflictGraph, coalition: Sequence[Node], exact: bool = True) -> int:
+    """``v(S)``: the maximum happiness the coalition ``S`` can obtain on its own.
+
+    With ``exact=True`` (default) the exact MIS of the induced subgraph is
+    computed — exponential in the worst case, intended for the small graphs
+    of the Appendix A.2 experiment.  ``exact=False`` falls back to the greedy
+    maximal independent set, which is what makes the hardness observation
+    bite (the greedy value is not even guaranteed to be monotone enough for
+    meaningful shares).
+    """
+    sub = graph.subgraph(coalition)
+    if exact:
+        return len(exact_maximum_independent_set(sub, node_limit=sub.num_nodes()))
+    return len(greedy_independent_set(sub))
+
+
+def marginal_contributions(
+    graph: ConflictGraph, order: Sequence[Node], exact: bool = True
+) -> Dict[Node, int]:
+    """Marginal contribution of every node under one arrival order.
+
+    ``contribution(p) = v(S ∪ {p}) - v(S)`` where ``S`` is the set of nodes
+    arriving before ``p``.  The appendix's observation — that these always
+    sum to ``v(P)`` — follows because ``v`` increases by 0 or 1 at each step
+    and ends at the full MIS size; the tests verify it on every sampled
+    order.
+    """
+    if sorted(map(repr, order)) != sorted(map(repr, graph.nodes())):
+        raise ValueError("order must be a permutation of the graph's nodes")
+    contributions: Dict[Node, int] = {}
+    prefix: List[Node] = []
+    previous = 0
+    for node in order:
+        prefix.append(node)
+        value = coalition_value(graph, prefix, exact=exact)
+        contributions[node] = value - previous
+        previous = value
+    return contributions
+
+
+def fair_share_vector(graph: ConflictGraph) -> Dict[Node, float]:
+    """The paper's practical landmark: ``1/(deg(p)+1)`` per node.
+
+    This is both the first-come-first-grab hosting probability and the
+    Caro–Wei lower bound on the MIS density, which is why it serves as the
+    "fair share" that the schedulers are measured against instead of the
+    intractable Shapley value.
+    """
+    return {p: 1.0 / (graph.degree(p) + 1) for p in graph.nodes()}
+
+
+@dataclass
+class ShapleyEstimate:
+    """Monte Carlo estimate of the Shapley values of the happiness game."""
+
+    values: Dict[Node, float]
+    samples: int
+    total_value: float
+
+    def normalised(self) -> Dict[Node, float]:
+        """Shares normalised to sum to 1 (useful for comparing to fair-share vectors)."""
+        if self.total_value == 0:
+            return {p: 0.0 for p in self.values}
+        return {p: v / self.total_value for p, v in self.values.items()}
+
+
+def estimate_shapley_values(
+    graph: ConflictGraph,
+    samples: int = 200,
+    seed: int = 0,
+    exact: bool = True,
+    node_limit: int = 40,
+) -> ShapleyEstimate:
+    """Monte Carlo Shapley estimation by sampling random arrival orders.
+
+    Each sample draws a uniformly random permutation and accumulates every
+    node's marginal contribution; the estimate is the per-node average.  The
+    efficiency property (estimates summing to ``v(P)``) holds exactly for
+    every sample, hence also for the average — this is the quantity the
+    appendix uses to argue that approximating fair shares approximates MIS.
+
+    Raises :class:`ValueError` for graphs larger than ``node_limit`` when
+    ``exact`` is requested (each sample costs ``n`` exact MIS calls).
+    """
+    if samples < 1:
+        raise ValueError("samples must be >= 1")
+    if exact and graph.num_nodes() > node_limit:
+        raise ValueError(
+            f"exact Shapley sampling limited to {node_limit} nodes (got {graph.num_nodes()}); "
+            "pass exact=False to use the greedy value function"
+        )
+    nodes = graph.nodes()
+    totals: Dict[Node, float] = {p: 0.0 for p in nodes}
+    rng = RngStream(seed, ("shapley", graph.name))
+    for _ in range(samples):
+        order = list(nodes)
+        rng.shuffle(order)
+        for node, contribution in marginal_contributions(graph, order, exact=exact).items():
+            totals[node] += contribution
+    values = {p: totals[p] / samples for p in nodes}
+    full_value = float(coalition_value(graph, nodes, exact=exact))
+    return ShapleyEstimate(values=values, samples=samples, total_value=full_value)

@@ -1,0 +1,29 @@
+"""Utility helpers shared across the :mod:`repro` package.
+
+The utilities are deliberately small and dependency-free: seeded random
+number stream management (:mod:`repro.utils.rng`), integer math helpers
+(:mod:`repro.utils.math`) and a lightweight structured logger
+(:mod:`repro.utils.logging`).
+"""
+
+from repro.utils.math import (
+    ceil_log2,
+    floor_log2,
+    ilog2,
+    is_power_of_two,
+    next_power_of_two,
+)
+from repro.utils.rng import RngStream, derive_seed, spawn_streams
+from repro.utils.logging import get_logger
+
+__all__ = [
+    "ceil_log2",
+    "floor_log2",
+    "ilog2",
+    "is_power_of_two",
+    "next_power_of_two",
+    "RngStream",
+    "derive_seed",
+    "spawn_streams",
+    "get_logger",
+]

@@ -1,0 +1,42 @@
+"""Lightweight structured logging for experiment runs.
+
+Benchmarks and examples produce progress lines; the library itself stays
+silent by default (WARNING level) so that importing :mod:`repro` never
+spams stdout.  ``get_logger`` namespaces every logger under ``repro.`` so a
+user can turn the whole package up or down with one call to
+:func:`logging.getLogger`.
+"""
+
+from __future__ import annotations
+
+import logging
+from typing import Optional
+
+__all__ = ["get_logger", "configure"]
+
+_ROOT_NAME = "repro"
+_configured = False
+
+
+def configure(level: int = logging.INFO, fmt: Optional[str] = None) -> None:
+    """Attach a stream handler to the ``repro`` root logger (idempotent)."""
+    global _configured
+    root = logging.getLogger(_ROOT_NAME)
+    if not _configured:
+        handler = logging.StreamHandler()
+        handler.setFormatter(
+            logging.Formatter(fmt or "%(asctime)s %(name)s %(levelname)s %(message)s")
+        )
+        root.addHandler(handler)
+        _configured = True
+    root.setLevel(level)
+
+
+def get_logger(name: str) -> logging.Logger:
+    """Return a logger namespaced under the package root.
+
+    ``get_logger("analysis.runner")`` returns ``repro.analysis.runner``.
+    """
+    if name.startswith(_ROOT_NAME):
+        return logging.getLogger(name)
+    return logging.getLogger(f"{_ROOT_NAME}.{name}")

@@ -1,0 +1,73 @@
+"""Integer math helpers used throughout the scheduling algorithms.
+
+The paper's constructions are phrased in terms of ``⌈log(d+1)⌉`` style
+quantities (Section 5) and iterated logarithms (Section 4).  Floating point
+``math.log2`` is unreliable for exact integer work near powers of two, so the
+helpers here operate on Python integers via :func:`int.bit_length` and are
+exact for arbitrarily large inputs.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ceil_log2",
+    "floor_log2",
+    "ilog2",
+    "is_power_of_two",
+    "next_power_of_two",
+    "ceil_div",
+    "clamp",
+]
+
+
+def floor_log2(n: int) -> int:
+    """Return ``⌊log2(n)⌋`` for a positive integer ``n``.
+
+    Raises:
+        ValueError: if ``n <= 0``.
+    """
+    if n <= 0:
+        raise ValueError(f"floor_log2 requires a positive integer, got {n!r}")
+    return n.bit_length() - 1
+
+
+def ceil_log2(n: int) -> int:
+    """Return ``⌈log2(n)⌉`` for a positive integer ``n``.
+
+    ``ceil_log2(1) == 0``; for powers of two the result equals
+    :func:`floor_log2`, otherwise it is one larger.
+    """
+    if n <= 0:
+        raise ValueError(f"ceil_log2 requires a positive integer, got {n!r}")
+    return (n - 1).bit_length()
+
+
+def ilog2(n: int) -> int:
+    """Alias of :func:`floor_log2`, provided for readability at call sites."""
+    return floor_log2(n)
+
+
+def is_power_of_two(n: int) -> bool:
+    """Return True when ``n`` is an exact power of two (``n >= 1``)."""
+    return n >= 1 and (n & (n - 1)) == 0
+
+
+def next_power_of_two(n: int) -> int:
+    """Return the smallest power of two that is ``>= n`` (``n >= 1``)."""
+    if n <= 0:
+        raise ValueError(f"next_power_of_two requires a positive integer, got {n!r}")
+    return 1 << ceil_log2(n) if n > 1 else 1
+
+
+def ceil_div(a: int, b: int) -> int:
+    """Return ``⌈a / b⌉`` for integers with ``b > 0``."""
+    if b <= 0:
+        raise ValueError(f"ceil_div requires a positive divisor, got {b!r}")
+    return -(-a // b)
+
+
+def clamp(value: int, low: int, high: int) -> int:
+    """Clamp ``value`` into the inclusive range ``[low, high]``."""
+    if low > high:
+        raise ValueError(f"clamp range is empty: [{low}, {high}]")
+    return max(low, min(high, value))

@@ -1,0 +1,145 @@
+"""Tests for the Section 4 color-bound periodic scheduler (Theorem 4.2)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.algorithms.color_periodic import (
+    ColorPeriodicScheduler,
+    color_pattern,
+    color_period,
+    slot_for_color,
+)
+from repro.coding.elias import EliasGammaCode, EliasOmegaCode, omega_encode
+from repro.coding.unary import UnaryCode
+from repro.coloring.dsatur import dsatur_coloring
+from repro.core.metrics import observed_periods
+from repro.core.phi import elias_period_bound, rho_ceil
+from repro.core.problem import ConflictGraph
+from repro.core.validation import certify_periodicity, check_independent_sets
+from repro.graphs.families import clique, complete_bipartite, star
+from repro.graphs.random_graphs import erdos_renyi
+
+
+class TestColorPattern:
+    def test_pattern_is_reversed_codeword(self):
+        assert color_pattern(9) == omega_encode(9)[::-1]
+
+    def test_period_is_power_of_two_of_length(self):
+        for c in range(1, 40):
+            assert color_period(c) == 2 ** len(color_pattern(c)) == 2 ** rho_ceil(c)
+
+    def test_slot_for_color(self):
+        slot = slot_for_color(1)  # omega(1) = '0', reversed '0', value 0, period 2
+        assert slot.period == 2
+        assert slot.phase == 0
+
+    def test_alternate_code(self):
+        slot = slot_for_color(3, code=UnaryCode())  # unary(3)='110' reversed '011'
+        assert slot.period == 8
+        assert slot.phase == int("011", 2)
+
+
+class TestSchedulerCorrectness:
+    def test_periods_match_exact_bound(self, medium_random):
+        scheduler = ColorPeriodicScheduler()
+        schedule = scheduler.build(medium_random)
+        coloring = scheduler.last_coloring
+        for p in medium_random.nodes():
+            assert schedule.node_period(p) == color_period(coloring.color_of(p))
+
+    def test_theorem_42_closed_form_dominates(self, medium_random):
+        scheduler = ColorPeriodicScheduler()
+        schedule = scheduler.build(medium_random)
+        coloring = scheduler.last_coloring
+        for p in medium_random.nodes():
+            assert schedule.node_period(p) <= elias_period_bound(coloring.color_of(p)) + 1e-9
+
+    def test_observed_period_equals_advertised(self, small_bipartite):
+        schedule = ColorPeriodicScheduler(coloring_fn=dsatur_coloring).build(small_bipartite)
+        horizon = 4 * max(schedule.node_period(p) for p in small_bipartite.nodes())
+        observed = observed_periods(schedule, small_bipartite, horizon)
+        for p in small_bipartite.nodes():
+            assert observed[p] == schedule.node_period(p)
+
+    def test_no_two_colors_share_a_holiday(self):
+        """The paper's scheme makes at most ONE color happy per holiday."""
+        g = clique(5)  # all colors distinct
+        scheduler = ColorPeriodicScheduler()
+        schedule = scheduler.build(g)
+        coloring = scheduler.last_coloring
+        for t in range(1, 200):
+            colors_today = {coloring.color_of(p) for p in schedule.happy_set(t)}
+            assert len(colors_today) <= 1
+
+    def test_independent_sets(self, medium_random):
+        schedule = ColorPeriodicScheduler().build(medium_random)
+        assert check_independent_sets(schedule, medium_random, 128).ok
+
+    def test_perfectly_periodic(self, square_with_diagonal):
+        schedule = ColorPeriodicScheduler().build(square_with_diagonal)
+        assert certify_periodicity(schedule, 128).ok
+
+    def test_bipartite_gets_small_periods(self):
+        """With an optimal 2-coloring, periods are those of colors 1 and 2: 2 and 8."""
+        g = complete_bipartite(6, 9)
+        schedule = ColorPeriodicScheduler(coloring_fn=dsatur_coloring).build(g)
+        periods = {schedule.node_period(p) for p in g.nodes()}
+        assert periods == {color_period(1), color_period(2)} == {2, 8}
+
+    def test_star_leaves_fast_hub_slow(self):
+        g = star(10)
+        schedule = ColorPeriodicScheduler().build(g)
+        hub_period = schedule.node_period(0)
+        leaf_periods = {schedule.node_period(leaf) for leaf in range(1, 11)}
+        assert leaf_periods == {2} or leaf_periods == {8}
+        assert hub_period != next(iter(leaf_periods))
+
+
+class TestSchedulerConfiguration:
+    def test_gamma_code_gives_larger_periods_for_big_colors(self):
+        g = clique(9)
+        omega_schedule = ColorPeriodicScheduler(code=EliasOmegaCode()).build(g)
+        gamma_schedule = ColorPeriodicScheduler(code=EliasGammaCode()).build(g)
+        max_omega = max(omega_schedule.node_period(p) for p in g.nodes())
+        max_gamma = max(gamma_schedule.node_period(p) for p in g.nodes())
+        assert max_gamma >= max_omega
+
+    def test_compact_colors_flag(self):
+        def gappy(graph):
+            from repro.coloring.base import Coloring
+
+            # legal but wasteful coloring with large color values
+            return Coloring(graph=graph, colors={p: 10 + graph.index_of(p) for p in graph.nodes()})
+
+        g = ConflictGraph.from_edges([(0, 1)])
+        compacted = ColorPeriodicScheduler(coloring_fn=gappy, compact_colors=True).build(g)
+        raw = ColorPeriodicScheduler(coloring_fn=gappy, compact_colors=False).build(g)
+        assert max(compacted.node_period(p) for p in g.nodes()) < max(
+            raw.node_period(p) for p in g.nodes()
+        )
+
+    def test_bound_function_matches_periods(self, medium_random):
+        scheduler = ColorPeriodicScheduler()
+        schedule = scheduler.build(medium_random)
+        bound = scheduler.bound_function(medium_random)
+        for p in medium_random.nodes():
+            assert bound(p) == schedule.node_period(p)
+
+    def test_bound_function_without_prior_build(self, square_with_diagonal):
+        scheduler = ColorPeriodicScheduler()
+        bound = scheduler.bound_function(square_with_diagonal)
+        assert bound(0) >= 2
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    n=st.integers(min_value=1, max_value=16),
+    p=st.floats(min_value=0.0, max_value=0.7),
+    seed=st.integers(min_value=0, max_value=10**4),
+)
+def test_property_color_periodic_legal_and_periodic(n, p, seed):
+    graph = erdos_renyi(n, p, seed=seed)
+    schedule = ColorPeriodicScheduler().build(graph)
+    horizon = min(4 * max((schedule.node_period(q) for q in graph.nodes()), default=2), 4096)
+    assert check_independent_sets(schedule, graph, horizon).ok
+    assert certify_periodicity(schedule, horizon).ok

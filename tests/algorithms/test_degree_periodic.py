@@ -1,0 +1,116 @@
+"""Tests for the Section 5 degree-bound periodic scheduler (Theorem 5.3)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.algorithms.degree_periodic import DegreePeriodicScheduler
+from repro.coloring.slot_assignment import modulus_for_degree
+from repro.core.metrics import max_unhappiness_lengths, observed_periods
+from repro.core.validation import certify_periodicity, check_independent_sets
+from repro.graphs.families import clique, complete_bipartite, cycle, path, star
+from repro.graphs.random_graphs import barabasi_albert, erdos_renyi
+
+
+@pytest.mark.parametrize("mode", ["sequential", "distributed"])
+class TestTheorem53:
+    def test_exact_periods(self, mode, graph_zoo):
+        scheduler = DegreePeriodicScheduler(mode=mode)
+        for graph in graph_zoo:
+            schedule = scheduler.build(graph, seed=1)
+            for p in graph.nodes():
+                assert schedule.node_period(p) == modulus_for_degree(graph.degree(p))
+
+    def test_period_at_most_twice_degree(self, mode, medium_random):
+        schedule = DegreePeriodicScheduler(mode=mode).build(medium_random, seed=2)
+        for p in medium_random.nodes():
+            d = medium_random.degree(p)
+            if d >= 1:
+                assert schedule.node_period(p) <= 2 * d
+
+    def test_mul_bounded_by_period(self, mode, medium_random):
+        schedule = DegreePeriodicScheduler(mode=mode).build(medium_random, seed=3)
+        horizon = 4 * max(schedule.node_period(p) for p in medium_random.nodes())
+        muls = max_unhappiness_lengths(schedule, medium_random, horizon)
+        for p in medium_random.nodes():
+            assert muls[p] < schedule.node_period(p)
+
+    def test_legal_and_periodic(self, mode, medium_random):
+        schedule = DegreePeriodicScheduler(mode=mode).build(medium_random, seed=4)
+        horizon = 4 * max(schedule.node_period(p) for p in medium_random.nodes())
+        assert check_independent_sets(schedule, medium_random, horizon).ok
+        assert certify_periodicity(schedule, horizon).ok
+
+    def test_observed_periods_match(self, mode):
+        g = barabasi_albert(30, 2, seed=5)
+        schedule = DegreePeriodicScheduler(mode=mode).build(g, seed=5)
+        horizon = 3 * max(schedule.node_period(p) for p in g.nodes())
+        observed = observed_periods(schedule, g, horizon)
+        for p in g.nodes():
+            assert observed[p] == schedule.node_period(p)
+
+    def test_star_hub_and_leaves(self, mode):
+        g = star(5)
+        schedule = DegreePeriodicScheduler(mode=mode).build(g, seed=1)
+        assert schedule.node_period(0) == 8
+        assert all(schedule.node_period(leaf) == 2 for leaf in range(1, 6))
+
+    def test_bound_function(self, mode, small_clique):
+        scheduler = DegreePeriodicScheduler(mode=mode)
+        bound = scheduler.bound_function(small_clique)
+        assert bound(0) == 8.0  # K5: degree 4 -> 2^ceil(log 5) = 8
+
+
+class TestModes:
+    def test_rejects_unknown_mode(self):
+        with pytest.raises(ValueError):
+            DegreePeriodicScheduler(mode="magic")
+
+    def test_distributed_reports_costs(self, medium_random):
+        scheduler = DegreePeriodicScheduler(mode="distributed")
+        scheduler.build(medium_random, seed=6)
+        assert scheduler.construction_rounds is not None and scheduler.construction_rounds >= 1
+        assert scheduler.construction_messages is not None and scheduler.construction_messages > 0
+
+    def test_sequential_has_no_communication(self, medium_random):
+        scheduler = DegreePeriodicScheduler(mode="sequential")
+        scheduler.build(medium_random)
+        assert scheduler.construction_rounds is None
+
+    def test_costs_none_before_build(self):
+        scheduler = DegreePeriodicScheduler()
+        assert scheduler.construction_rounds is None
+        assert scheduler.construction_messages is None
+
+    def test_both_modes_agree_on_periods(self, medium_random):
+        seq = DegreePeriodicScheduler(mode="sequential").build(medium_random)
+        dist = DegreePeriodicScheduler(mode="distributed").build(medium_random, seed=7)
+        for p in medium_random.nodes():
+            assert seq.node_period(p) == dist.node_period(p)
+
+
+class TestComparisonWithSection3:
+    def test_periodic_period_at_most_twice_aperiodic_bound(self):
+        """Section 5's 2^ceil(log(d+1)) is within a factor 2 of Section 3's d+1."""
+        for d in range(1, 500):
+            assert modulus_for_degree(d) < 2 * (d + 1)
+
+    def test_clique_period_is_next_power_of_two(self):
+        g = clique(6)
+        schedule = DegreePeriodicScheduler().build(g)
+        assert all(schedule.node_period(p) == 8 for p in g.nodes())
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    n=st.integers(min_value=1, max_value=20),
+    p=st.floats(min_value=0.0, max_value=0.6),
+    seed=st.integers(min_value=0, max_value=10**4),
+)
+def test_property_theorem_53_on_random_graphs(n, p, seed):
+    graph = erdos_renyi(n, p, seed=seed)
+    schedule = DegreePeriodicScheduler().build(graph)
+    for node in graph.nodes():
+        d = graph.degree(node)
+        assert schedule.node_period(node) == modulus_for_degree(d)
+        if d >= 1:
+            assert schedule.node_period(node) <= 2 * d

@@ -1,0 +1,118 @@
+"""Tests for the baseline schedulers (Section 1 strawmen)."""
+
+import pytest
+
+from repro.algorithms.naive import (
+    FirstComeFirstGrabScheduler,
+    RoundRobinColorScheduler,
+    SequentialScheduler,
+)
+from repro.coloring.dsatur import dsatur_coloring
+from repro.core.metrics import HappinessTrace, max_unhappiness_lengths
+from repro.core.problem import ConflictGraph
+from repro.core.validation import check_independent_sets
+from repro.graphs.families import clique, complete_bipartite, star
+
+
+class TestSequentialScheduler:
+    def test_period_is_n(self, square_with_diagonal):
+        schedule = SequentialScheduler().build(square_with_diagonal)
+        assert all(schedule.node_period(p) == 4 for p in square_with_diagonal.nodes())
+
+    def test_everyone_hosts_once_per_cycle(self, square_with_diagonal):
+        schedule = SequentialScheduler().build(square_with_diagonal)
+        sets = schedule.prefix(4)
+        hosted = set().union(*sets)
+        assert hosted == set(square_with_diagonal.nodes())
+        assert all(len(s) == 1 for s in sets)
+
+    def test_mul_is_global(self, small_star):
+        schedule = SequentialScheduler().build(small_star)
+        muls = max_unhappiness_lengths(schedule, small_star, 24)
+        # leaves with degree 1 still wait n-1 = 5: the non-local strawman.
+        assert max(muls.values()) == small_star.num_nodes() - 1
+
+    def test_bound_function(self, small_star):
+        scheduler = SequentialScheduler()
+        bound = scheduler.bound_function(small_star)
+        assert bound(0) == small_star.num_nodes()
+
+    def test_single_node_graph(self):
+        g = ConflictGraph(nodes=["only"])
+        schedule = SequentialScheduler().build(g)
+        assert schedule.happy_set(1) == frozenset({"only"})
+
+
+class TestRoundRobinColorScheduler:
+    def test_period_is_number_of_colors(self, small_bipartite):
+        scheduler = RoundRobinColorScheduler(coloring_fn=dsatur_coloring)
+        schedule = scheduler.build(small_bipartite)
+        assert all(schedule.node_period(p) == 2 for p in small_bipartite.nodes())
+
+    def test_clique_period_is_n(self):
+        g = clique(5)
+        schedule = RoundRobinColorScheduler().build(g)
+        assert all(schedule.node_period(p) == 5 for p in g.nodes())
+
+    def test_matches_paper_convention(self):
+        """On holiday i, the class with color (i mod C) + 1 hosts."""
+        g = clique(3)
+        scheduler = RoundRobinColorScheduler()
+        schedule = scheduler.build(g)
+        coloring = scheduler.last_coloring
+        for i in range(1, 10):
+            expected_color = (i % coloring.max_color()) + 1
+            expected = {p for p in g.nodes() if coloring.color_of(p) == expected_color}
+            assert schedule.happy_set(i) == frozenset(expected)
+
+    def test_independent_sets(self, medium_random):
+        schedule = RoundRobinColorScheduler().build(medium_random)
+        assert check_independent_sets(schedule, medium_random, 40).ok
+
+    def test_bound_function_uses_color_count(self, small_bipartite):
+        scheduler = RoundRobinColorScheduler(coloring_fn=dsatur_coloring)
+        scheduler.build(small_bipartite)
+        assert scheduler.bound_function(small_bipartite)(0) == 2.0
+
+
+class TestFirstComeFirstGrab:
+    def test_always_independent(self, medium_random):
+        schedule = FirstComeFirstGrabScheduler().build(medium_random, seed=3)
+        assert check_independent_sets(schedule, medium_random, 100).ok
+
+    def test_deterministic_given_seed(self, square_with_diagonal):
+        a = FirstComeFirstGrabScheduler().build(square_with_diagonal, seed=5).prefix(20)
+        b = FirstComeFirstGrabScheduler().build(square_with_diagonal, seed=5).prefix(20)
+        assert a == b
+
+    def test_seed_changes_outcome(self, medium_random):
+        a = FirstComeFirstGrabScheduler().build(medium_random, seed=1).prefix(20)
+        b = FirstComeFirstGrabScheduler().build(medium_random, seed=2).prefix(20)
+        assert a != b
+
+    def test_hosting_probability_close_to_fair_share(self):
+        """P(p happy) ≈ 1/(deg(p)+1) — the Section 1 'first come first grab' analysis."""
+        g = star(4)
+        schedule = FirstComeFirstGrabScheduler().build(g, seed=11)
+        horizon = 4000
+        trace = HappinessTrace.from_schedule(schedule, g, horizon)
+        hub_rate = trace.happiness_rate(0)
+        leaf_rate = trace.happiness_rate(1)
+        assert hub_rate == pytest.approx(1 / 5, abs=0.03)
+        assert leaf_rate == pytest.approx(1 / 2, abs=0.04)
+
+    def test_isolated_node_always_happy(self):
+        g = ConflictGraph(edges=[(0, 1)], nodes=[9])
+        schedule = FirstComeFirstGrabScheduler().build(g, seed=0)
+        assert all(9 in schedule.happy_set(t) for t in range(1, 30))
+
+    def test_no_bound_function(self, square_with_diagonal):
+        assert FirstComeFirstGrabScheduler().bound_function(square_with_diagonal) is None
+
+
+class TestSchedulerInfo:
+    def test_info_fields(self):
+        for scheduler in (SequentialScheduler(), RoundRobinColorScheduler(), FirstComeFirstGrabScheduler()):
+            assert scheduler.name
+            assert scheduler.info.paper_section
+            assert isinstance(scheduler.info.periodic, bool)

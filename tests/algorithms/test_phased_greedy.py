@@ -1,0 +1,150 @@
+"""Tests for the Section 3 Phased Greedy scheduler (Theorem 3.1)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.algorithms.phased_greedy import PhasedGreedyScheduler, PhasedGreedyState
+from repro.coloring.base import Coloring
+from repro.coloring.greedy import greedy_coloring
+from repro.core.metrics import max_unhappiness_lengths
+from repro.core.problem import ConflictGraph
+from repro.core.validation import certify_local_bound, check_independent_sets
+from repro.graphs.families import clique, complete_bipartite, cycle, path, star
+from repro.graphs.random_graphs import barabasi_albert, erdos_renyi
+
+
+def horizon_for(graph):
+    return 6 * (graph.max_degree() + 2)
+
+
+class TestPhasedGreedyState:
+    def test_step_returns_nodes_with_current_color(self, square_with_diagonal):
+        initial = greedy_coloring(square_with_diagonal)
+        state = PhasedGreedyState(square_with_diagonal, initial)
+        happy = state.step()
+        assert happy == frozenset(p for p in square_with_diagonal.nodes() if initial.colors[p] == 1)
+
+    def test_recolored_nodes_get_future_colors(self, square_with_diagonal):
+        state = PhasedGreedyState(square_with_diagonal, greedy_coloring(square_with_diagonal))
+        for holiday in range(1, 20):
+            state.step()
+            assert all(color > holiday for color in state.colors.values())
+
+    def test_colors_stay_legal(self, medium_random):
+        state = PhasedGreedyState(medium_random, greedy_coloring(medium_random))
+        for _ in range(30):
+            state.step()
+            for u, v in medium_random.edges():
+                assert state.colors[u] != state.colors[v]
+
+    def test_recolor_events_counted(self, small_clique):
+        state = PhasedGreedyState(small_clique, greedy_coloring(small_clique))
+        for _ in range(10):
+            state.step()
+        assert state.recolor_events == 10  # exactly one clique member hosts per holiday
+
+
+class TestTheorem31:
+    """mul(p) <= deg(p) + 1 for every node, on every graph family."""
+
+    @pytest.mark.parametrize(
+        "graph_factory",
+        [
+            lambda: clique(6),
+            lambda: star(7),
+            lambda: path(9),
+            lambda: cycle(10),
+            lambda: complete_bipartite(4, 5),
+            lambda: erdos_renyi(25, 0.2, seed=3),
+            lambda: barabasi_albert(30, 2, seed=4),
+        ],
+    )
+    def test_degree_plus_one_bound(self, graph_factory):
+        graph = graph_factory()
+        scheduler = PhasedGreedyScheduler(initial_coloring="greedy")
+        schedule = scheduler.build(graph)
+        report = certify_local_bound(
+            schedule,
+            graph,
+            horizon_for(graph),
+            bound=lambda p: graph.degree(p) + 1,
+            skip_isolated=True,
+        )
+        assert report.ok, [str(v) for v in report.violations]
+
+    def test_bound_with_distributed_init(self, medium_random):
+        scheduler = PhasedGreedyScheduler(initial_coloring="distributed")
+        schedule = scheduler.build(medium_random, seed=2)
+        report = certify_local_bound(
+            schedule,
+            medium_random,
+            horizon_for(medium_random),
+            bound=lambda p: medium_random.degree(p) + 1,
+            skip_isolated=True,
+        )
+        assert report.ok
+        assert scheduler.init_rounds is not None and scheduler.init_rounds >= 1
+
+    def test_schedule_is_legal(self, medium_random):
+        schedule = PhasedGreedyScheduler(initial_coloring="greedy").build(medium_random)
+        assert check_independent_sets(schedule, medium_random, horizon_for(medium_random)).ok
+
+    def test_clique_gap_is_tight(self):
+        """On K_n the schedule cannot beat n = deg+1, and Phased Greedy achieves it."""
+        g = clique(5)
+        schedule = PhasedGreedyScheduler(initial_coloring="greedy").build(g)
+        muls = max_unhappiness_lengths(schedule, g, 60)
+        assert max(muls.values()) <= 5
+        assert max(muls.values()) >= 4  # only one clique node can host per holiday
+
+
+class TestConstruction:
+    def test_requires_degree_bounded_initial_coloring(self, small_star):
+        def inflated(graph):
+            return Coloring(graph=graph, colors={p: graph.index_of(p) + 10 for p in graph.nodes()})
+
+        scheduler = PhasedGreedyScheduler(initial_coloring=inflated)
+        with pytest.raises(ValueError, match="deg"):
+            scheduler.build(small_star)
+
+    def test_custom_coloring_callable(self, square_with_diagonal):
+        scheduler = PhasedGreedyScheduler(initial_coloring=greedy_coloring)
+        schedule = scheduler.build(square_with_diagonal)
+        assert check_independent_sets(schedule, square_with_diagonal, 20).ok
+
+    def test_unknown_mode_rejected(self, square_with_diagonal):
+        with pytest.raises(ValueError):
+            PhasedGreedyScheduler(initial_coloring="nonsense").build(square_with_diagonal)
+
+    def test_sequential_access_enforced(self, square_with_diagonal):
+        scheduler = PhasedGreedyScheduler(initial_coloring="greedy")
+        schedule = scheduler.build(square_with_diagonal)
+        # GeneratorSchedule fills holidays in order internally, so random access works...
+        assert schedule.happy_set(5)
+        # ...but the underlying state cannot be driven out of order directly.
+        with pytest.raises(RuntimeError):
+            scheduler.last_state.step() and None
+            scheduler.last_state.holiday = 99
+            schedule.happy_set(6)
+
+    def test_not_periodic_in_general(self, medium_random):
+        scheduler = PhasedGreedyScheduler(initial_coloring="greedy")
+        schedule = scheduler.build(medium_random)
+        assert not schedule.is_periodic()
+        assert scheduler.info.periodic is False
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    n=st.integers(min_value=2, max_value=18),
+    p=st.floats(min_value=0.1, max_value=0.7),
+    seed=st.integers(min_value=0, max_value=10**4),
+)
+def test_property_theorem_31_on_random_graphs(n, p, seed):
+    """Property-based restatement of Theorem 3.1 over random instances."""
+    graph = erdos_renyi(n, p, seed=seed)
+    schedule = PhasedGreedyScheduler(initial_coloring="greedy").build(graph)
+    muls = max_unhappiness_lengths(schedule, graph, 5 * (graph.max_degree() + 2))
+    for node in graph.nodes():
+        if graph.degree(node) > 0:
+            assert muls[node] <= graph.degree(node) + 1

@@ -1,0 +1,68 @@
+"""Tests for the scheduler registry."""
+
+import pytest
+
+from repro.algorithms.base import Scheduler, SchedulerInfo
+from repro.algorithms.registry import available_schedulers, get_scheduler, register_scheduler
+from repro.core.schedule import PeriodicSchedule, SlotAssignment
+
+
+EXPECTED_BUILTINS = {
+    "sequential",
+    "round-robin-color",
+    "first-come-first-grab",
+    "phased-greedy",
+    "phased-greedy-distributed",
+    "color-periodic-omega",
+    "color-periodic-omega-dsatur",
+    "color-periodic-gamma",
+    "color-periodic-delta",
+    "degree-periodic",
+    "degree-periodic-distributed",
+}
+
+
+class TestRegistry:
+    def test_builtins_present(self):
+        assert EXPECTED_BUILTINS <= set(available_schedulers())
+
+    def test_get_returns_fresh_instances(self):
+        a = get_scheduler("degree-periodic")
+        b = get_scheduler("degree-periodic")
+        assert a is not b
+        assert isinstance(a, Scheduler)
+
+    def test_unknown_name(self):
+        with pytest.raises(KeyError, match="unknown scheduler"):
+            get_scheduler("does-not-exist")
+
+    def test_register_and_overwrite_rules(self, square_with_diagonal):
+        class Dummy(Scheduler):
+            info = SchedulerInfo(name="dummy-test", periodic=True, local_bound="1", paper_section="-")
+
+            def build(self, graph, seed=0):
+                return PeriodicSchedule(
+                    graph,
+                    {p: SlotAssignment(len(graph), (i + 1) % len(graph)) for i, p in enumerate(graph.nodes())},
+                )
+
+        register_scheduler("dummy-test", Dummy, overwrite=True)
+        try:
+            assert "dummy-test" in available_schedulers()
+            schedule = get_scheduler("dummy-test").build(square_with_diagonal)
+            assert schedule.is_periodic()
+            with pytest.raises(ValueError):
+                register_scheduler("dummy-test", Dummy)
+            register_scheduler("dummy-test", Dummy, overwrite=True)  # allowed
+        finally:
+            # keep the global registry clean for other tests
+            from repro.algorithms import registry as _registry
+
+            _registry._FACTORIES.pop("dummy-test", None)
+
+    def test_every_builtin_builds_on_a_small_graph(self, square_with_diagonal):
+        for name in EXPECTED_BUILTINS:
+            scheduler = get_scheduler(name)
+            schedule = scheduler.build(square_with_diagonal, seed=1)
+            happy = schedule.happy_set(1)
+            assert square_with_diagonal.is_independent_set(happy)

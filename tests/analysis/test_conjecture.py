@@ -1,0 +1,131 @@
+"""Tests for the §6 open-problem exploration (periodicity stretch search)."""
+
+import pytest
+
+from repro.analysis.conjecture import (
+    degree_plus_slack_periods,
+    default_period_options,
+    feasible_schedule_or_none,
+    minimal_max_stretch,
+    phase_assignment_exists,
+)
+from repro.coloring.slot_assignment import modulus_for_degree
+from repro.core.problem import ConflictGraph
+from repro.core.validation import check_independent_sets
+from repro.graphs.families import clique, complete_bipartite, cycle, path, star
+from repro.graphs.random_graphs import erdos_renyi
+
+
+class TestPhaseAssignmentExists:
+    def test_clique_degree_plus_one_is_feasible(self):
+        g = clique(5)
+        result = phase_assignment_exists(g, degree_plus_slack_periods(g))
+        assert result.feasible
+        schedule = result.to_schedule()
+        assert all(schedule.node_period(p) == 5 for p in g.nodes())
+
+    def test_p3_degree_plus_one_is_infeasible(self):
+        """The smallest witness of the conjecture: P3 admits no (deg+1)-periodic schedule
+        because the end periods (2) and the middle period (3) are coprime."""
+        g = path(3)
+        result = phase_assignment_exists(g, degree_plus_slack_periods(g))
+        assert not result.feasible
+        assert result.phases is None
+
+    def test_star_degree_plus_one_feasible_when_hub_period_even(self):
+        g = star(5)  # hub degree 5 -> period 6, leaves period 2
+        result = phase_assignment_exists(g, degree_plus_slack_periods(g))
+        assert result.feasible
+        result.to_schedule()  # construction re-validates conflict-freeness
+
+    def test_even_cycle_feasible(self):
+        g = cycle(6)  # all periods 3
+        result = phase_assignment_exists(g, degree_plus_slack_periods(g))
+        assert result.feasible
+
+    def test_missing_period_rejected(self):
+        g = path(3)
+        with pytest.raises(ValueError):
+            phase_assignment_exists(g, {0: 2, 1: 3})
+
+    def test_budget_exceeded_raises(self):
+        g = clique(6)
+        with pytest.raises(RuntimeError):
+            phase_assignment_exists(g, degree_plus_slack_periods(g), node_budget=2)
+
+    def test_to_schedule_requires_feasibility(self):
+        g = path(3)
+        result = phase_assignment_exists(g, degree_plus_slack_periods(g))
+        with pytest.raises(ValueError):
+            result.to_schedule()
+
+    def test_slack_periods_validation(self):
+        with pytest.raises(ValueError):
+            degree_plus_slack_periods(path(3), slack=-1)
+
+    def test_isolated_nodes_get_period_one(self):
+        g = ConflictGraph(edges=[(0, 1)], nodes=[7])
+        periods = degree_plus_slack_periods(g)
+        assert periods[7] == 1
+
+
+class TestFeasibleScheduleOrNone:
+    def test_returns_schedule_when_possible(self):
+        g = complete_bipartite(2, 2)
+        schedule = feasible_schedule_or_none(g, degree_plus_slack_periods(g))
+        assert schedule is not None
+        assert check_independent_sets(schedule, g, 24).ok
+
+    def test_returns_none_when_impossible(self):
+        g = path(3)
+        assert feasible_schedule_or_none(g, degree_plus_slack_periods(g)) is None
+
+
+class TestMinimalMaxStretch:
+    def test_default_options_span_thm31_to_thm53(self, square_with_diagonal):
+        options = default_period_options(square_with_diagonal)
+        for p in square_with_diagonal.nodes():
+            d = square_with_diagonal.degree(p)
+            assert options[p][0] == d + 1
+            assert options[p][-1] == modulus_for_degree(d)
+
+    def test_clique_achieves_stretch_one(self):
+        result = minimal_max_stretch(clique(5))
+        assert result.matches_aperiodic_bound
+        assert result.stretch == pytest.approx(1.0)
+
+    def test_p3_needs_stretch_above_one(self):
+        result = minimal_max_stretch(path(3))
+        assert not result.matches_aperiodic_bound
+        assert result.stretch == pytest.approx(4 / 3)  # middle node takes period 4
+        schedule = result.to_schedule()
+        assert check_independent_sets(schedule, path(3), 24).ok
+
+    def test_even_cycle_stretch_one(self):
+        result = minimal_max_stretch(cycle(6))
+        assert result.stretch == pytest.approx(1.0)
+
+    def test_odd_cycle_stretch_one(self):
+        # C5 with all periods 3 is a proper 3-coloring by phases.
+        result = minimal_max_stretch(cycle(5))
+        assert result.stretch == pytest.approx(1.0)
+
+    def test_witness_periods_never_exceed_thm53(self):
+        for graph in (path(5), star(4), cycle(7), erdos_renyi(8, 0.4, seed=2)):
+            result = minimal_max_stretch(graph)
+            for p in graph.nodes():
+                assert result.periods[p] <= modulus_for_degree(graph.degree(p))
+                if graph.degree(p) > 0:
+                    assert result.periods[p] >= graph.degree(p) + 1
+
+    def test_witness_schedule_is_legal(self):
+        graph = erdos_renyi(9, 0.35, seed=5)
+        result = minimal_max_stretch(graph)
+        schedule = result.to_schedule()
+        horizon = 4 * max(result.periods.values())
+        assert check_independent_sets(schedule, graph, horizon).ok
+
+    def test_empty_options_rejected(self):
+        g = path(3)
+        with pytest.raises(ValueError):
+            minimal_max_stretch(g, period_options={0: [2], 1: [], 2: [2]})

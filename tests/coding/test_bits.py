@@ -1,0 +1,132 @@
+"""Tests for bit-string utilities."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.coding.bits import (
+    binary_representation,
+    bits_from_int,
+    bits_to_int,
+    concat,
+    is_bitstring,
+    lsb,
+    pad_left,
+    reverse_bits,
+    suffix_matches,
+)
+
+
+class TestBinaryRepresentation:
+    def test_known_values(self):
+        assert binary_representation(1) == "1"
+        assert binary_representation(2) == "10"
+        assert binary_representation(9) == "1001"
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            binary_representation(0)
+
+    @given(st.integers(min_value=1, max_value=10**12))
+    def test_roundtrip(self, n):
+        assert bits_to_int(binary_representation(n)) == n
+
+    @given(st.integers(min_value=1, max_value=10**12))
+    def test_no_leading_zeros(self, n):
+        assert binary_representation(n)[0] == "1"
+
+
+class TestBitsFromToInt:
+    def test_padding(self):
+        assert bits_from_int(5, width=6) == "000101"
+
+    def test_zero(self):
+        assert bits_from_int(0) == "0"
+        assert bits_to_int("") == 0
+
+    def test_width_too_small(self):
+        with pytest.raises(ValueError):
+            bits_from_int(9, width=2)
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            bits_from_int(-1)
+
+    def test_bits_to_int_validates(self):
+        with pytest.raises(ValueError):
+            bits_to_int("012")
+
+
+class TestReverseAndPad:
+    def test_reverse(self):
+        assert reverse_bits("1101") == "1011"
+        assert reverse_bits("") == ""
+
+    def test_pad_left(self):
+        assert pad_left("11", 4) == "0011"
+        with pytest.raises(ValueError):
+            pad_left("111", 2)
+        with pytest.raises(ValueError):
+            pad_left("1", 3, fill="x")
+
+    @given(st.text(alphabet="01", max_size=40))
+    def test_reverse_involution(self, s):
+        assert reverse_bits(reverse_bits(s)) == s
+
+
+class TestLsb:
+    def test_within_length(self):
+        assert lsb("110101", 3) == "101"
+
+    def test_zero_length(self):
+        assert lsb("1101", 0) == ""
+
+    def test_pads_beyond_length(self):
+        # The paper pads holiday numbers with an infinite sequence of 0s.
+        assert lsb("11", 5) == "00011"
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            lsb("11", -1)
+
+
+class TestSuffixMatches:
+    def test_basic(self):
+        # binary of 12 is 1100, ends with "100"
+        assert suffix_matches(12, "100")
+        assert not suffix_matches(12, "101")
+
+    def test_empty_pattern_matches_everything(self):
+        assert suffix_matches(7, "")
+
+    def test_padding_with_leading_zeros(self):
+        # binary of 2 is 10; LSB(.., 4) = 0010 so pattern "0010" matches.
+        assert suffix_matches(2, "0010")
+
+    def test_rejects_negative_holiday(self):
+        with pytest.raises(ValueError):
+            suffix_matches(-1, "1")
+
+    @given(st.integers(min_value=0, max_value=10**9), st.text(alphabet="01", min_size=1, max_size=16))
+    def test_arithmetic_agrees_with_string_version(self, holiday, pattern):
+        padded = format(holiday, "b").rjust(len(pattern), "0")
+        expected = padded.endswith(pattern)
+        assert suffix_matches(holiday, pattern) == expected
+
+    @given(st.integers(min_value=0, max_value=2000), st.text(alphabet="01", min_size=1, max_size=8))
+    def test_matches_are_periodic(self, holiday, pattern):
+        period = 1 << len(pattern)
+        assert suffix_matches(holiday, pattern) == suffix_matches(holiday + period, pattern)
+
+
+class TestConcatAndValidation:
+    def test_concat(self):
+        assert concat(["10", "0", "111"]) == "100111"
+
+    def test_concat_rejects_non_bits(self):
+        with pytest.raises(ValueError):
+            concat(["10", "2"])
+
+    def test_is_bitstring(self):
+        assert is_bitstring("0101")
+        assert is_bitstring("")
+        assert not is_bitstring("01a")

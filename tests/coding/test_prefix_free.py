@@ -1,0 +1,116 @@
+"""Tests for the prefix-free code interface and Kraft machinery."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.coding.elias import EliasOmegaCode
+from repro.coding.prefix_free import (
+    CodewordTable,
+    DecodeError,
+    is_prefix_free,
+    kraft_sum,
+    verify_prefix_free,
+)
+from repro.coding.unary import UnaryCode
+
+
+class TestIsPrefixFree:
+    def test_accepts_prefix_free(self):
+        assert is_prefix_free(["0", "10", "110", "111"])
+
+    def test_rejects_prefix_pair(self):
+        assert not is_prefix_free(["0", "01"])
+        assert not is_prefix_free(["01", "0"])  # order independent
+
+    def test_rejects_duplicates(self):
+        assert not is_prefix_free(["10", "10"])
+
+    def test_rejects_empty_codeword(self):
+        with pytest.raises(ValueError):
+            is_prefix_free(["", "0"])
+
+    def test_rejects_non_bits(self):
+        with pytest.raises(ValueError):
+            is_prefix_free(["0", "2"])
+
+    @given(st.sets(st.integers(min_value=1, max_value=300), min_size=1, max_size=40))
+    def test_omega_codewords_always_prefix_free(self, values):
+        code = EliasOmegaCode()
+        assert is_prefix_free([code.encode(v) for v in values])
+
+
+class TestKraft:
+    def test_complete_code_sums_to_one(self):
+        assert kraft_sum([1, 2, 3, 3]) == pytest.approx(1.0)
+
+    def test_rejects_zero_length(self):
+        with pytest.raises(ValueError):
+            kraft_sum([0])
+
+    @given(st.sets(st.integers(min_value=1, max_value=500), min_size=1, max_size=60))
+    def test_prefix_free_code_satisfies_kraft(self, values):
+        code = EliasOmegaCode()
+        lengths = [code.codeword_length(v) for v in values]
+        assert kraft_sum(lengths) <= 1.0 + 1e-12
+
+
+class TestCodewordTable:
+    def test_valid_table(self):
+        table = CodewordTable({1: "0", 2: "10", 3: "11"})
+        assert table.is_prefix_free()
+        assert table.kraft() == pytest.approx(1.0)
+        assert table.lengths() == {1: 1, 2: 2, 3: 2}
+        assert table.codeword(2) == "10"
+
+    def test_inverse(self):
+        table = CodewordTable({1: "0", 2: "10"})
+        assert table.inverse() == {"0": 1, "10": 2}
+
+    def test_inverse_rejects_duplicates(self):
+        table = CodewordTable({1: "0", 2: "0"})
+        with pytest.raises(ValueError):
+            table.inverse()
+
+    def test_rejects_bad_values(self):
+        with pytest.raises(ValueError):
+            CodewordTable({0: "0"})
+        with pytest.raises(ValueError):
+            CodewordTable({1: ""})
+        with pytest.raises(ValueError):
+            CodewordTable({1: "2"})
+
+    def test_non_prefix_free_table_detected(self):
+        table = CodewordTable({1: "0", 2: "01"})
+        assert not table.is_prefix_free()
+
+
+class TestGenericCodeHelpers:
+    def test_table_materialisation(self):
+        table = EliasOmegaCode().table(10)
+        assert len(table.mapping) == 10
+        assert table.is_prefix_free()
+
+    def test_table_rejects_bad_max(self):
+        with pytest.raises(ValueError):
+            EliasOmegaCode().table(0)
+
+    def test_verify_prefix_free_wrapper(self):
+        assert verify_prefix_free(EliasOmegaCode(), 200)
+        assert verify_prefix_free(UnaryCode(), 64)
+
+    def test_verify_detects_broken_code(self):
+        class Broken(EliasOmegaCode):
+            def encode(self, value):
+                return "1"  # same codeword for everything
+
+        assert not verify_prefix_free(Broken(), 10)
+
+    def test_decode_stream_rejects_garbage(self):
+        code = UnaryCode()
+        with pytest.raises(DecodeError):
+            code.decode_stream("111")  # never terminated
+
+    def test_encode_stream_roundtrip(self):
+        code = EliasOmegaCode()
+        values = [3, 1, 4, 1, 5, 9, 2, 6]
+        assert code.decode_stream(code.encode_stream(values)) == values

@@ -1,0 +1,76 @@
+"""Tests for the unary and Golomb/Rice codes."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.coding.prefix_free import DecodeError
+from repro.coding.unary import GolombRiceCode, UnaryCode, unary_decode, unary_encode
+
+
+class TestUnary:
+    def test_known_codewords(self):
+        assert unary_encode(1) == "0"
+        assert unary_encode(2) == "10"
+        assert unary_encode(5) == "11110"
+
+    def test_decode(self):
+        assert unary_decode("110abc-not-read") == (3, 3)
+
+    def test_truncated(self):
+        with pytest.raises(DecodeError):
+            unary_decode("1111")
+
+    def test_rejects_zero(self):
+        with pytest.raises(ValueError):
+            unary_encode(0)
+
+    @given(st.integers(min_value=1, max_value=2000))
+    def test_roundtrip(self, n):
+        code = unary_encode(n)
+        assert unary_decode(code + "10") == (n, len(code))
+        assert UnaryCode().codeword_length(n) == len(code) == n
+
+    def test_class_verify(self):
+        UnaryCode().verify(100)
+
+
+class TestGolombRice:
+    def test_k_zero_is_unary(self):
+        rice = GolombRiceCode(0)
+        for v in range(1, 20):
+            assert rice.encode(v) == unary_encode(v)
+
+    def test_known_codewords_k2(self):
+        rice = GolombRiceCode(2)
+        assert rice.encode(1) == "000"   # q=0, r=0
+        assert rice.encode(4) == "011"   # q=0, r=3
+        assert rice.encode(5) == "1000"  # q=1, r=0
+
+    def test_rejects_negative_k(self):
+        with pytest.raises(ValueError):
+            GolombRiceCode(-1)
+
+    def test_rejects_zero_value(self):
+        with pytest.raises(ValueError):
+            GolombRiceCode(2).encode(0)
+
+    def test_truncated(self):
+        rice = GolombRiceCode(3)
+        with pytest.raises(DecodeError):
+            rice.decode("1")
+        with pytest.raises(DecodeError):
+            rice.decode("1011")  # terminator seen but remainder missing
+
+    @pytest.mark.parametrize("k", [0, 1, 2, 4])
+    def test_verify(self, k):
+        GolombRiceCode(k).verify(200)
+
+    @given(st.integers(min_value=0, max_value=5), st.integers(min_value=1, max_value=5000))
+    def test_roundtrip(self, k, n):
+        rice = GolombRiceCode(k)
+        code = rice.encode(n)
+        assert rice.decode(code + "0101") == (n, len(code))
+        assert rice.codeword_length(n) == len(code)
+
+    def test_name_includes_parameter(self):
+        assert GolombRiceCode(3).name == "rice-3"

@@ -1,0 +1,85 @@
+"""Tests for coloring data structures and legality checks."""
+
+import pytest
+
+from repro.coloring.base import (
+    Coloring,
+    color_classes,
+    greedy_color_for,
+    is_legal_coloring,
+    max_color,
+    verify_coloring,
+)
+from repro.core.problem import ConflictGraph
+
+
+@pytest.fixture
+def triangle():
+    return ConflictGraph.from_edges([(0, 1), (1, 2), (2, 0)])
+
+
+class TestLegality:
+    def test_legal(self, triangle):
+        assert is_legal_coloring(triangle, {0: 1, 1: 2, 2: 3})
+
+    def test_monochromatic_edge(self, triangle):
+        assert not is_legal_coloring(triangle, {0: 1, 1: 1, 2: 2})
+
+    def test_missing_node(self, triangle):
+        assert not is_legal_coloring(triangle, {0: 1, 1: 2})
+
+    def test_nonpositive_color(self, triangle):
+        assert not is_legal_coloring(triangle, {0: 0, 1: 1, 2: 2})
+
+    def test_verify_raises_with_message(self, triangle):
+        with pytest.raises(ValueError, match="share color"):
+            verify_coloring(triangle, {0: 1, 1: 1, 2: 2})
+        with pytest.raises(ValueError, match="no color"):
+            verify_coloring(triangle, {0: 1, 1: 2})
+
+    def test_verify_degree_bounded(self, triangle):
+        verify_coloring(triangle, {0: 1, 1: 2, 2: 3}, require_degree_bounded=True)
+        with pytest.raises(ValueError, match="exceeding"):
+            verify_coloring(triangle, {0: 1, 1: 2, 2: 9}, require_degree_bounded=True)
+
+
+class TestHelpers:
+    def test_color_classes(self):
+        classes = color_classes({0: 1, 1: 2, 2: 1, 3: 3})
+        assert classes == {1: [0, 2], 2: [1], 3: [3]}
+
+    def test_max_color(self):
+        assert max_color({0: 2, 1: 5}) == 5
+        assert max_color({}) == 0
+
+    def test_greedy_color_for(self, triangle):
+        assert greedy_color_for(0, triangle, {1: 1, 2: 2}) == 3
+        assert greedy_color_for(0, triangle, {1: 1, 2: 2}, start=5) == 5
+        assert greedy_color_for(0, triangle, {1: 5, 2: 6}, forbidden=[1, 2]) == 3
+
+
+class TestColoringClass:
+    def test_construction_validates(self, triangle):
+        with pytest.raises(ValueError):
+            Coloring(graph=triangle, colors={0: 1, 1: 1, 2: 2})
+
+    def test_queries(self, triangle):
+        coloring = Coloring(graph=triangle, colors={0: 1, 1: 2, 2: 4}, algorithm="test")
+        assert coloring.color_of(2) == 4
+        assert coloring.num_colors() == 3
+        assert coloring.max_color() == 4
+        assert coloring.histogram() == {1: 1, 2: 1, 4: 1}
+        assert not coloring.is_degree_bounded()  # color 4 > deg 2 + 1
+
+    def test_classes_are_independent_sets(self, square_with_diagonal):
+        coloring = Coloring(graph=square_with_diagonal, colors={0: 1, 1: 2, 2: 1, 3: 3})
+        for nodes in coloring.classes().values():
+            assert square_with_diagonal.is_independent_set(nodes)
+
+    def test_relabel_compact(self, triangle):
+        coloring = Coloring(graph=triangle, colors={0: 2, 1: 5, 2: 9})
+        compact = coloring.relabel_compact()
+        assert sorted(compact.colors.values()) == [1, 2, 3]
+        assert compact.max_color() == 3
+        # relabelling preserves legality and relative order
+        assert compact.colors[0] < compact.colors[1] < compact.colors[2]

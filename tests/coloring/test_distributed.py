@@ -1,0 +1,83 @@
+"""Tests for the LOCAL-model randomized (deg+1)-coloring (the BEPS stand-in)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.coloring.distributed import DistributedColoringProcess, distributed_deg_plus_one_coloring
+from repro.core.problem import ConflictGraph
+from repro.graphs.families import clique, complete_bipartite, cycle, star
+from repro.graphs.random_graphs import erdos_renyi
+
+
+class TestProcessValidation:
+    def test_rejects_empty_palette(self):
+        with pytest.raises(ValueError):
+            DistributedColoringProcess(index=0, palette=[])
+
+    def test_rejects_nonpositive_colors(self):
+        with pytest.raises(ValueError):
+            DistributedColoringProcess(index=0, palette=[0, 1])
+
+
+class TestDistributedColoring:
+    def test_legal_and_degree_bounded(self, graph_zoo):
+        for graph in graph_zoo:
+            coloring = distributed_deg_plus_one_coloring(graph, seed=1)
+            assert coloring.is_degree_bounded()
+            assert coloring.rounds is not None and coloring.rounds >= 1
+
+    def test_deterministic_given_seed(self, medium_random):
+        a = distributed_deg_plus_one_coloring(medium_random, seed=5)
+        b = distributed_deg_plus_one_coloring(medium_random, seed=5)
+        assert a.colors == b.colors
+
+    def test_different_seeds_usually_differ(self, medium_random):
+        a = distributed_deg_plus_one_coloring(medium_random, seed=1)
+        b = distributed_deg_plus_one_coloring(medium_random, seed=2)
+        # Not a hard guarantee, but with 24 nodes identical colorings are astronomically unlikely.
+        assert a.colors != b.colors
+
+    def test_clique_uses_all_colors(self):
+        coloring = distributed_deg_plus_one_coloring(clique(6), seed=3)
+        assert sorted(coloring.colors.values()) == [1, 2, 3, 4, 5, 6]
+
+    def test_single_node(self):
+        g = ConflictGraph(nodes=["solo"])
+        coloring = distributed_deg_plus_one_coloring(g, seed=0)
+        assert coloring.colors == {"solo": 1}
+
+    def test_empty_graph(self):
+        coloring = distributed_deg_plus_one_coloring(ConflictGraph(), seed=0)
+        assert coloring.colors == {}
+
+    def test_star_terminates_quickly(self):
+        coloring = distributed_deg_plus_one_coloring(star(30), seed=7)
+        assert coloring.rounds <= 100
+
+    def test_restricted_palettes_respected(self):
+        g = cycle(6)
+        palettes = {p: [10, 20, 30] for p in g.nodes()}
+        coloring = distributed_deg_plus_one_coloring(g, seed=2, palettes=palettes)
+        assert set(coloring.colors.values()) <= {10, 20, 30}
+
+    def test_missing_palette_rejected(self):
+        g = cycle(4)
+        with pytest.raises(ValueError):
+            distributed_deg_plus_one_coloring(g, seed=0, palettes={0: [1, 2]})
+
+    def test_message_accounting(self):
+        coloring = distributed_deg_plus_one_coloring(complete_bipartite(4, 4), seed=1)
+        assert coloring.messages is not None and coloring.messages > 0
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    n=st.integers(min_value=1, max_value=20),
+    p=st.floats(min_value=0.0, max_value=0.6),
+    seed=st.integers(min_value=0, max_value=1000),
+)
+def test_property_distributed_coloring_always_legal_and_bounded(n, p, seed):
+    g = erdos_renyi(n, p, seed=seed)
+    coloring = distributed_deg_plus_one_coloring(g, seed=seed)
+    assert coloring.is_degree_bounded()
+    assert set(coloring.colors) == set(g.nodes())

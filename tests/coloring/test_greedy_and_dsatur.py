@@ -1,0 +1,106 @@
+"""Tests for the sequential coloring heuristics (greedy variants and DSATUR)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.coloring.dsatur import dsatur_coloring
+from repro.coloring.greedy import (
+    degree_descending_coloring,
+    greedy_coloring,
+    smallest_last_coloring,
+)
+from repro.core.problem import ConflictGraph
+from repro.graphs.families import clique, complete_bipartite, cycle, path, random_tree, star
+from repro.graphs.random_graphs import erdos_renyi
+
+ALL_COLORINGS = [greedy_coloring, degree_descending_coloring, smallest_last_coloring, dsatur_coloring]
+
+
+class TestGreedyColoring:
+    def test_respects_custom_order(self):
+        g = path(4)
+        coloring = greedy_coloring(g, order=[0, 2, 1, 3])
+        assert coloring.colors[0] == 1 and coloring.colors[2] == 1
+
+    def test_rejects_bad_order(self):
+        g = path(4)
+        with pytest.raises(ValueError):
+            greedy_coloring(g, order=[0, 1, 2])
+        with pytest.raises(ValueError):
+            greedy_coloring(g, order=[0, 1, 2, 2])
+
+    def test_degree_bounded(self, graph_zoo):
+        for graph in graph_zoo:
+            assert greedy_coloring(graph).is_degree_bounded()
+
+    def test_empty_graph(self):
+        coloring = greedy_coloring(ConflictGraph())
+        assert coloring.colors == {}
+
+
+class TestSpecificFamilies:
+    @pytest.mark.parametrize("coloring_fn", ALL_COLORINGS)
+    def test_clique_needs_n_colors(self, coloring_fn):
+        coloring = coloring_fn(clique(6))
+        assert coloring.num_colors() == 6
+
+    @pytest.mark.parametrize("coloring_fn", ALL_COLORINGS)
+    def test_star_needs_two_colors(self, coloring_fn):
+        coloring = coloring_fn(star(8))
+        assert coloring.num_colors() == 2
+
+    def test_dsatur_optimal_on_bipartite(self):
+        assert dsatur_coloring(complete_bipartite(5, 7)).num_colors() == 2
+
+    def test_smallest_last_two_colors_on_trees(self):
+        assert smallest_last_coloring(random_tree(40, seed=1)).num_colors() == 2
+
+    def test_even_cycle_two_colors_smallest_last(self):
+        assert smallest_last_coloring(cycle(10)).num_colors() == 2
+
+    def test_odd_cycle_three_colors(self):
+        for fn in ALL_COLORINGS:
+            assert fn(cycle(9)).num_colors() == 3
+
+    def test_degree_descending_is_degree_bounded(self, medium_random):
+        assert degree_descending_coloring(medium_random).is_degree_bounded()
+
+
+class TestDSatur:
+    def test_legal_on_random_graphs(self):
+        for seed in range(4):
+            g = erdos_renyi(30, 0.25, seed=seed)
+            coloring = dsatur_coloring(g)  # construction verifies legality
+            assert coloring.algorithm == "dsatur"
+
+    def test_no_worse_than_greedy_on_random(self):
+        worse = 0
+        for seed in range(6):
+            g = erdos_renyi(40, 0.2, seed=seed)
+            if dsatur_coloring(g).num_colors() > greedy_coloring(g).num_colors():
+                worse += 1
+        assert worse <= 1  # DSATUR should essentially never lose to plain greedy
+
+    def test_empty_graph(self):
+        assert dsatur_coloring(ConflictGraph()).colors == {}
+
+    def test_isolated_nodes_get_color_one(self):
+        g = ConflictGraph(nodes=[0, 1, 2])
+        coloring = dsatur_coloring(g)
+        assert set(coloring.colors.values()) == {1}
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    n=st.integers(min_value=2, max_value=25),
+    p=st.floats(min_value=0.0, max_value=0.7),
+    seed=st.integers(min_value=0, max_value=10**6),
+)
+def test_property_all_heuristics_produce_legal_colorings(n, p, seed):
+    """Every heuristic yields a legal coloring on arbitrary G(n, p) instances
+    (legality is enforced by the Coloring constructor, so construction
+    succeeding is the assertion)."""
+    g = erdos_renyi(n, p, seed=seed)
+    for fn in ALL_COLORINGS:
+        coloring = fn(g)
+        assert set(coloring.colors) == set(g.nodes())

@@ -1,0 +1,125 @@
+"""Tests for the Section 5 modular slot assignment (sequential + distributed)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.coloring.slot_assignment import (
+    ModularSlotAssignment,
+    distributed_slot_assignment,
+    modulus_for_degree,
+    sequential_slot_assignment,
+)
+from repro.core.problem import ConflictGraph
+from repro.graphs.families import clique, complete_bipartite, path, star
+from repro.graphs.random_graphs import barabasi_albert, erdos_renyi
+
+
+class TestModulusForDegree:
+    def test_values(self):
+        assert modulus_for_degree(0) == 1
+        assert modulus_for_degree(1) == 2
+        assert modulus_for_degree(2) == 4
+        assert modulus_for_degree(3) == 4
+        assert modulus_for_degree(4) == 8
+
+    def test_theorem_53_bound(self):
+        for d in range(1, 300):
+            assert d + 1 <= modulus_for_degree(d) <= 2 * d
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            modulus_for_degree(-1)
+
+
+class TestModularSlotAssignmentValidation:
+    def test_rejects_missing_node(self, square_with_diagonal):
+        with pytest.raises(ValueError):
+            ModularSlotAssignment(square_with_diagonal, slots={0: 0}, moduli={0: 1})
+
+    def test_rejects_non_power_of_two_modulus(self):
+        g = ConflictGraph(nodes=[0])
+        with pytest.raises(ValueError):
+            ModularSlotAssignment(g, slots={0: 0}, moduli={0: 3})
+
+    def test_rejects_out_of_range_slot(self):
+        g = ConflictGraph(nodes=[0])
+        with pytest.raises(ValueError):
+            ModularSlotAssignment(g, slots={0: 4}, moduli={0: 4})
+
+    def test_verify_conflict_free_catches_collision(self):
+        g = ConflictGraph.from_edges([(0, 1)])
+        bad = ModularSlotAssignment(g, slots={0: 1, 1: 1}, moduli={0: 2, 1: 4})
+        with pytest.raises(AssertionError):
+            bad.verify_conflict_free()
+
+
+@pytest.mark.parametrize("builder", [sequential_slot_assignment, distributed_slot_assignment])
+class TestConstructions:
+    def test_moduli_match_degrees(self, builder, graph_zoo):
+        for graph in graph_zoo:
+            assignment = builder(graph)
+            for p in graph.nodes():
+                assert assignment.moduli[p] == modulus_for_degree(graph.degree(p))
+
+    def test_conflict_free(self, builder, graph_zoo):
+        for graph in graph_zoo:
+            builder(graph).verify_conflict_free()  # raises on failure
+
+    def test_schedule_periods_equal_moduli(self, builder, square_with_diagonal):
+        assignment = builder(square_with_diagonal)
+        schedule = assignment.to_schedule()
+        for p in square_with_diagonal.nodes():
+            assert schedule.node_period(p) == assignment.moduli[p]
+
+    def test_star_hub_period(self, builder):
+        g = star(6)
+        assignment = builder(g)
+        assert assignment.period_of(0) == 8
+        assert all(assignment.period_of(leaf) == 2 for leaf in range(1, 7))
+
+    def test_clique_all_distinct_slots(self, builder):
+        g = clique(4)
+        assignment = builder(g)
+        assert len(set(assignment.slots.values())) == 4
+        assert set(assignment.moduli.values()) == {4}
+
+    def test_isolated_nodes_host_every_holiday(self, builder):
+        g = ConflictGraph(edges=[(0, 1)], nodes=[7, 8])
+        assignment = builder(g)
+        assert assignment.moduli[7] == 1 and assignment.slots[7] == 0
+
+
+class TestDistributedSpecifics:
+    def test_reports_communication_cost(self):
+        assignment = distributed_slot_assignment(barabasi_albert(40, 2, seed=3), seed=1)
+        assert assignment.rounds is not None and assignment.rounds >= 1
+        assert assignment.messages is not None and assignment.messages > 0
+
+    def test_deterministic_given_seed(self, medium_random):
+        a = distributed_slot_assignment(medium_random, seed=4)
+        b = distributed_slot_assignment(medium_random, seed=4)
+        assert a.slots == b.slots
+
+    def test_agrees_with_sequential_on_moduli(self, medium_random):
+        seq = sequential_slot_assignment(medium_random)
+        dist = distributed_slot_assignment(medium_random, seed=9)
+        assert seq.moduli == dist.moduli  # periods are determined by degrees only
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    n=st.integers(min_value=1, max_value=24),
+    p=st.floats(min_value=0.0, max_value=0.5),
+    seed=st.integers(min_value=0, max_value=10**4),
+)
+def test_property_sequential_assignment_sound(n, p, seed):
+    """On arbitrary random graphs the Section 5.1 construction is conflict-free
+    and every modulus obeys the 2^ceil(log(d+1)) <= 2d bound."""
+    g = erdos_renyi(n, p, seed=seed)
+    assignment = sequential_slot_assignment(g)
+    assignment.verify_conflict_free()
+    for node in g.nodes():
+        d = g.degree(node)
+        assert assignment.moduli[node] == modulus_for_degree(d)
+        if d >= 1:
+            assert assignment.moduli[node] <= 2 * d

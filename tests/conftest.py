@@ -1,0 +1,60 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.problem import ConflictGraph
+from repro.graphs.families import clique, complete_bipartite, cycle, path, star
+from repro.graphs.random_graphs import erdos_renyi
+from repro.graphs.society import random_society
+
+
+@pytest.fixture
+def square_with_diagonal() -> ConflictGraph:
+    """A 4-cycle plus one diagonal: small, non-bipartite, heterogeneous degrees."""
+    return ConflictGraph.from_edges([(0, 1), (1, 2), (2, 3), (3, 0), (1, 3)], name="square+diag")
+
+
+@pytest.fixture
+def small_star() -> ConflictGraph:
+    """A hub with five leaves."""
+    return star(5)
+
+
+@pytest.fixture
+def small_clique() -> ConflictGraph:
+    """K5 — the tight instance for degree bounds."""
+    return clique(5)
+
+
+@pytest.fixture
+def small_bipartite() -> ConflictGraph:
+    """K_{3,4} — the two-group society of the introduction."""
+    return complete_bipartite(3, 4)
+
+
+@pytest.fixture
+def medium_random() -> ConflictGraph:
+    """A moderately dense random graph for integration-style checks."""
+    return erdos_renyi(24, 0.2, seed=42)
+
+
+@pytest.fixture
+def graph_zoo(square_with_diagonal, small_star, small_clique, small_bipartite, medium_random):
+    """A list of diverse graphs for parametrised sweeps inside tests."""
+    return [
+        square_with_diagonal,
+        small_star,
+        small_clique,
+        small_bipartite,
+        path(7),
+        cycle(8),
+        medium_random,
+    ]
+
+
+@pytest.fixture
+def small_society():
+    """A reproducible random society with ~20 families."""
+    return random_society(num_families=20, mean_children=2.5, marriage_fraction=0.8, seed=3)

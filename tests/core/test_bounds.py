@@ -1,0 +1,90 @@
+"""Tests for the theoretical bound calculators."""
+
+import pytest
+
+from repro.core.bounds import (
+    bound_table,
+    degree_plus_one_bound,
+    delta_plus_one_bound,
+    elias_color_bound,
+    elias_color_bound_exact,
+    fair_share_bound,
+    periodic_degree_bound,
+    periodic_degree_bound_value,
+)
+from repro.core.phi import rho_ceil
+from repro.graphs.families import clique, star
+
+
+class TestDegreeBounds:
+    def test_delta_plus_one_is_global(self, square_with_diagonal):
+        bounds = delta_plus_one_bound(square_with_diagonal)
+        assert set(bounds.values()) == {4}
+
+    def test_degree_plus_one_is_local(self, square_with_diagonal):
+        bounds = degree_plus_one_bound(square_with_diagonal)
+        assert bounds[0] == 3
+        assert bounds[1] == 4
+
+    def test_fair_share_equals_degree_plus_one(self, square_with_diagonal):
+        assert fair_share_bound(square_with_diagonal) == degree_plus_one_bound(square_with_diagonal)
+
+
+class TestPeriodicDegreeBound:
+    def test_values(self):
+        assert periodic_degree_bound_value(0) == 1
+        assert periodic_degree_bound_value(1) == 2
+        assert periodic_degree_bound_value(2) == 4
+        assert periodic_degree_bound_value(3) == 4
+        assert periodic_degree_bound_value(4) == 8
+        assert periodic_degree_bound_value(7) == 8
+        assert periodic_degree_bound_value(8) == 16
+
+    def test_at_most_twice_degree(self):
+        for d in range(1, 200):
+            assert periodic_degree_bound_value(d) <= 2 * d
+            assert periodic_degree_bound_value(d) >= d + 1
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            periodic_degree_bound_value(-1)
+
+    def test_graph_mapping(self):
+        g = star(6)
+        bounds = periodic_degree_bound(g)
+        assert bounds[0] == 8  # hub, degree 6
+        assert all(bounds[leaf] == 2 for leaf in range(1, 7))
+
+
+class TestEliasColorBounds:
+    def test_exact_is_power_of_two(self):
+        for c in range(1, 50):
+            exact = elias_color_bound_exact(c)
+            assert exact == 2 ** rho_ceil(c)
+
+    def test_closed_form_dominates_exact(self):
+        for c in range(1, 500):
+            assert elias_color_bound(c) >= elias_color_bound_exact(c) * 0.999
+
+
+class TestBoundTable:
+    def test_without_coloring(self, square_with_diagonal):
+        table = bound_table(square_with_diagonal)
+        row = table[1]
+        assert row["degree"] == 3
+        assert row["delta_plus_one"] == 4
+        assert row["thm31_degree_plus_one"] == 4
+        assert row["thm53_periodic_degree"] == 4
+        assert "thm42_exact_period" not in row
+
+    def test_with_coloring(self, square_with_diagonal):
+        coloring = {0: 1, 1: 2, 2: 1, 3: 3}
+        table = bound_table(square_with_diagonal, coloring)
+        assert table[3]["color"] == 3
+        assert table[3]["thm42_exact_period"] == elias_color_bound_exact(3)
+
+    def test_clique_bounds_all_equal(self):
+        g = clique(6)
+        table = bound_table(g)
+        assert {row["thm31_degree_plus_one"] for row in table.values()} == {6.0}
+        assert {row["thm53_periodic_degree"] for row in table.values()} == {8.0}

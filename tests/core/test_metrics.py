@@ -1,0 +1,157 @@
+"""Tests for the mul / period / fairness metrics."""
+
+import pytest
+
+from repro.core.metrics import (
+    HappinessTrace,
+    evaluate_schedule,
+    happiness_rates,
+    jain_fairness_index,
+    materialize,
+    max_unhappiness_lengths,
+    normalized_gaps,
+    observed_periods,
+    unhappiness_gaps,
+)
+from repro.core.problem import ConflictGraph
+from repro.core.schedule import ExplicitSchedule, PeriodicSchedule, SlotAssignment
+
+
+@pytest.fixture
+def line_graph():
+    return ConflictGraph.from_edges([(0, 1), (1, 2)], name="p3")
+
+
+@pytest.fixture
+def alternating_schedule(line_graph):
+    """0 and 2 on odd holidays, 1 on even holidays."""
+    return PeriodicSchedule(
+        line_graph,
+        {
+            0: SlotAssignment(2, 1),
+            1: SlotAssignment(2, 0),
+            2: SlotAssignment(2, 1),
+        },
+    )
+
+
+class TestMaterialize:
+    def test_from_schedule(self, alternating_schedule, line_graph):
+        sets = materialize(alternating_schedule, line_graph, 4)
+        assert sets == [frozenset({0, 2}), frozenset({1}), frozenset({0, 2}), frozenset({1})]
+
+    def test_from_sequence(self, line_graph):
+        sets = materialize([[0], [1], [2]], line_graph, 2)
+        assert sets == [frozenset({0}), frozenset({1})]
+
+    def test_too_short_sequence(self, line_graph):
+        with pytest.raises(ValueError):
+            materialize([[0]], line_graph, 5)
+
+    def test_bad_horizon(self, alternating_schedule, line_graph):
+        with pytest.raises(ValueError):
+            materialize(alternating_schedule, line_graph, 0)
+
+
+class TestHappinessTrace:
+    def test_gaps_basic(self, line_graph):
+        # node 0 appears at holidays 2 and 5 over a horizon of 6
+        schedule = ExplicitSchedule(line_graph, [[], [0], [], [], [0], []])
+        trace = HappinessTrace.from_schedule(schedule, line_graph, 6)
+        assert trace.gaps(0) == [1, 2, 1]
+        assert trace.mul(0) == 2
+
+    def test_never_happy(self, line_graph):
+        schedule = ExplicitSchedule(line_graph, [[], [], []])
+        trace = HappinessTrace.from_schedule(schedule, line_graph, 3)
+        assert trace.gaps(1) == [3]
+        assert trace.mul(1) == 3
+
+    def test_always_happy(self, line_graph):
+        schedule = ExplicitSchedule(line_graph, [[0], [0], [0]])
+        trace = HappinessTrace.from_schedule(schedule, line_graph, 3)
+        assert trace.mul(0) == 0
+
+    def test_observed_period_constant(self, alternating_schedule, line_graph):
+        trace = HappinessTrace.from_schedule(alternating_schedule, line_graph, 12)
+        assert trace.observed_period(0) == 2
+        assert trace.observed_period(1) == 2
+
+    def test_observed_period_varying(self, line_graph):
+        schedule = ExplicitSchedule(line_graph, [[0], [], [0], [0], [], []])
+        trace = HappinessTrace.from_schedule(schedule, line_graph, 6)
+        assert trace.observed_period(0) is None
+
+    def test_observed_period_insufficient_data(self, line_graph):
+        schedule = ExplicitSchedule(line_graph, [[0], [], []])
+        trace = HappinessTrace.from_schedule(schedule, line_graph, 3)
+        assert trace.observed_period(0) is None
+
+    def test_happiness_rate(self, alternating_schedule, line_graph):
+        trace = HappinessTrace.from_schedule(alternating_schedule, line_graph, 10)
+        assert trace.happiness_rate(1) == pytest.approx(0.5)
+
+
+class TestTopLevelMetrics:
+    def test_max_unhappiness_lengths(self, alternating_schedule, line_graph):
+        muls = max_unhappiness_lengths(alternating_schedule, line_graph, 10)
+        assert muls == {0: 1, 1: 1, 2: 1}
+
+    def test_unhappiness_gaps(self, alternating_schedule, line_graph):
+        gaps = unhappiness_gaps(alternating_schedule, line_graph, 6)
+        assert all(max(g) <= 1 for g in gaps.values())
+
+    def test_observed_periods(self, alternating_schedule, line_graph):
+        periods = observed_periods(alternating_schedule, line_graph, 10)
+        assert periods == {0: 2, 1: 2, 2: 2}
+
+    def test_happiness_rates(self, alternating_schedule, line_graph):
+        rates = happiness_rates(alternating_schedule, line_graph, 10)
+        assert rates[0] == pytest.approx(0.5)
+
+    def test_normalized_gaps(self, line_graph):
+        muls = {0: 2, 1: 4, 2: 2}
+        norm = normalized_gaps(muls, line_graph)
+        assert norm[0] == pytest.approx(2 / 2)   # degree 1
+        assert norm[1] == pytest.approx(4 / 3)   # degree 2
+
+
+class TestJainIndex:
+    def test_perfectly_fair(self):
+        assert jain_fairness_index([3.0, 3.0, 3.0]) == pytest.approx(1.0)
+
+    def test_maximally_unfair(self):
+        # one user gets everything: index -> 1/n
+        assert jain_fairness_index([1.0, 0.0, 0.0, 0.0]) == pytest.approx(0.25)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            jain_fairness_index([])
+
+    def test_all_zero(self):
+        assert jain_fairness_index([0.0, 0.0]) == 1.0
+
+
+class TestEvaluateSchedule:
+    def test_report_fields(self, alternating_schedule, line_graph):
+        report = evaluate_schedule(alternating_schedule, line_graph, 12, name="alt")
+        assert report.name == "alt"
+        assert report.max_mul == 1
+        assert report.mean_mul == pytest.approx(1.0)
+        assert report.all_periodic
+        assert 0.0 < report.fairness <= 1.0
+        summary = report.summary()
+        assert set(summary) == {
+            "max_mul",
+            "mean_mul",
+            "max_norm_gap",
+            "mean_norm_gap",
+            "fairness",
+            "periodic_fraction",
+        }
+
+    def test_report_normalised_gap(self, alternating_schedule, line_graph):
+        report = evaluate_schedule(alternating_schedule, line_graph, 12)
+        # node 1 has degree 2, mul 1 -> 1/3
+        assert report.normalized[1] == pytest.approx(1 / 3)
+        assert report.max_normalized_gap == pytest.approx(0.5)

@@ -1,0 +1,180 @@
+"""Tests for the iterated-log machinery behind the Section 4 bounds."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.coding.elias import omega_length
+from repro.core.phi import (
+    condensation_feasible,
+    elias_period_bound,
+    iterated_log,
+    iterated_log_chain,
+    log_star,
+    minimal_divergent_profile,
+    phi,
+    phi_int,
+    reciprocal_sum,
+    reciprocal_sum_partial,
+    rho_ceil,
+)
+
+
+class TestLogStar:
+    def test_known_values(self):
+        assert log_star(1) == 0
+        assert log_star(2) == 1
+        assert log_star(4) == 2
+        assert log_star(16) == 3
+        assert log_star(65536) == 4
+        assert log_star(65537) == 5
+
+    def test_below_one(self):
+        assert log_star(0.5) == 0
+        assert log_star(0) == 0
+
+    @given(st.integers(min_value=2, max_value=10**9))
+    def test_monotone(self, n):
+        assert log_star(n) >= log_star(n - 1)
+
+    def test_grows_very_slowly(self):
+        assert log_star(2**64) <= 5
+
+
+class TestIteratedLog:
+    def test_zero_times_identity(self):
+        assert iterated_log(100.0, 0) == 100.0
+
+    def test_twice(self):
+        assert iterated_log(256.0, 2) == pytest.approx(3.0)
+
+    def test_negative_times_rejected(self):
+        with pytest.raises(ValueError):
+            iterated_log(4.0, -1)
+
+    def test_undefined_intermediate(self):
+        with pytest.raises(ValueError):
+            iterated_log(1.0, 2)  # log2(1)=0, next step undefined
+
+    def test_chain_terminates(self):
+        chain = iterated_log_chain(1000.0)
+        assert chain[0] == 1000.0
+        assert chain[-1] <= 1.0
+        assert all(a > b for a, b in zip(chain, chain[1:]) if a > 2)
+
+
+class TestPhi:
+    def test_base_cases(self):
+        assert phi(0.5) == 1.0
+        assert phi(1.0) == 1.0
+
+    def test_two(self):
+        # phi(2) = 2 * phi(1) = 2
+        assert phi(2.0) == pytest.approx(2.0)
+
+    def test_four(self):
+        # phi(4) = 4 * phi(2) = 8
+        assert phi(4.0) == pytest.approx(8.0)
+
+    def test_sixteen(self):
+        # phi(16) = 16 * phi(4) = 16 * 8 = 128
+        assert phi(16.0) == pytest.approx(128.0)
+
+    def test_equals_product_of_chain(self):
+        for x in (3.0, 10.0, 100.0, 12345.0):
+            chain = iterated_log_chain(x)
+            product = 1.0
+            for value in chain:
+                if value > 1.0:
+                    product *= value
+            assert phi(x) == pytest.approx(product)
+
+    def test_phi_int_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            phi_int(0)
+
+    @given(st.integers(min_value=2, max_value=10**6))
+    def test_superlinear_but_subquadratic(self, c):
+        value = phi_int(c)
+        assert value >= c
+        assert value <= c ** 2  # phi(c) = c * polylog(c) << c^2 for c >= 2
+
+
+class TestRho:
+    def test_known_values(self):
+        # Exact Elias omega code lengths: 1 -> '0' (1 bit), 2 -> '100' (3),
+        # 9 -> '1110010' (7 bits).
+        assert rho_ceil(1) == 1
+        assert rho_ceil(2) == 3
+        assert rho_ceil(9) == 7
+
+    def test_matches_exact_omega_length(self):
+        for i in range(1, 2000):
+            assert rho_ceil(i) == omega_length(i)
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            rho_ceil(0)
+
+    @given(st.integers(min_value=1, max_value=10**9))
+    def test_rho_close_to_log(self, i):
+        """ρ(i) = log i + O(log log i) — sanity-check the leading term."""
+        if i >= 2:
+            assert rho_ceil(i) >= math.floor(math.log2(i)) + 1
+            assert rho_ceil(i) <= math.log2(i) + 3 * (math.log2(math.log2(i) + 1) + 2)
+
+
+class TestEliasPeriodBound:
+    def test_theorem_42_dominates_exact_period(self):
+        """2^{1+log* c}·φ(c) >= 2^{ρ(c)} for every color (Theorem 4.2)."""
+        for c in range(1, 3000):
+            assert elias_period_bound(c) >= 2 ** rho_ceil(c) * 0.999
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            elias_period_bound(0)
+
+
+class TestReciprocalSums:
+    def test_reciprocal_sum_simple(self):
+        assert reciprocal_sum(lambda c: 2.0**c, [1, 2, 3]) == pytest.approx(0.875)
+
+    def test_rejects_nonpositive_f(self):
+        with pytest.raises(ValueError):
+            reciprocal_sum(lambda c: 0.0, [1])
+
+    def test_partial_sums_monotone(self):
+        sums = reciprocal_sum_partial(lambda c: float(c) ** 2, 100)
+        assert all(b >= a for a, b in zip(sums, sums[1:]))
+        assert sums[-1] < math.pi**2 / 6 + 1e-9
+
+    def test_identity_function_infeasible(self):
+        """f(c) = c violates Σ 1/f(c) <= 1 almost immediately (Theorem 4.1 discussion)."""
+        feasible, first_violation = condensation_feasible(lambda c: float(c), 100)
+        assert not feasible
+        assert first_violation <= 3
+
+    def test_exponential_function_feasible(self):
+        """f(c) = 2^c satisfies the constraint for any number of colors."""
+        feasible, violation = condensation_feasible(lambda c: 2.0**c, 10_000)
+        assert feasible
+        assert violation == 0
+
+    def test_c_power_infeasible_slower_than_linear(self):
+        """f(c) = c^1.2 stays feasible longer than f(c) = c but eventually could violate
+        only past a huge horizon; within 10^5 colors its prefix sum stays below ~4.3."""
+        feasible_linear, v_linear = condensation_feasible(lambda c: float(c), 10_000)
+        sums = reciprocal_sum_partial(lambda c: float(c) ** 1.2, 200)
+        assert not feasible_linear and v_linear <= 3
+        assert sums[-1] > 1.0  # the milder power still blows the budget within 200 colors
+
+    def test_phi_scaled_profile_positive(self):
+        profile = minimal_divergent_profile(50, scale=2.0)
+        assert len(profile) == 50
+        assert all(p > 0 for p in profile)
+        assert profile[0] == pytest.approx(2.0)
+
+    def test_minimal_divergent_profile_rejects_bad_args(self):
+        with pytest.raises(ValueError):
+            minimal_divergent_profile(0)

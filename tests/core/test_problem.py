@@ -1,0 +1,185 @@
+"""Tests for ConflictGraph and Gathering (Definitions 2.1 / A.1)."""
+
+import networkx as nx
+import pytest
+
+from repro.core.problem import ConflictGraph, Gathering, orientation_towards
+
+
+class TestConflictGraphConstruction:
+    def test_from_edges(self):
+        g = ConflictGraph.from_edges([(0, 1), (1, 2)])
+        assert g.num_nodes() == 3
+        assert g.num_edges() == 2
+
+    def test_isolated_nodes(self):
+        g = ConflictGraph(edges=[(0, 1)], nodes=[5, 6])
+        assert g.num_nodes() == 4
+        assert g.degree(5) == 0
+
+    def test_rejects_self_loops(self):
+        with pytest.raises(ValueError):
+            ConflictGraph(edges=[(1, 1)])
+
+    def test_parallel_edges_collapse(self):
+        g = ConflictGraph(edges=[(0, 1), (1, 0), (0, 1)])
+        assert g.num_edges() == 1
+
+    def test_from_networkx_rejects_directed(self):
+        with pytest.raises(ValueError):
+            ConflictGraph.from_networkx(nx.DiGraph([(0, 1)]))
+
+    def test_from_networkx_rejects_self_loop(self):
+        graph = nx.Graph()
+        graph.add_edge(2, 2)
+        with pytest.raises(ValueError):
+            ConflictGraph.from_networkx(graph)
+
+    def test_from_couples(self):
+        g = ConflictGraph.from_couples([("smith", "jones"), ("smith", "lee")])
+        assert g.degree("smith") == 2
+        assert g.has_edge("smith", "jones")
+
+    def test_to_networkx_is_copy(self):
+        g = ConflictGraph.from_edges([(0, 1)])
+        nxg = g.to_networkx()
+        nxg.add_edge(5, 6)
+        assert g.num_nodes() == 2
+
+    def test_copy_independent(self):
+        g = ConflictGraph.from_edges([(0, 1)])
+        h = g.copy()
+        h.add_edge(1, 2)
+        assert g.num_edges() == 1
+        assert h.num_edges() == 2
+
+
+class TestConflictGraphQueries:
+    def test_degrees_and_max_degree(self, square_with_diagonal):
+        degrees = square_with_diagonal.degrees()
+        assert degrees == {0: 2, 1: 3, 2: 2, 3: 3}
+        assert square_with_diagonal.max_degree() == 3
+
+    def test_empty_graph_max_degree(self):
+        assert ConflictGraph().max_degree() == 0
+
+    def test_neighbors_sorted(self, square_with_diagonal):
+        assert square_with_diagonal.neighbors(1) == [0, 2, 3]
+
+    def test_stable_node_order(self):
+        g = ConflictGraph(edges=[(3, 1), (2, 0)])
+        assert g.nodes() == [0, 1, 2, 3]
+
+    def test_stable_order_heterogeneous_nodes(self):
+        g = ConflictGraph(edges=[("b", 1)], nodes=["a"])
+        assert len(g.nodes()) == 3  # must not raise despite unorderable mix
+
+    def test_index_of_is_consistent(self, square_with_diagonal):
+        for i, p in enumerate(square_with_diagonal.nodes()):
+            assert square_with_diagonal.index_of(p) == i
+
+    def test_incident_edges(self, square_with_diagonal):
+        edges = square_with_diagonal.incident_edges(1)
+        assert len(edges) == 3
+        assert all(e[0] == 1 for e in edges)
+
+    def test_is_independent_set(self, square_with_diagonal):
+        assert square_with_diagonal.is_independent_set([0, 2])
+        assert not square_with_diagonal.is_independent_set([1, 3])
+        assert square_with_diagonal.is_independent_set([])
+
+    def test_is_independent_set_unknown_node(self, square_with_diagonal):
+        with pytest.raises(ValueError):
+            square_with_diagonal.is_independent_set([99])
+
+    def test_subgraph(self, square_with_diagonal):
+        sub = square_with_diagonal.subgraph([0, 1, 2])
+        assert sub.num_nodes() == 3
+        assert sub.num_edges() == 2
+
+    def test_contains_and_len(self, square_with_diagonal):
+        assert 0 in square_with_diagonal
+        assert 99 not in square_with_diagonal
+        assert len(square_with_diagonal) == 4
+
+
+class TestConflictGraphMutation:
+    def test_add_edge_new_node(self):
+        g = ConflictGraph.from_edges([(0, 1)])
+        g.add_edge(1, 2)
+        assert g.degree(1) == 2
+        assert 2 in g
+
+    def test_add_edge_rejects_self_loop(self):
+        g = ConflictGraph.from_edges([(0, 1)])
+        with pytest.raises(ValueError):
+            g.add_edge(0, 0)
+
+    def test_remove_edge(self):
+        g = ConflictGraph.from_edges([(0, 1), (1, 2)])
+        g.remove_edge(0, 1)
+        assert not g.has_edge(0, 1)
+        assert g.degree(1) == 1
+
+    def test_remove_missing_edge_raises(self):
+        g = ConflictGraph.from_edges([(0, 1)])
+        with pytest.raises(KeyError):
+            g.remove_edge(0, 2)
+
+    def test_add_node(self):
+        g = ConflictGraph.from_edges([(0, 1)])
+        g.add_node(7)
+        assert 7 in g
+        assert g.degree(7) == 0
+
+
+class TestGathering:
+    def test_happy_is_sink(self, square_with_diagonal):
+        gathering = orientation_towards(square_with_diagonal, [1])
+        assert gathering.is_happy(1)
+        assert not gathering.is_happy(0)
+        assert not gathering.is_happy(2)
+
+    def test_happy_set_is_independent(self, square_with_diagonal):
+        gathering = orientation_towards(square_with_diagonal, [0, 2])
+        happy = gathering.happy_set()
+        assert {0, 2} <= happy
+        assert square_with_diagonal.is_independent_set(happy)
+
+    def test_orientation_rejects_dependent_happy_set(self, square_with_diagonal):
+        with pytest.raises(ValueError):
+            orientation_towards(square_with_diagonal, [1, 3])
+
+    def test_missing_orientation_rejected(self, square_with_diagonal):
+        with pytest.raises(ValueError):
+            Gathering(graph=square_with_diagonal, orientation={(0, 1): 0})
+
+    def test_orientation_toward_non_endpoint_rejected(self):
+        g = ConflictGraph.from_edges([(0, 1)])
+        with pytest.raises(ValueError):
+            Gathering(graph=g, orientation={(0, 1): 7})
+
+    def test_orientation_with_non_edges_rejected(self):
+        g = ConflictGraph.from_edges([(0, 1)])
+        with pytest.raises(ValueError):
+            Gathering(graph=g, orientation={(0, 1): 0, (0, 2): 0})
+
+    def test_reverse_key_accepted(self):
+        g = ConflictGraph.from_edges([(0, 1)])
+        gathering = Gathering(graph=g, orientation={(1, 0): 0})
+        assert gathering.direction(0, 1) == 0
+
+    def test_satisfaction(self):
+        # Path 0-1-2: orient both edges toward 1 -> 1 is happy and satisfied,
+        # 0 and 2 are neither.
+        g = ConflictGraph.from_edges([(0, 1), (1, 2)])
+        gathering = Gathering(graph=g, orientation={(0, 1): 1, (1, 2): 1})
+        assert gathering.is_satisfied(1)
+        assert not gathering.is_satisfied(0)
+        assert gathering.satisfied_set() == frozenset({1})
+
+    def test_isolated_node_vacuously_satisfied_and_happy(self):
+        g = ConflictGraph(edges=[(0, 1)], nodes=[9])
+        gathering = orientation_towards(g, [0])
+        assert gathering.is_happy(9)
+        assert gathering.is_satisfied(9)

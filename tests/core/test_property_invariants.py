@@ -1,0 +1,109 @@
+"""Property-based tests of core cross-cutting invariants.
+
+These tie together several modules: the static congruence-based conflict
+check of :class:`PeriodicSchedule` must agree with brute-force simulation,
+gatherings built from scheduled happy sets must make exactly those nodes
+happy, and the mul metric must be consistent with the gap decomposition.
+"""
+
+from __future__ import annotations
+
+import math
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.metrics import HappinessTrace
+from repro.core.problem import ConflictGraph, orientation_towards
+from repro.core.schedule import PeriodicSchedule, SlotAssignment
+from repro.graphs.random_graphs import erdos_renyi
+
+
+@st.composite
+def small_graph_and_assignments(draw):
+    """A random small graph plus a random (not necessarily legal) periodic assignment."""
+    n = draw(st.integers(min_value=2, max_value=8))
+    p = draw(st.floats(min_value=0.0, max_value=0.8))
+    seed = draw(st.integers(min_value=0, max_value=10**4))
+    graph = erdos_renyi(n, p, seed=seed)
+    assignments = {}
+    for node in graph.nodes():
+        period = draw(st.sampled_from([1, 2, 3, 4, 6, 8]))
+        phase = draw(st.integers(min_value=0, max_value=period - 1))
+        assignments[node] = SlotAssignment(period=period, phase=phase)
+    return graph, assignments
+
+
+@settings(max_examples=60, deadline=None)
+@given(small_graph_and_assignments())
+def test_static_conflict_check_agrees_with_simulation(data):
+    """PeriodicSchedule's gcd-congruence conflict test is exactly equivalent to
+    simulating one full hyper-period and looking for adjacent co-scheduling."""
+    graph, assignments = data
+    schedule = PeriodicSchedule(graph, assignments, check_conflicts=False)
+    conflict = schedule.find_conflict()
+
+    hyper = 1
+    for slot in assignments.values():
+        hyper = hyper // math.gcd(hyper, slot.period) * slot.period
+    simulated_conflict = None
+    for t in range(1, hyper + 1):
+        happy = schedule.happy_set(t)
+        for u in happy:
+            for v in graph.neighbors(u):
+                if v in happy:
+                    simulated_conflict = (u, v, t)
+                    break
+            if simulated_conflict:
+                break
+        if simulated_conflict:
+            break
+
+    assert (conflict is None) == (simulated_conflict is None)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    n=st.integers(min_value=2, max_value=10),
+    p=st.floats(min_value=0.0, max_value=0.7),
+    seed=st.integers(min_value=0, max_value=10**4),
+)
+def test_gathering_from_happy_set_keeps_scheduled_nodes_happy(n, p, seed):
+    """Converting an independent set into an edge orientation (Definition 2.1)
+    always makes exactly the selected nodes sinks among nodes with neighbors."""
+    graph = erdos_renyi(n, p, seed=seed)
+    # take a maximal independent set greedily
+    selected = []
+    taken = set()
+    for node in graph.nodes():
+        if all(q not in taken for q in graph.neighbors(node)):
+            selected.append(node)
+            taken.add(node)
+    gathering = orientation_towards(graph, selected)
+    for node in selected:
+        assert gathering.is_happy(node)
+    happy = gathering.happy_set()
+    assert graph.is_independent_set(happy)
+    assert set(selected) <= set(happy)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    n=st.integers(min_value=1, max_value=8),
+    horizon=st.integers(min_value=1, max_value=40),
+    seed=st.integers(min_value=0, max_value=10**4),
+)
+def test_gap_decomposition_consistency(n, horizon, seed):
+    """For any schedule prefix: gaps sum + appearances = horizon, and mul = max gap."""
+    graph = erdos_renyi(n, 0.4, seed=seed)
+    assignments = {
+        node: SlotAssignment(period=1 + (graph.index_of(node) % 4), phase=graph.index_of(node) % 2)
+        for node in graph.nodes()
+    }
+    schedule = PeriodicSchedule(graph, assignments, check_conflicts=False)
+    trace = HappinessTrace.from_schedule(schedule, graph, horizon)
+    for node in graph.nodes():
+        gaps = trace.gaps(node)
+        appearances = trace.appearances[node]
+        assert sum(gaps) + len(appearances) == horizon
+        assert trace.mul(node) == max(gaps)
+        assert all(g >= 0 for g in gaps)

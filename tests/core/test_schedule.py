@@ -1,0 +1,174 @@
+"""Tests for the schedule abstractions."""
+
+import pytest
+
+from repro.core.problem import ConflictGraph
+from repro.core.schedule import (
+    ExplicitSchedule,
+    GeneratorSchedule,
+    PeriodicSchedule,
+    SlotAssignment,
+)
+
+
+class TestSlotAssignment:
+    def test_phase_normalised(self):
+        slot = SlotAssignment(period=4, phase=7)
+        assert slot.phase == 3
+
+    def test_is_happy(self):
+        slot = SlotAssignment(period=4, phase=1)
+        assert slot.is_happy(1)
+        assert not slot.is_happy(2)
+        assert slot.is_happy(5)
+
+    def test_next_happy(self):
+        slot = SlotAssignment(period=4, phase=1)
+        assert slot.next_happy(1) == 1
+        assert slot.next_happy(2) == 5
+        assert slot.next_happy(5) == 5
+
+    def test_rejects_bad_period(self):
+        with pytest.raises(ValueError):
+            SlotAssignment(period=0, phase=0)
+
+    def test_period_one_always_happy(self):
+        slot = SlotAssignment(period=1, phase=0)
+        assert all(slot.is_happy(t) for t in range(1, 20))
+
+
+class TestPeriodicSchedule:
+    def test_happy_sets_follow_assignments(self, square_with_diagonal):
+        assignments = {
+            0: SlotAssignment(period=4, phase=1),
+            1: SlotAssignment(period=4, phase=2),
+            2: SlotAssignment(period=4, phase=1),
+            3: SlotAssignment(period=4, phase=0),
+        }
+        schedule = PeriodicSchedule(square_with_diagonal, assignments)
+        assert schedule.happy_set(1) == frozenset({0, 2})
+        assert schedule.happy_set(2) == frozenset({1})
+        assert schedule.happy_set(3) == frozenset()
+        assert schedule.happy_set(4) == frozenset({3})
+        assert schedule.happy_set(5) == frozenset({0, 2})
+
+    def test_conflict_detection(self, square_with_diagonal):
+        # Nodes 1 and 3 are adjacent and both claim odd holidays.
+        assignments = {
+            0: SlotAssignment(period=2, phase=0),
+            1: SlotAssignment(period=2, phase=1),
+            2: SlotAssignment(period=2, phase=0),
+            3: SlotAssignment(period=2, phase=1),
+        }
+        with pytest.raises(ValueError):
+            PeriodicSchedule(square_with_diagonal, assignments)
+
+    def test_conflict_with_different_periods(self):
+        g = ConflictGraph.from_edges([(0, 1)])
+        assignments = {
+            0: SlotAssignment(period=2, phase=1),
+            1: SlotAssignment(period=4, phase=3),  # 3, 7, 11... all odd -> collide with 0
+        }
+        with pytest.raises(ValueError):
+            PeriodicSchedule(g, assignments)
+
+    def test_compatible_different_periods(self):
+        g = ConflictGraph.from_edges([(0, 1)])
+        assignments = {
+            0: SlotAssignment(period=2, phase=1),
+            1: SlotAssignment(period=4, phase=2),
+        }
+        schedule = PeriodicSchedule(g, assignments)
+        for t in range(1, 40):
+            happy = schedule.happy_set(t)
+            assert not ({0, 1} <= happy)
+
+    def test_missing_assignment_rejected(self, square_with_diagonal):
+        with pytest.raises(ValueError):
+            PeriodicSchedule(square_with_diagonal, {0: SlotAssignment(2, 0)})
+
+    def test_extra_assignment_rejected(self):
+        g = ConflictGraph.from_edges([(0, 1)])
+        assignments = {
+            0: SlotAssignment(2, 0),
+            1: SlotAssignment(2, 1),
+            7: SlotAssignment(2, 0),
+        }
+        with pytest.raises(ValueError):
+            PeriodicSchedule(g, assignments)
+
+    def test_node_period_and_global_period(self):
+        g = ConflictGraph(nodes=[0, 1])
+        schedule = PeriodicSchedule(
+            g, {0: SlotAssignment(4, 1), 1: SlotAssignment(6, 2)}
+        )
+        assert schedule.node_period(0) == 4
+        assert schedule.global_period() == 12
+        assert schedule.is_periodic()
+
+    def test_rejects_holiday_zero(self):
+        g = ConflictGraph(nodes=[0])
+        schedule = PeriodicSchedule(g, {0: SlotAssignment(1, 0)})
+        with pytest.raises(ValueError):
+            schedule.happy_set(0)
+
+    def test_appearances_and_prefix(self):
+        g = ConflictGraph(nodes=[0])
+        schedule = PeriodicSchedule(g, {0: SlotAssignment(3, 2)})
+        assert schedule.appearances(0, horizon=9) == [2, 5, 8]
+        assert len(schedule.prefix(9)) == 9
+
+
+class TestExplicitSchedule:
+    def test_validates_independence(self, square_with_diagonal):
+        with pytest.raises(ValueError):
+            ExplicitSchedule(square_with_diagonal, [[1, 3]])
+
+    def test_validates_membership(self, square_with_diagonal):
+        with pytest.raises(ValueError):
+            ExplicitSchedule(square_with_diagonal, [[42]])
+
+    def test_indexing(self, square_with_diagonal):
+        schedule = ExplicitSchedule(square_with_diagonal, [[0], [1], [2]])
+        assert schedule.happy_set(2) == frozenset({1})
+        with pytest.raises(IndexError):
+            schedule.happy_set(4)
+
+    def test_cyclic(self, square_with_diagonal):
+        schedule = ExplicitSchedule(square_with_diagonal, [[0], [1]], cyclic=True)
+        assert schedule.happy_set(3) == frozenset({0})
+        assert schedule.is_periodic()
+
+    def test_skip_validation(self, square_with_diagonal):
+        schedule = ExplicitSchedule(square_with_diagonal, [[1, 3]], validate=False)
+        assert schedule.happy_set(1) == frozenset({1, 3})
+
+
+class TestGeneratorSchedule:
+    def test_lazy_memoised(self, square_with_diagonal):
+        calls = []
+
+        def step(t):
+            calls.append(t)
+            return [t % 4]
+
+        schedule = GeneratorSchedule(square_with_diagonal, step)
+        assert schedule.happy_set(3) == frozenset({3})
+        assert schedule.happy_set(1) == frozenset({1})  # from cache
+        assert calls == [1, 2, 3]
+
+    def test_validation_catches_bad_generator(self, square_with_diagonal):
+        schedule = GeneratorSchedule(square_with_diagonal, lambda t: [1, 3])
+        with pytest.raises(ValueError):
+            schedule.happy_set(1)
+
+    def test_rejects_holiday_zero(self, square_with_diagonal):
+        schedule = GeneratorSchedule(square_with_diagonal, lambda t: [])
+        with pytest.raises(ValueError):
+            schedule.happy_set(0)
+
+    def test_iter_holidays(self, square_with_diagonal):
+        schedule = GeneratorSchedule(square_with_diagonal, lambda t: [0] if t % 2 else [])
+        pairs = list(schedule.iter_holidays(4))
+        assert [t for t, _ in pairs] == [1, 2, 3, 4]
+        assert pairs[0][1] == frozenset({0})

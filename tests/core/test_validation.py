@@ -1,0 +1,124 @@
+"""Tests for schedule validation and bound certification."""
+
+import pytest
+
+from repro.core.problem import ConflictGraph
+from repro.core.schedule import ExplicitSchedule, PeriodicSchedule, SlotAssignment
+from repro.core.validation import (
+    certify_local_bound,
+    certify_periodicity,
+    check_independent_sets,
+    validate_schedule,
+)
+
+
+@pytest.fixture
+def triangle():
+    return ConflictGraph.from_edges([(0, 1), (1, 2), (2, 0)], name="k3")
+
+
+class TestCheckIndependentSets:
+    def test_legal_schedule(self, triangle):
+        schedule = ExplicitSchedule(triangle, [[0], [1], [2]])
+        report = check_independent_sets(schedule, triangle, 3)
+        assert report.ok
+        assert report.checked_holidays == 3
+
+    def test_catches_adjacent_pair(self, triangle):
+        schedule = ExplicitSchedule(triangle, [[0, 1]], validate=False)
+        report = check_independent_sets(schedule, triangle, 1)
+        assert not report.ok
+        assert report.violations[0].kind == "not-independent"
+        assert report.violations[0].holiday == 1
+
+    def test_catches_unknown_node(self, triangle):
+        schedule = ExplicitSchedule(triangle, [[99]], validate=False)
+        report = check_independent_sets(schedule, triangle, 1)
+        assert not report.ok
+        assert report.violations[0].kind == "unknown-node"
+
+    def test_raise_if_failed(self, triangle):
+        schedule = ExplicitSchedule(triangle, [[0, 1]], validate=False)
+        report = check_independent_sets(schedule, triangle, 1)
+        with pytest.raises(AssertionError):
+            report.raise_if_failed()
+
+    def test_raise_if_ok_is_noop(self, triangle):
+        schedule = ExplicitSchedule(triangle, [[0]])
+        check_independent_sets(schedule, triangle, 1).raise_if_failed()
+
+
+class TestCertifyLocalBound:
+    def test_bound_satisfied(self, triangle):
+        schedule = ExplicitSchedule(triangle, [[0], [1], [2]], cyclic=True)
+        report = certify_local_bound(
+            schedule, triangle, 12, bound=lambda p: 3.0, bound_name="deg+1"
+        )
+        assert report.ok
+
+    def test_bound_violated(self, triangle):
+        # node 2 appears only every 6 holidays -> mul 5 > 3
+        schedule = ExplicitSchedule(triangle, [[0], [1], [0], [1], [0], [2]], cyclic=True)
+        report = certify_local_bound(schedule, triangle, 24, bound=lambda p: 3.0)
+        assert not report.ok
+        assert any(v.node == 2 and v.kind == "bound-exceeded" for v in report.violations)
+
+    def test_mapping_bound(self, triangle):
+        schedule = ExplicitSchedule(triangle, [[0], [1], [2]], cyclic=True)
+        report = certify_local_bound(schedule, triangle, 12, bound={0: 3, 1: 3, 2: 3})
+        assert report.ok
+
+    def test_skip_isolated(self):
+        g = ConflictGraph(edges=[(0, 1)], nodes=[5])
+        schedule = ExplicitSchedule(g, [[0], [1]], cyclic=True)  # node 5 never hosts
+        strict = certify_local_bound(schedule, g, 8, bound=lambda p: 2.0)
+        lenient = certify_local_bound(schedule, g, 8, bound=lambda p: 2.0, skip_isolated=True)
+        assert not strict.ok
+        assert lenient.ok
+
+
+class TestCertifyPeriodicity:
+    def test_periodic_schedule_passes(self, triangle):
+        schedule = PeriodicSchedule(
+            triangle,
+            {0: SlotAssignment(4, 0), 1: SlotAssignment(4, 1), 2: SlotAssignment(4, 2)},
+        )
+        assert certify_periodicity(schedule, 32).ok
+
+    def test_aperiodic_flagged(self, triangle):
+        schedule = ExplicitSchedule(triangle, [[0], [1], [0], [2], [0], [1], [2], [0]])
+        report = certify_periodicity(schedule, 8)
+        assert not report.ok
+        assert any(v.kind == "aperiodic" for v in report.violations)
+
+    def test_advertised_period_mismatch(self, triangle):
+        class Lying(PeriodicSchedule):
+            def node_period(self, node):
+                return 8  # claims 8 but actual period is 4
+
+        schedule = Lying(
+            triangle,
+            {0: SlotAssignment(4, 0), 1: SlotAssignment(4, 1), 2: SlotAssignment(4, 2)},
+        )
+        report = certify_periodicity(schedule, 32)
+        assert not report.ok
+        assert any(v.kind == "period-mismatch" for v in report.violations)
+
+
+class TestValidateSchedule:
+    def test_combined(self, triangle):
+        schedule = PeriodicSchedule(
+            triangle,
+            {0: SlotAssignment(4, 0), 1: SlotAssignment(4, 1), 2: SlotAssignment(4, 2)},
+        )
+        report = validate_schedule(
+            schedule, triangle, 32, bound=lambda p: 4.0, check_periodic=True
+        )
+        assert report.ok
+
+    def test_merge_collects_all_violation_kinds(self, triangle):
+        schedule = ExplicitSchedule(triangle, [[0, 1], [2]], validate=False, cyclic=True)
+        report = validate_schedule(schedule, triangle, 8, bound=lambda p: 0.5)
+        kinds = {v.kind for v in report.violations}
+        assert "not-independent" in kinds
+        assert "bound-exceeded" in kinds

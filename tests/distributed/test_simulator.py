@@ -1,0 +1,205 @@
+"""Tests for the synchronous LOCAL-model simulator."""
+
+import pytest
+
+from repro.core.problem import ConflictGraph
+from repro.distributed.messages import Message, payload_bits
+from repro.distributed.network import Network
+from repro.distributed.node import NodeContext, NodeProcess
+from repro.distributed.simulator import SimulationError, SyncSimulator
+from repro.distributed.stats import RoundStats
+from repro.graphs.families import cycle, path
+
+
+class EchoOnce(NodeProcess):
+    """Broadcasts its id once, records what it hears, halts after one round."""
+
+    def __init__(self, node_id):
+        self.node_id = node_id
+        self.heard = []
+
+    def on_start(self, ctx):
+        ctx.broadcast(("hello", self.node_id))
+
+    def on_round(self, ctx, inbox):
+        self.heard = sorted(m.payload[1] for m in inbox)
+        ctx.halt()
+
+    def result(self):
+        return self.heard
+
+
+class Forwarder(NodeProcess):
+    """Forwards a token along a path; used to test multi-round propagation."""
+
+    def __init__(self, node_id, last):
+        self.node_id = node_id
+        self.last = last
+        self.received_at = None
+
+    def on_start(self, ctx):
+        if self.node_id == 0:
+            ctx.send(ctx.neighbors[0], "token")
+            ctx.halt()
+
+    def on_round(self, ctx, inbox):
+        if any(m.payload == "token" for m in inbox):
+            self.received_at = ctx.round_index
+            nxt = [q for q in ctx.neighbors if q > self.node_id]
+            if nxt:
+                ctx.send(nxt[0], "token")
+            ctx.halt()
+
+    def result(self):
+        return self.received_at
+
+
+class NeverHalts(NodeProcess):
+    def on_round(self, ctx, inbox):
+        pass
+
+
+class TestMessages:
+    def test_payload_bits_estimates(self):
+        assert payload_bits(None) == 1
+        assert payload_bits(True) == 1
+        assert payload_bits(5) == 3
+        assert payload_bits(1.5) == 64
+        assert payload_bits("ab") == 16
+        assert payload_bits([1, 2]) >= 2
+        assert payload_bits({"a": 1}) >= 9
+        assert payload_bits(object()) == 64
+
+    def test_message_size(self):
+        msg = Message(sender=0, receiver=1, round_sent=1, payload=255)
+        assert msg.size_bits() == 8
+
+
+class TestNodeContext:
+    def test_rejects_non_neighbor_send(self):
+        g = path(3)
+        network = Network(g, seed=0)
+
+        class Misbehaving(NodeProcess):
+            def on_start(self, ctx):
+                if ctx.node == 0:
+                    ctx.send(2, "x")  # 0 and 2 are not adjacent in a path
+
+            def on_round(self, ctx, inbox):
+                ctx.halt()
+
+        sim = SyncSimulator(network, {p: Misbehaving() for p in g.nodes()})
+        with pytest.raises(ValueError, match="non-neighbor"):
+            sim.run(max_rounds=5)
+
+    def test_degree_property(self):
+        ctx = NodeContext(node=0, neighbors=[1, 2, 3], rng=None, send=lambda *a: None, halt=lambda: None)
+        assert ctx.degree == 3
+
+
+class TestSyncSimulator:
+    def test_broadcast_reaches_all_neighbors(self):
+        g = cycle(5)
+        network = Network(g, seed=1)
+        processes = {p: EchoOnce(p) for p in g.nodes()}
+        outcome = SyncSimulator(network, processes).run()
+        assert outcome.halted
+        for p in g.nodes():
+            assert outcome.result_of(p) == sorted(g.neighbors(p))
+
+    def test_round_and_message_accounting(self):
+        g = cycle(4)
+        network = Network(g, seed=1)
+        outcome = SyncSimulator(network, {p: EchoOnce(p) for p in g.nodes()}).run()
+        # 4 nodes broadcast to 2 neighbors each -> 8 messages delivered in round 1.
+        assert outcome.stats.messages == 8
+        assert outcome.stats.rounds >= 1
+        assert outcome.stats.bits > 0
+        assert outcome.stats.mean_messages_per_round > 0
+
+    def test_token_propagation_takes_linear_rounds(self):
+        g = path(5)
+        network = Network(g, seed=0)
+        processes = {p: Forwarder(p, last=4) for p in g.nodes()}
+        outcome = SyncSimulator(network, processes).run(max_rounds=50)
+        assert outcome.result_of(4) == 4  # token needs one round per hop
+
+    def test_nontermination_raises(self):
+        g = path(3)
+        network = Network(g, seed=0)
+        sim = SyncSimulator(network, {p: NeverHalts() for p in g.nodes()})
+        with pytest.raises(SimulationError):
+            sim.run(max_rounds=10)
+
+    def test_nontermination_tolerated_when_requested(self):
+        g = path(3)
+        network = Network(g, seed=0)
+        sim = SyncSimulator(network, {p: NeverHalts() for p in g.nodes()})
+        outcome = sim.run(max_rounds=10, require_termination=False)
+        assert not outcome.halted
+
+    def test_missing_process_rejected(self):
+        g = path(3)
+        with pytest.raises(ValueError):
+            SyncSimulator(Network(g, seed=0), {0: EchoOnce(0)})
+
+    def test_empty_graph(self):
+        g = ConflictGraph()
+        outcome = SyncSimulator(Network(g, seed=0), {}).run()
+        assert outcome.halted
+        assert outcome.results == {}
+
+    def test_bad_max_rounds(self):
+        g = path(2)
+        sim = SyncSimulator(Network(g, seed=0), {p: EchoOnce(p) for p in g.nodes()})
+        with pytest.raises(ValueError):
+            sim.run(max_rounds=0)
+
+
+class TestNetwork:
+    def test_rng_streams_are_per_node_and_cached(self):
+        g = path(3)
+        network = Network(g, seed=5)
+        assert network.rng_for(0) is network.rng_for(0)
+        assert network.rng_for(0).seed != network.rng_for(1).seed
+
+    def test_reseed_resets_streams(self):
+        g = path(3)
+        network = Network(g, seed=5)
+        first = network.rng_for(0).seed
+        network.reseed(6)
+        assert network.rng_for(0).seed != first
+
+    def test_topology_passthrough(self, square_with_diagonal):
+        network = Network(square_with_diagonal, seed=0)
+        assert network.degree(1) == 3
+        assert network.neighbors(0) == [1, 3]
+        assert network.nodes() == [0, 1, 2, 3]
+
+
+class TestRoundStats:
+    def test_merge(self):
+        a = RoundStats()
+        a.record_round(5, 50)
+        a.record_sender("x", 3)
+        b = RoundStats()
+        b.record_round(2, 10)
+        b.record_sender("x", 1)
+        b.record_sender("y", 4)
+        merged = a.merge(b)
+        assert merged.rounds == 2
+        assert merged.messages == 7
+        assert merged.bits == 60
+        assert merged.messages_by_node == {"x": 4, "y": 4}
+        assert merged.max_messages_by_node == 4
+
+    def test_summary_keys(self):
+        stats = RoundStats()
+        stats.record_round(1, 8)
+        summary = stats.summary()
+        assert {"rounds", "messages", "bits", "mean_msgs_per_round", "max_msgs_one_node"} == set(summary)
+
+    def test_empty_stats(self):
+        stats = RoundStats()
+        assert stats.mean_messages_per_round == 0.0
+        assert stats.max_messages_by_node == 0

@@ -1,0 +1,80 @@
+"""Tests for the deterministic graph families."""
+
+import pytest
+
+from repro.graphs.families import (
+    clique,
+    complete_bipartite,
+    cycle,
+    empty_graph,
+    grid,
+    path,
+    random_tree,
+    star,
+)
+
+
+class TestFamilies:
+    def test_empty_graph(self):
+        g = empty_graph(5)
+        assert g.num_nodes() == 5 and g.num_edges() == 0
+        assert empty_graph(0).num_nodes() == 0
+        with pytest.raises(ValueError):
+            empty_graph(-1)
+
+    def test_clique(self):
+        g = clique(6)
+        assert g.num_edges() == 15
+        assert g.max_degree() == 5
+        with pytest.raises(ValueError):
+            clique(0)
+
+    def test_path(self):
+        g = path(5)
+        assert g.num_edges() == 4
+        assert sorted(g.degrees().values()) == [1, 1, 2, 2, 2]
+
+    def test_cycle(self):
+        g = cycle(6)
+        assert g.num_edges() == 6
+        assert set(g.degrees().values()) == {2}
+        with pytest.raises(ValueError):
+            cycle(2)
+
+    def test_star(self):
+        g = star(7)
+        assert g.num_nodes() == 8
+        assert g.degree(0) == 7
+        assert star(0).num_nodes() == 1
+
+    def test_complete_bipartite(self):
+        g = complete_bipartite(3, 4)
+        assert g.num_edges() == 12
+        assert g.max_degree() == 4
+        with pytest.raises(ValueError):
+            complete_bipartite(0, 3)
+
+    def test_grid(self):
+        g = grid(3, 4)
+        assert g.num_nodes() == 12
+        assert g.num_edges() == 3 * 3 + 2 * 4  # rows*(cols-1) + (rows-1)*cols
+        assert g.max_degree() <= 4
+
+    def test_random_tree(self):
+        g = random_tree(20, seed=3)
+        assert g.num_nodes() == 20
+        assert g.num_edges() == 19
+        import networkx as nx
+
+        assert nx.is_tree(g.to_networkx())
+
+    def test_random_tree_tiny(self):
+        assert random_tree(1).num_nodes() == 1
+        assert random_tree(2).num_edges() == 1
+
+    def test_random_tree_reproducible(self):
+        assert random_tree(15, seed=9).edges() == random_tree(15, seed=9).edges()
+
+    def test_names(self):
+        assert clique(4).name == "clique-4"
+        assert grid(2, 3, name="custom").name == "custom"

@@ -1,0 +1,202 @@
+"""Tests for the random graph models, the society generator and the curated suites."""
+
+import networkx as nx
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.graphs.random_graphs import (
+    barabasi_albert,
+    erdos_renyi,
+    gnm_random,
+    random_regular,
+    watts_strogatz,
+)
+from repro.graphs.society import Family, Society, random_society
+from repro.graphs.suites import benchmark_suite, small_suite
+
+
+class TestRandomGraphs:
+    def test_erdos_renyi_reproducible(self):
+        assert erdos_renyi(30, 0.2, seed=1).edges() == erdos_renyi(30, 0.2, seed=1).edges()
+
+    def test_erdos_renyi_extremes(self):
+        assert erdos_renyi(10, 0.0, seed=0).num_edges() == 0
+        assert erdos_renyi(10, 1.0, seed=0).num_edges() == 45
+
+    def test_erdos_renyi_validation(self):
+        with pytest.raises(ValueError):
+            erdos_renyi(5, 1.5)
+        with pytest.raises(ValueError):
+            erdos_renyi(-1, 0.5)
+
+    def test_gnm(self):
+        g = gnm_random(20, 35, seed=2)
+        assert g.num_nodes() == 20 and g.num_edges() == 35
+        with pytest.raises(ValueError):
+            gnm_random(5, 100)
+
+    def test_barabasi_albert(self):
+        g = barabasi_albert(50, 2, seed=3)
+        assert g.num_nodes() == 50
+        assert g.num_edges() == (50 - 2) * 2
+        with pytest.raises(ValueError):
+            barabasi_albert(5, 5)
+
+    def test_powerlaw_has_skewed_degrees(self):
+        g = barabasi_albert(100, 2, seed=4)
+        degrees = sorted(g.degrees().values())
+        assert degrees[-1] >= 3 * degrees[len(degrees) // 2]
+
+    def test_random_regular(self):
+        g = random_regular(20, 4, seed=5)
+        assert set(g.degrees().values()) == {4}
+        with pytest.raises(ValueError):
+            random_regular(7, 3)  # odd n*d
+        with pytest.raises(ValueError):
+            random_regular(4, 5)
+
+    def test_watts_strogatz(self):
+        g = watts_strogatz(30, 4, 0.1, seed=6)
+        assert g.num_nodes() == 30
+        with pytest.raises(ValueError):
+            watts_strogatz(2, 1, 0.1)
+        with pytest.raises(ValueError):
+            watts_strogatz(30, 4, 1.5)
+
+
+class TestSocietyValidation:
+    def test_family_validation(self):
+        with pytest.raises(ValueError):
+            Family(index=-1, num_children=1)
+        with pytest.raises(ValueError):
+            Family(index=0, num_children=-1)
+
+    def test_duplicate_family_indices_rejected(self):
+        with pytest.raises(ValueError):
+            Society(families=[Family(0, 1), Family(0, 2)])
+
+    def test_sibling_marriage_rejected(self):
+        with pytest.raises(ValueError):
+            Society(families=[Family(0, 2)], couples=[((0, 0), (0, 1))])
+
+    def test_polygamy_rejected(self):
+        families = [Family(0, 1), Family(1, 1), Family(2, 1)]
+        with pytest.raises(ValueError):
+            Society(families=families, couples=[((0, 0), (1, 0)), ((0, 0), (2, 0))])
+
+    def test_unknown_child_rejected(self):
+        with pytest.raises(ValueError):
+            Society(families=[Family(0, 1), Family(1, 1)], couples=[((0, 5), (1, 0))])
+
+
+class TestSocietyViews:
+    def test_conflict_graph_edges(self):
+        families = [Family(0, 2), Family(1, 1), Family(2, 1)]
+        couples = [((0, 0), (1, 0)), ((0, 1), (2, 0))]
+        society = Society(families=families, couples=couples)
+        graph = society.conflict_graph()
+        assert graph.num_nodes() == 3
+        assert sorted(graph.edges()) == [(0, 1), (0, 2)]
+
+    def test_parallel_couples_collapse(self):
+        families = [Family(0, 2), Family(1, 2)]
+        couples = [((0, 0), (1, 0)), ((0, 1), (1, 1))]
+        graph = Society(families=families, couples=couples).conflict_graph()
+        assert graph.num_edges() == 1
+
+    def test_parent_child_graph_structure(self, small_society):
+        g = small_society.parent_child_graph()
+        assert nx.is_bipartite(g)
+        married = {c for pair in small_society.couples for c in pair}
+        for node in g.nodes():
+            kind, payload = node
+            if kind == "child":
+                expected = 2 if payload in married else 1
+                assert g.degree(node) == expected
+
+    def test_unmarried_children(self):
+        families = [Family(0, 3), Family(1, 1)]
+        couples = [((0, 0), (1, 0))]
+        society = Society(families=families, couples=couples)
+        assert set(society.unmarried_children()) == {(0, 1), (0, 2)}
+
+    def test_degree_histogram(self, small_society):
+        hist = small_society.degree_histogram()
+        assert sum(hist.values()) == small_society.num_families()
+
+    def test_marriage_events_returns_new_society(self):
+        families = [Family(0, 2), Family(1, 1), Family(2, 1)]
+        base = Society(families=families, couples=[((0, 0), (1, 0))])
+        extended = base.marriage_events([((2, 0), (0, 1))])
+        assert base.num_couples() == 1
+        assert extended.num_couples() == 2
+        assert extended.conflict_graph().num_edges() == 2
+
+    def test_marriage_events_rejects_remarrying_a_married_child(self):
+        families = [Family(0, 1), Family(1, 1), Family(2, 1)]
+        base = Society(families=families, couples=[((0, 0), (1, 0))])
+        with pytest.raises(ValueError):
+            base.marriage_events([((2, 0), (0, 0))])
+
+
+class TestRandomSociety:
+    def test_size_and_reproducibility(self):
+        a = random_society(40, seed=1)
+        b = random_society(40, seed=1)
+        assert a.num_families() == 40
+        assert a.couples == b.couples
+
+    def test_marriage_fraction_zero(self):
+        society = random_society(20, marriage_fraction=0.0, seed=2)
+        assert society.num_couples() == 0
+
+    def test_every_family_has_a_child(self):
+        society = random_society(30, mean_children=1.0, seed=3)
+        assert all(f.num_children >= 1 for f in society.families)
+
+    def test_homophily_blocks(self):
+        society = random_society(40, blocks=4, homophily=1.0, marriage_fraction=0.9, seed=4)
+        graph = society.conflict_graph()
+        assert graph.num_nodes() == 40  # structure is valid; homophily only biases edges
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            random_society(0)
+        with pytest.raises(ValueError):
+            random_society(5, marriage_fraction=1.5)
+        with pytest.raises(ValueError):
+            random_society(5, homophily=-0.1)
+        with pytest.raises(ValueError):
+            random_society(5, blocks=0)
+
+    @settings(max_examples=15, deadline=None)
+    @given(
+        n=st.integers(min_value=1, max_value=40),
+        fraction=st.floats(min_value=0.0, max_value=1.0),
+        seed=st.integers(min_value=0, max_value=10**4),
+    )
+    def test_property_societies_are_always_valid(self, n, fraction, seed):
+        society = random_society(n, marriage_fraction=fraction, seed=seed)
+        graph = society.conflict_graph()
+        assert graph.num_nodes() == n
+        # monogamy: no child in two couples (enforced by the Society constructor)
+        children = [c for pair in society.couples for c in pair]
+        assert len(children) == len(set(children))
+
+
+class TestSuites:
+    def test_small_suite_contents(self):
+        suite = small_suite()
+        assert len(suite) >= 8
+        names = {g.name for g in suite}
+        assert "clique-5" in names
+
+    def test_benchmark_suite_contents(self):
+        suite = benchmark_suite()
+        assert {"clique", "star", "bipartite", "powerlaw", "society"} <= set(suite)
+        for graph in suite.values():
+            assert graph.num_nodes() > 0
+
+    def test_benchmark_suite_scale_validation(self):
+        with pytest.raises(ValueError):
+            benchmark_suite(scale=0)

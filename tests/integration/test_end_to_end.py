@@ -1,0 +1,79 @@
+"""End-to-end integration tests: every scheduler × every graph family.
+
+These are the "paper reproduction in miniature" tests: for each registered
+scheduler we build a schedule on every graph of the small suite, check
+legality over a long horizon, and certify the per-node bound the paper
+claims for that algorithm.
+"""
+
+import pytest
+
+from repro.algorithms.registry import available_schedulers, get_scheduler
+from repro.analysis.runner import run_scheduler
+from repro.core.metrics import evaluate_schedule
+from repro.core.validation import check_independent_sets
+from repro.graphs.suites import small_suite
+
+# first-come-first-grab is randomized (no worst-case bound), and the distributed
+# variants are exercised separately; keep the heavy ones out of the cross product.
+DETERMINISTIC_SCHEDULERS = [
+    "sequential",
+    "round-robin-color",
+    "phased-greedy",
+    "color-periodic-omega",
+    "color-periodic-omega-dsatur",
+    "color-periodic-gamma",
+    "color-periodic-delta",
+    "degree-periodic",
+]
+
+
+@pytest.mark.parametrize("scheduler_name", DETERMINISTIC_SCHEDULERS)
+def test_scheduler_on_entire_small_suite(scheduler_name):
+    for graph in small_suite():
+        scheduler = get_scheduler(scheduler_name)
+        outcome = run_scheduler(scheduler, graph, seed=1)
+        assert outcome.validation.ok, (
+            scheduler_name,
+            graph.name,
+            [str(v) for v in outcome.validation.violations],
+        )
+        if outcome.bound_satisfied is not None:
+            assert outcome.bound_satisfied, (scheduler_name, graph.name)
+
+
+@pytest.mark.parametrize("scheduler_name", ["phased-greedy-distributed", "degree-periodic-distributed"])
+def test_distributed_schedulers_on_selected_graphs(scheduler_name):
+    for graph in small_suite()[:6]:
+        scheduler = get_scheduler(scheduler_name)
+        outcome = run_scheduler(scheduler, graph, seed=2)
+        assert outcome.validation.ok
+        if outcome.bound_satisfied is not None:
+            assert outcome.bound_satisfied
+
+
+def test_randomized_baseline_is_legal_everywhere():
+    for graph in small_suite():
+        scheduler = get_scheduler("first-come-first-grab")
+        schedule = scheduler.build(graph, seed=3)
+        assert check_independent_sets(schedule, graph, 80).ok
+
+
+def test_every_registered_scheduler_is_buildable():
+    graph = small_suite()[-1]
+    for name in available_schedulers():
+        schedule = get_scheduler(name).build(graph, seed=4)
+        report = evaluate_schedule(schedule, graph, 48, name=name)
+        assert report.max_mul <= 48
+
+
+def test_periodic_schedulers_report_periods_consistently():
+    graph = small_suite()[-1]
+    for name in ["color-periodic-omega", "degree-periodic", "sequential", "round-robin-color"]:
+        schedule = get_scheduler(name).build(graph, seed=5)
+        assert schedule.is_periodic()
+        horizon = 4 * max(schedule.node_period(p) for p in graph.nodes())
+        report = evaluate_schedule(schedule, graph, horizon, name=name)
+        for node, observed in report.periods.items():
+            if observed is not None:
+                assert observed == schedule.node_period(node)

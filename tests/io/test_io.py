@@ -1,0 +1,136 @@
+"""Tests for graph / society / schedule serialization."""
+
+import json
+
+import pytest
+
+from repro.algorithms.degree_periodic import DegreePeriodicScheduler
+from repro.core.problem import ConflictGraph
+from repro.core.schedule import PeriodicSchedule, SlotAssignment
+from repro.graphs.society import random_society
+from repro.io.graphs import (
+    graph_from_json,
+    graph_to_json,
+    load_edge_list,
+    read_graph_json,
+    save_edge_list,
+    write_graph_json,
+)
+from repro.io.schedules import (
+    calendar_rows,
+    load_periodic_schedule,
+    periodic_schedule_from_dict,
+    periodic_schedule_to_dict,
+    save_periodic_schedule,
+    write_calendar_csv,
+)
+from repro.io.societies import load_society, save_society, society_from_dict, society_to_dict
+
+
+class TestGraphIO:
+    def test_edge_list_roundtrip(self, tmp_path, square_with_diagonal):
+        path = tmp_path / "graph.edges"
+        save_edge_list(square_with_diagonal, path)
+        loaded = load_edge_list(path)
+        assert set(loaded.nodes()) == set(square_with_diagonal.nodes())
+        assert set(map(frozenset, loaded.edges())) == set(map(frozenset, square_with_diagonal.edges()))
+
+    def test_edge_list_preserves_isolated_nodes(self, tmp_path):
+        graph = ConflictGraph(edges=[(0, 1)], nodes=[7, 9])
+        path = tmp_path / "iso.edges"
+        save_edge_list(graph, path)
+        loaded = load_edge_list(path)
+        assert 7 in loaded and 9 in loaded
+        assert loaded.degree(7) == 0
+
+    def test_edge_list_string_labels(self, tmp_path):
+        graph = ConflictGraph.from_edges([("smith", "jones")])
+        path = tmp_path / "named.edges"
+        save_edge_list(graph, path)
+        loaded = load_edge_list(path)
+        assert loaded.has_edge("smith", "jones")
+
+    def test_edge_list_bad_line(self, tmp_path):
+        path = tmp_path / "bad.edges"
+        path.write_text("1 2 3\n")
+        with pytest.raises(ValueError):
+            load_edge_list(path)
+
+    def test_json_roundtrip(self, tmp_path, square_with_diagonal):
+        path = tmp_path / "graph.json"
+        write_graph_json(square_with_diagonal, path)
+        loaded = read_graph_json(path)
+        assert loaded.num_nodes() == square_with_diagonal.num_nodes()
+        assert loaded.num_edges() == square_with_diagonal.num_edges()
+        assert loaded.name == square_with_diagonal.name
+
+    def test_json_dict_validation(self):
+        with pytest.raises(ValueError):
+            graph_from_json({"nodes": ["1"]})
+
+    def test_json_is_plain_data(self, square_with_diagonal):
+        payload = graph_to_json(square_with_diagonal)
+        json.dumps(payload)  # must be serialisable as-is
+
+
+class TestSocietyIO:
+    def test_roundtrip(self, tmp_path, small_society):
+        path = tmp_path / "society.json"
+        save_society(small_society, path)
+        loaded = load_society(path)
+        assert loaded.num_families() == small_society.num_families()
+        assert loaded.num_couples() == small_society.num_couples()
+        assert loaded.conflict_graph().edges() == small_society.conflict_graph().edges()
+
+    def test_dict_validation(self):
+        with pytest.raises(ValueError):
+            society_from_dict({"families": []})
+
+    def test_dict_roundtrip_preserves_labels(self):
+        society = random_society(5, seed=1)
+        society.families[0].label = "the Smiths"
+        rebuilt = society_from_dict(society_to_dict(society))
+        assert rebuilt.family(0).label == "the Smiths"
+
+
+class TestScheduleIO:
+    def test_periodic_roundtrip(self, tmp_path, square_with_diagonal):
+        schedule = DegreePeriodicScheduler().build(square_with_diagonal)
+        path = tmp_path / "schedule.json"
+        save_periodic_schedule(schedule, path)
+        loaded = load_periodic_schedule(path)
+        assert isinstance(loaded, PeriodicSchedule)
+        for holiday in range(1, 40):
+            assert loaded.happy_set(holiday) == schedule.happy_set(holiday)
+
+    def test_loading_revalidates_conflicts(self, square_with_diagonal):
+        schedule = DegreePeriodicScheduler().build(square_with_diagonal)
+        payload = periodic_schedule_to_dict(schedule)
+        # corrupt the payload so two adjacent nodes collide
+        for key in payload["assignments"]:
+            payload["assignments"][key] = {"period": 2, "phase": 0}
+        with pytest.raises(ValueError):
+            periodic_schedule_from_dict(payload)
+
+    def test_dict_validation(self):
+        with pytest.raises(ValueError):
+            periodic_schedule_from_dict({"graph": {}})
+
+    def test_calendar_rows_and_csv(self, tmp_path, square_with_diagonal):
+        schedule = PeriodicSchedule(
+            square_with_diagonal,
+            {
+                0: SlotAssignment(4, 1),
+                1: SlotAssignment(4, 2),
+                2: SlotAssignment(4, 1),
+                3: SlotAssignment(4, 0),
+            },
+        )
+        rows = calendar_rows(schedule, 4)
+        assert rows[0] == ["1", "0;2"]
+        assert rows[2] == ["3", ""]
+        path = tmp_path / "calendar.csv"
+        write_calendar_csv(schedule, 4, path)
+        content = path.read_text().splitlines()
+        assert content[0] == "holiday,hosting_families"
+        assert len(content) == 5

@@ -1,0 +1,111 @@
+"""Tests for the MIS solvers (Appendix A.1/A.2 substrate)."""
+
+import itertools
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.problem import ConflictGraph
+from repro.graphs.families import clique, complete_bipartite, cycle, path, star
+from repro.graphs.random_graphs import erdos_renyi
+from repro.satisfaction.independent_set import (
+    exact_maximum_independent_set,
+    greedy_independent_set,
+    independence_number_bounds,
+)
+
+
+def brute_force_mis_size(graph: ConflictGraph) -> int:
+    nodes = graph.nodes()
+    best = 0
+    for r in range(len(nodes), 0, -1):
+        if r <= best:
+            break
+        for subset in itertools.combinations(nodes, r):
+            if graph.is_independent_set(subset):
+                best = max(best, r)
+                break
+    return best
+
+
+class TestGreedy:
+    def test_result_is_independent_and_maximal(self, graph_zoo):
+        for graph in graph_zoo:
+            chosen = greedy_independent_set(graph)
+            assert graph.is_independent_set(chosen)
+            # maximal: every unchosen node has a chosen neighbor
+            for p in graph.nodes():
+                if p not in chosen:
+                    assert any(q in chosen for q in graph.neighbors(p))
+
+    def test_stable_order_variant(self, medium_random):
+        chosen = greedy_independent_set(medium_random, by_degree=False)
+        assert medium_random.is_independent_set(chosen)
+
+    def test_star_greedy_is_optimal(self):
+        assert len(greedy_independent_set(star(7))) == 7
+
+    def test_empty_graph(self):
+        assert greedy_independent_set(ConflictGraph()) == frozenset()
+
+
+class TestExact:
+    @pytest.mark.parametrize(
+        "graph_factory,expected",
+        [
+            (lambda: clique(5), 1),
+            (lambda: path(5), 3),
+            (lambda: cycle(6), 3),
+            (lambda: cycle(7), 3),
+            (lambda: star(6), 6),
+            (lambda: complete_bipartite(3, 5), 5),
+        ],
+    )
+    def test_known_independence_numbers(self, graph_factory, expected):
+        graph = graph_factory()
+        mis = exact_maximum_independent_set(graph)
+        assert graph.is_independent_set(mis)
+        assert len(mis) == expected
+
+    def test_matches_brute_force_on_random_graphs(self):
+        for seed in range(5):
+            graph = erdos_renyi(10, 0.35, seed=seed)
+            mis = exact_maximum_independent_set(graph)
+            assert graph.is_independent_set(mis)
+            assert len(mis) == brute_force_mis_size(graph)
+
+    def test_node_limit_guard(self):
+        with pytest.raises(ValueError):
+            exact_maximum_independent_set(erdos_renyi(100, 0.1, seed=0), node_limit=50)
+
+    def test_exact_at_least_greedy(self, medium_random):
+        assert len(exact_maximum_independent_set(medium_random)) >= len(
+            greedy_independent_set(medium_random)
+        )
+
+
+class TestBounds:
+    def test_bounds_bracket_exact(self):
+        for seed in range(4):
+            graph = erdos_renyi(12, 0.3, seed=seed)
+            lower, upper = independence_number_bounds(graph)
+            exact = len(exact_maximum_independent_set(graph))
+            assert lower <= exact <= upper
+
+    def test_clique_bounds(self):
+        lower, upper = independence_number_bounds(clique(8))
+        assert lower == 1
+        assert upper >= 1
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    n=st.integers(min_value=1, max_value=9),
+    p=st.floats(min_value=0.0, max_value=1.0),
+    seed=st.integers(min_value=0, max_value=10**4),
+)
+def test_property_exact_mis_matches_brute_force(n, p, seed):
+    graph = erdos_renyi(n, p, seed=seed)
+    mis = exact_maximum_independent_set(graph)
+    assert graph.is_independent_set(mis)
+    assert len(mis) == brute_force_mis_size(graph)

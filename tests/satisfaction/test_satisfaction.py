@@ -1,0 +1,140 @@
+"""Tests for Appendix A.3: maximum satisfaction and the alternating schedule."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.graphs.society import Family, Society, random_society
+from repro.satisfaction.satisfaction import (
+    alternating_satisfaction_schedule,
+    max_satisfaction_by_matching,
+    satisfaction_gaps,
+    single_child_first_satisfaction,
+)
+
+
+def tiny_society():
+    """3 families in a path: A(1 child) - B(2 children) - C(1 child)."""
+    families = [Family(0, 1), Family(1, 2), Family(2, 1)]
+    couples = [((0, 0), (1, 0)), ((1, 1), (2, 0))]
+    return Society(families=families, couples=couples)
+
+
+class TestMatchingBased:
+    def test_tiny_society(self):
+        result = max_satisfaction_by_matching(tiny_society())
+        # One of the three families must lose (2 couples, 3 needy parents, tree component).
+        assert result.num_satisfied == 2
+        assert not result.trivially_satisfied
+
+    def test_assignment_is_consistent(self, small_society):
+        result = max_satisfaction_by_matching(small_society)
+        for couple, family in result.assignment.items():
+            assert family in (couple[0][0], couple[1][0])
+        # each satisfied-but-not-trivial family has exactly one couple assigned to it
+        assigned_families = list(result.assignment.values())
+        assert len(assigned_families) == len(set(assigned_families))
+
+    def test_unmarried_children_trivially_satisfy(self):
+        families = [Family(0, 3), Family(1, 1)]
+        couples = [((0, 0), (1, 0))]
+        result = max_satisfaction_by_matching(Society(families=families, couples=couples))
+        assert 0 in result.trivially_satisfied
+        assert result.satisfied == frozenset({0, 1})
+
+    def test_childless_family_never_satisfied(self):
+        families = [Family(0, 1), Family(1, 1), Family(2, 0)]
+        couples = [((0, 0), (1, 0))]
+        result = max_satisfaction_by_matching(Society(families=families, couples=couples))
+        assert 2 not in result.satisfied
+
+    def test_cycle_society_everyone_satisfied(self):
+        """A cycle of marriages (each family 2 children) lets every family win."""
+        n = 5
+        families = [Family(i, 2) for i in range(n)]
+        couples = [((i, 1), ((i + 1) % n, 0)) for i in range(n)]
+        result = max_satisfaction_by_matching(Society(families=families, couples=couples))
+        assert result.num_satisfied == n
+
+
+class TestSingleChildFirst:
+    def test_matches_optimum_on_tiny_society(self):
+        greedy = single_child_first_satisfaction(tiny_society())
+        optimal = max_satisfaction_by_matching(tiny_society())
+        assert greedy.num_satisfied == optimal.num_satisfied
+
+    def test_assignment_validity(self, small_society):
+        result = single_child_first_satisfaction(small_society)
+        for couple, family in result.assignment.items():
+            assert family in (couple[0][0], couple[1][0])
+        assigned = list(result.assignment.values())
+        assert len(assigned) == len(set(assigned))
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_always_ties_matching_optimum(self, seed):
+        """Appendix A.3's claim: the linear-time peeling algorithm is optimal."""
+        society = random_society(
+            num_families=25, mean_children=2.2, marriage_fraction=0.8, seed=seed
+        )
+        greedy = single_child_first_satisfaction(society)
+        optimal = max_satisfaction_by_matching(society)
+        assert greedy.num_satisfied == optimal.num_satisfied
+
+    def test_star_society(self):
+        """One big family married into many one-child families: the single-child
+        parents are served first and the big family also wins one couple."""
+        families = [Family(0, 4)] + [Family(i, 1) for i in range(1, 5)]
+        couples = [((0, i - 1), (i, 0)) for i in range(1, 5)]
+        society = Society(families=families, couples=couples)
+        greedy = single_child_first_satisfaction(society)
+        assert greedy.num_satisfied == max_satisfaction_by_matching(society).num_satisfied
+        # 4 couples, 5 needy families, star (tree) component -> 4 satisfied
+        assert greedy.num_satisfied == 4
+
+
+class TestAlternatingSchedule:
+    def test_gap_at_most_one(self, small_society):
+        schedule = alternating_satisfaction_schedule(small_society, horizon=12)
+        gaps = satisfaction_gaps(schedule, small_society)
+        assert all(gap <= 1 for gap in gaps.values())
+
+    def test_every_family_with_children_satisfied_within_two(self, small_society):
+        schedule = alternating_satisfaction_schedule(small_society, horizon=2)
+        union = schedule[0] | schedule[1]
+        for family in small_society.families:
+            if family.num_children > 0:
+                assert family.index in union
+
+    def test_alternation(self):
+        society = tiny_society()
+        schedule = alternating_satisfaction_schedule(society, horizon=4)
+        assert schedule[0] == schedule[2]
+        assert schedule[1] == schedule[3]
+        assert schedule[0] != schedule[1]
+
+    def test_bad_horizon(self, small_society):
+        with pytest.raises(ValueError):
+            alternating_satisfaction_schedule(small_society, horizon=0)
+
+    def test_childless_family_gap_not_reported(self):
+        families = [Family(0, 1), Family(1, 1), Family(2, 0)]
+        couples = [((0, 0), (1, 0))]
+        society = Society(families=families, couples=couples)
+        schedule = alternating_satisfaction_schedule(society, horizon=6)
+        gaps = satisfaction_gaps(schedule, society)
+        assert 2 not in gaps
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    n=st.integers(min_value=1, max_value=20),
+    fraction=st.floats(min_value=0.0, max_value=1.0),
+    seed=st.integers(min_value=0, max_value=10**4),
+)
+def test_property_greedy_satisfaction_is_optimal(n, fraction, seed):
+    """The linear-time algorithm never loses to Hopcroft–Karp (and never exceeds it)."""
+    society = random_society(
+        num_families=n, mean_children=2.0, marriage_fraction=fraction, seed=seed
+    )
+    greedy = single_child_first_satisfaction(society)
+    optimal = max_satisfaction_by_matching(society)
+    assert greedy.num_satisfied == optimal.num_satisfied

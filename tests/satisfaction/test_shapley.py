@@ -1,0 +1,117 @@
+"""Tests for the Appendix A.2 happiness coalitional game."""
+
+import pytest
+
+from repro.core.problem import ConflictGraph
+from repro.graphs.families import clique, path, star
+from repro.graphs.random_graphs import erdos_renyi
+from repro.satisfaction.independent_set import exact_maximum_independent_set
+from repro.satisfaction.shapley import (
+    coalition_value,
+    estimate_shapley_values,
+    fair_share_vector,
+    marginal_contributions,
+)
+
+
+class TestCoalitionValue:
+    def test_empty_coalition(self, square_with_diagonal):
+        assert coalition_value(square_with_diagonal, []) == 0
+
+    def test_full_coalition_is_mis(self, square_with_diagonal):
+        full = coalition_value(square_with_diagonal, square_with_diagonal.nodes())
+        assert full == len(exact_maximum_independent_set(square_with_diagonal))
+
+    def test_monotone_in_coalition(self, square_with_diagonal):
+        assert coalition_value(square_with_diagonal, [0]) <= coalition_value(
+            square_with_diagonal, [0, 2]
+        )
+
+    def test_greedy_value_function(self, medium_random):
+        nodes = medium_random.nodes()[:10]
+        value = coalition_value(medium_random, nodes, exact=False)
+        assert 1 <= value <= len(nodes)
+
+
+class TestMarginalContributions:
+    def test_efficiency_property(self, square_with_diagonal):
+        """For ANY order, marginal contributions sum to v(P) — the appendix's key fact."""
+        nodes = square_with_diagonal.nodes()
+        mis_size = len(exact_maximum_independent_set(square_with_diagonal))
+        for order in ([0, 1, 2, 3], [3, 1, 0, 2], [2, 3, 1, 0]):
+            contributions = marginal_contributions(square_with_diagonal, order)
+            assert sum(contributions.values()) == mis_size
+            assert all(v in (0, 1) for v in contributions.values())
+
+    def test_rejects_non_permutation(self, square_with_diagonal):
+        with pytest.raises(ValueError):
+            marginal_contributions(square_with_diagonal, [0, 1])
+
+    def test_clique_first_arrival_wins(self):
+        g = clique(4)
+        contributions = marginal_contributions(g, [2, 0, 1, 3])
+        assert contributions[2] == 1
+        assert sum(contributions.values()) == 1
+
+
+class TestShapleyEstimate:
+    def test_sums_to_mis(self, square_with_diagonal):
+        estimate = estimate_shapley_values(square_with_diagonal, samples=50, seed=1)
+        assert sum(estimate.values.values()) == pytest.approx(estimate.total_value)
+        assert estimate.total_value == len(exact_maximum_independent_set(square_with_diagonal))
+
+    def test_clique_symmetry(self):
+        """In K_n every node has the same Shapley value 1/n."""
+        g = clique(4)
+        estimate = estimate_shapley_values(g, samples=400, seed=2)
+        for value in estimate.values.values():
+            assert value == pytest.approx(0.25, abs=0.07)
+
+    def test_star_leaves_dominate_hub(self):
+        """In a star the leaves form the MIS; the hub's share is small."""
+        g = star(5)
+        estimate = estimate_shapley_values(g, samples=200, seed=3)
+        hub = estimate.values[0]
+        leaves = [estimate.values[p] for p in range(1, 6)]
+        assert all(leaf > hub for leaf in leaves)
+
+    def test_normalised_shares(self, square_with_diagonal):
+        estimate = estimate_shapley_values(square_with_diagonal, samples=30, seed=4)
+        shares = estimate.normalised()
+        assert sum(shares.values()) == pytest.approx(1.0)
+
+    def test_node_limit_guard(self):
+        g = erdos_renyi(60, 0.1, seed=0)
+        with pytest.raises(ValueError):
+            estimate_shapley_values(g, samples=5, node_limit=40)
+
+    def test_greedy_mode_allowed_on_larger_graphs(self):
+        g = erdos_renyi(60, 0.1, seed=0)
+        estimate = estimate_shapley_values(g, samples=3, seed=5, exact=False, node_limit=40)
+        assert len(estimate.values) == 60
+
+    def test_bad_sample_count(self, square_with_diagonal):
+        with pytest.raises(ValueError):
+            estimate_shapley_values(square_with_diagonal, samples=0)
+
+    def test_deterministic_given_seed(self, square_with_diagonal):
+        a = estimate_shapley_values(square_with_diagonal, samples=20, seed=9)
+        b = estimate_shapley_values(square_with_diagonal, samples=20, seed=9)
+        assert a.values == b.values
+
+
+class TestFairShareVector:
+    def test_values(self, square_with_diagonal):
+        shares = fair_share_vector(square_with_diagonal)
+        assert shares[0] == pytest.approx(1 / 3)
+        assert shares[1] == pytest.approx(1 / 4)
+
+    def test_isolated_node(self):
+        g = ConflictGraph(nodes=[0])
+        assert fair_share_vector(g)[0] == 1.0
+
+    def test_caro_wei_lower_bound(self, medium_random):
+        """Σ 1/(deg+1) lower-bounds the independence number (Caro–Wei)."""
+        total = sum(fair_share_vector(medium_random).values())
+        mis = len(exact_maximum_independent_set(medium_random))
+        assert mis >= total - 1e-9

@@ -1,0 +1,146 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.core.problem import ConflictGraph
+from repro.graphs.society import random_society
+from repro.io.graphs import load_edge_list, save_edge_list, write_graph_json
+from repro.io.schedules import load_periodic_schedule
+from repro.io.societies import save_society
+
+
+@pytest.fixture
+def graph_file(tmp_path, square_with_diagonal):
+    path = tmp_path / "graph.edges"
+    save_edge_list(square_with_diagonal, path)
+    return str(path)
+
+
+@pytest.fixture
+def society_file(tmp_path):
+    society = random_society(15, mean_children=2.2, marriage_fraction=0.8, seed=3)
+    path = tmp_path / "society.json"
+    save_society(society, path)
+    return str(path)
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_algorithm_rejected_by_choices(self, graph_file):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["schedule", graph_file, "--algorithm", "nope"])
+
+
+class TestGenerate:
+    @pytest.mark.parametrize("kind", ["clique", "star", "gnp", "powerlaw"])
+    def test_generate_graph_kinds(self, tmp_path, kind, capsys):
+        out = tmp_path / f"{kind}.edges"
+        code = main(["generate", kind, str(out), "--size", "12", "--seed", "2"])
+        assert code == 0
+        graph = load_edge_list(out)
+        assert graph.num_nodes() >= 12
+        assert "wrote" in capsys.readouterr().out
+
+    def test_generate_society_with_json(self, tmp_path, capsys):
+        out = tmp_path / "society.edges"
+        society_out = tmp_path / "society.json"
+        code = main(
+            [
+                "generate",
+                "society",
+                str(out),
+                "--size",
+                "18",
+                "--society-out",
+                str(society_out),
+                "--seed",
+                "4",
+            ]
+        )
+        assert code == 0
+        assert society_out.exists()
+        assert load_edge_list(out).num_nodes() == 18
+
+    def test_generate_json_output(self, tmp_path):
+        out = tmp_path / "graph.json"
+        assert main(["generate", "clique", str(out), "--size", "5"]) == 0
+        from repro.io.graphs import read_graph_json
+
+        assert read_graph_json(out).num_edges() == 10
+
+
+class TestSchedule:
+    def test_schedule_default_algorithm(self, graph_file, capsys):
+        code = main(["schedule", graph_file, "--calendar-years", "6"])
+        captured = capsys.readouterr().out
+        assert code == 0
+        assert "hosting families" in captured
+        assert "bound satisfied = True" in captured
+
+    def test_schedule_exports(self, graph_file, tmp_path, capsys):
+        csv_out = tmp_path / "calendar.csv"
+        sched_out = tmp_path / "schedule.json"
+        code = main(
+            [
+                "schedule",
+                graph_file,
+                "--algorithm",
+                "color-periodic-omega",
+                "--calendar-csv",
+                str(csv_out),
+                "--save-schedule",
+                str(sched_out),
+            ]
+        )
+        assert code == 0
+        assert csv_out.exists()
+        loaded = load_periodic_schedule(sched_out)
+        assert loaded.is_periodic()
+
+    def test_schedule_aperiodic_skips_schedule_export(self, graph_file, tmp_path, capsys):
+        sched_out = tmp_path / "schedule.json"
+        code = main(
+            ["schedule", graph_file, "--algorithm", "phased-greedy", "--save-schedule", str(sched_out)]
+        )
+        assert code == 0
+        assert not sched_out.exists()
+        assert "not perfectly periodic" in capsys.readouterr().out
+
+    def test_missing_graph_file(self, tmp_path):
+        with pytest.raises(SystemExit, match="does not exist"):
+            main(["schedule", str(tmp_path / "nope.edges")])
+
+
+class TestCompareBoundsSatisfaction:
+    def test_compare_default_set(self, graph_file, capsys):
+        code = main(["compare", graph_file, "--horizon", "48"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "most degree-local schedule" in out
+        assert "degree-periodic" in out
+
+    def test_compare_rejects_unknown_algorithm(self, graph_file):
+        with pytest.raises(SystemExit, match="unknown algorithm"):
+            main(["compare", graph_file, "--algorithms", "sequential", "bogus"])
+
+    def test_bounds(self, graph_file, capsys):
+        code = main(["bounds", graph_file])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "Thm3.1" in out and "Thm5.3" in out
+
+    def test_satisfaction(self, society_file, capsys):
+        code = main(["satisfaction", society_file, "--horizon", "8"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "max satisfaction (matching)" in out
+
+    def test_json_graph_input(self, tmp_path, capsys):
+        graph = ConflictGraph.from_edges([(0, 1), (1, 2)])
+        path = tmp_path / "graph.json"
+        write_graph_json(graph, path)
+        assert main(["bounds", str(path)]) == 0

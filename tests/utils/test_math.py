@@ -1,0 +1,113 @@
+"""Tests for integer math helpers."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.utils.math import (
+    ceil_div,
+    ceil_log2,
+    clamp,
+    floor_log2,
+    ilog2,
+    is_power_of_two,
+    next_power_of_two,
+)
+
+
+class TestFloorLog2:
+    def test_small_values(self):
+        assert floor_log2(1) == 0
+        assert floor_log2(2) == 1
+        assert floor_log2(3) == 1
+        assert floor_log2(4) == 2
+        assert floor_log2(1023) == 9
+        assert floor_log2(1024) == 10
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            floor_log2(0)
+        with pytest.raises(ValueError):
+            floor_log2(-3)
+
+    def test_ilog2_alias(self):
+        assert ilog2(17) == floor_log2(17)
+
+
+class TestCeilLog2:
+    def test_small_values(self):
+        assert ceil_log2(1) == 0
+        assert ceil_log2(2) == 1
+        assert ceil_log2(3) == 2
+        assert ceil_log2(4) == 2
+        assert ceil_log2(5) == 3
+        assert ceil_log2(1024) == 10
+        assert ceil_log2(1025) == 11
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            ceil_log2(0)
+
+    @given(st.integers(min_value=1, max_value=10**9))
+    def test_bracket_property(self, n):
+        """2^(ceil-1) < n <= 2^ceil  and  2^floor <= n < 2^(floor+1)."""
+        c, f = ceil_log2(n), floor_log2(n)
+        assert 2**f <= n < 2 ** (f + 1)
+        assert n <= 2**c
+        if n > 1:
+            assert 2 ** (c - 1) < n
+
+    @given(st.integers(min_value=1, max_value=10**9))
+    def test_ceil_floor_relation(self, n):
+        if is_power_of_two(n):
+            assert ceil_log2(n) == floor_log2(n)
+        else:
+            assert ceil_log2(n) == floor_log2(n) + 1
+
+
+class TestPowersOfTwo:
+    def test_is_power_of_two(self):
+        assert is_power_of_two(1)
+        assert is_power_of_two(2)
+        assert is_power_of_two(64)
+        assert not is_power_of_two(0)
+        assert not is_power_of_two(-4)
+        assert not is_power_of_two(6)
+
+    def test_next_power_of_two(self):
+        assert next_power_of_two(1) == 1
+        assert next_power_of_two(2) == 2
+        assert next_power_of_two(3) == 4
+        assert next_power_of_two(5) == 8
+        assert next_power_of_two(1025) == 2048
+
+    def test_next_power_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            next_power_of_two(0)
+
+    @given(st.integers(min_value=1, max_value=10**8))
+    def test_next_power_is_tight(self, n):
+        p = next_power_of_two(n)
+        assert is_power_of_two(p)
+        assert p >= n
+        assert p // 2 < n
+
+
+class TestCeilDivAndClamp:
+    def test_ceil_div(self):
+        assert ceil_div(10, 3) == 4
+        assert ceil_div(9, 3) == 3
+        assert ceil_div(0, 5) == 0
+        assert ceil_div(1, 5) == 1
+
+    def test_ceil_div_rejects_bad_divisor(self):
+        with pytest.raises(ValueError):
+            ceil_div(3, 0)
+
+    def test_clamp(self):
+        assert clamp(5, 0, 10) == 5
+        assert clamp(-5, 0, 10) == 0
+        assert clamp(50, 0, 10) == 10
+
+    def test_clamp_empty_range(self):
+        with pytest.raises(ValueError):
+            clamp(1, 5, 2)
