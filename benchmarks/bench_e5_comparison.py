@@ -16,14 +16,29 @@ legality.  The qualitative shape expected from the paper:
   number of the workload;
 * ``first-come-first-grab`` matches the fair share in expectation but has
   heavy-tailed worst-case gaps.
+
+Also runnable as a script (``python benchmarks/bench_e5_comparison.py
+[--quick] [--horizon H] [--backend B]``): runs the comparison, then times
+``evaluate_schedule`` on the bit-parallel trace engine against the
+``backend="sets"`` reference over the same workload × scheduler grid,
+asserts both engines produce identical report summaries, and writes
+machine-readable ``BENCH_e5_comparison.json`` + ``BENCH_trace.json``
+perf reports (see :func:`benchmarks.common.write_bench_json`).
 """
 
 from __future__ import annotations
 
+import argparse
+import sys
+import time
+
 import pytest
 
-from benchmarks.common import experiment_workloads, print_table
+from benchmarks.common import bench_record, experiment_workloads, print_table, write_bench_json
 from repro.analysis.runner import compare_schedulers
+from repro.algorithms.registry import get_scheduler
+from repro.core.metrics import evaluate_schedule
+from repro.core.trace import resolve_backend
 
 WORKLOADS = experiment_workloads()
 SCHEDULERS = [
@@ -75,3 +90,128 @@ def test_e5_scheduler_comparison(benchmark):
         [[w, wins[w]] for w in sorted(wins)],
     )
     benchmark.extra_info.update({w: wins[w] for w in wins})
+
+
+# ---------------------------------------------------------------------------
+# script mode: trace-engine speedup report (BENCH_trace.json)
+# ---------------------------------------------------------------------------
+
+def benchmark_grid(quick: bool = False):
+    """The (workloads, schedulers) grid shared by script-mode reports.
+
+    Reuses the module-level ``WORKLOADS`` rather than regenerating the
+    graphs on every call.
+    """
+    workloads = dict(WORKLOADS)
+    schedulers = list(SCHEDULERS)
+    if quick:
+        workloads = {k: workloads[k] for k in ("clique-12", "grid-8x8", "gnp-sparse")}
+        schedulers = ["sequential", "phased-greedy", "degree-periodic"]
+    return workloads, schedulers
+
+
+def trace_speedup_report(horizon: int, backend: str, quick: bool = False, grid=None):
+    """Time ``evaluate_schedule`` per (workload, scheduler) on the trace
+    engine vs the frozenset reference, asserting identical summaries.
+
+    Returns ``(records, worst_speedup, geo_mean_speedup)`` where each record
+    is one :func:`benchmarks.common.bench_record` row.
+    """
+    backend = resolve_backend(backend)
+    workloads, schedulers = grid if grid is not None else benchmark_grid(quick)
+
+    records = []
+    speedups = []
+    for workload_name, graph in workloads.items():
+        for scheduler_name in schedulers:
+            schedule = get_scheduler(scheduler_name).build(graph, seed=1)
+            # Warm any online generator so both engines read the same
+            # memoised prefix and the timing isolates metric evaluation.
+            schedule.prefix(horizon)
+
+            start = time.perf_counter()
+            fast = evaluate_schedule(schedule, graph, horizon, backend=backend)
+            fast_seconds = time.perf_counter() - start
+
+            start = time.perf_counter()
+            reference = evaluate_schedule(schedule, graph, horizon, backend="sets")
+            sets_seconds = time.perf_counter() - start
+
+            if fast.summary() != reference.summary():
+                raise AssertionError(
+                    f"backend {backend!r} diverges from 'sets' on "
+                    f"{workload_name} × {scheduler_name}: "
+                    f"{fast.summary()} != {reference.summary()}"
+                )
+            speedup = sets_seconds / fast_seconds if fast_seconds > 0 else float("inf")
+            speedups.append(speedup)
+            records.append(
+                bench_record(
+                    "evaluate_schedule", horizon, fast_seconds, backend,
+                    workload=workload_name, scheduler=scheduler_name,
+                    sets_seconds=sets_seconds, speedup=round(speedup, 2),
+                )
+            )
+    worst = min(speedups)
+    geo_mean = 1.0
+    for s in speedups:
+        geo_mean *= s
+    geo_mean **= 1.0 / len(speedups)
+    return records, worst, geo_mean
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true", help="small smoke grid for CI")
+    parser.add_argument("--horizon", type=int, default=None, help="evaluation horizon (default: 2048 quick, 10000 full)")
+    parser.add_argument("--backend", default="auto", choices=["auto", "numpy", "bitmask"])
+    args = parser.parse_args(argv)
+    horizon = args.horizon or (2048 if args.quick else 10_000)
+
+    grid = benchmark_grid(args.quick)
+    records, worst, geo_mean = trace_speedup_report(horizon, args.backend, grid=grid)
+    backend = resolve_backend(args.backend)
+    print_table(
+        f"E5 trace-engine speedup vs backend='sets' (horizon {horizon}, backend {backend})",
+        ["workload", "scheduler", "trace s", "sets s", "speedup"],
+        [
+            [r["workload"], r["scheduler"], round(r["seconds"], 4), round(r["sets_seconds"], 4), r["speedup"]]
+            for r in records
+        ],
+    )
+    print(f"worst speedup {worst:.2f}x, geometric mean {geo_mean:.2f}x over {len(records)} runs")
+
+    workloads, schedulers = grid
+    results = compare_schedulers(
+        workloads,
+        schedulers,
+        experiment="E5",
+        horizon=horizon if args.quick else None,
+        seed=1,
+        backend=backend,
+    )
+    e5_records = [
+        bench_record(
+            "measure_stage",  # trace build + metric suite + validation
+            int(r.params["horizon"]),
+            float(r.metrics["measure_seconds"]),
+            backend,
+            workload=r.workload,
+            scheduler=r.algorithm,
+            value=r.metrics["mean_norm_gap"],
+            build_seconds=r.metrics["build_seconds"],
+        )
+        for r in results
+    ]
+    path_e5 = write_bench_json("e5_comparison", e5_records, meta={"quick": args.quick})
+    path_trace = write_bench_json(
+        "trace",
+        records,
+        meta={"quick": args.quick, "worst_speedup": round(worst, 2), "geo_mean_speedup": round(geo_mean, 2)},
+    )
+    print(f"wrote {path_e5} and {path_trace}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -6,11 +6,23 @@ seeds, same graph sizes) so the numbers in EXPERIMENTS.md are reproducible
 with a plain ``pytest benchmarks/ --benchmark-only``.
 
 Run with ``-s`` to see the paper-style tables each experiment prints.
+
+Besides the human-readable tables, experiments can emit machine-readable
+perf reports through :func:`bench_record` / :func:`write_bench_json`: one
+``BENCH_<name>.json`` file per experiment, each record carrying at least
+``{metric, horizon, seconds, backend}`` so future sessions can track the
+performance trajectory across PRs.  Files land in ``$REPRO_BENCH_DIR``
+(default: the current working directory).
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence
+import json
+import os
+import platform
+import time
+from pathlib import Path
+from typing import Dict, List, Mapping, Optional, Sequence
 
 from repro.analysis.tables import render_table
 from repro.core.problem import ConflictGraph
@@ -50,3 +62,57 @@ def print_table(title: str, headers: Sequence[str], rows: List[Sequence[object]]
     print()
     print(render_table(headers, rows, title=title))
     print()
+
+
+# ---------------------------------------------------------------------------
+# machine-readable perf reports (BENCH_*.json)
+# ---------------------------------------------------------------------------
+
+def bench_record(
+    metric: str,
+    horizon: int,
+    seconds: float,
+    backend: str,
+    **extra: object,
+) -> Dict[str, object]:
+    """One perf observation: what was measured, over which horizon, on which
+    trace engine, and how long it took.  Extra keyword pairs (workload,
+    scheduler, speedup, ...) are stored verbatim."""
+    record: Dict[str, object] = {
+        "metric": metric,
+        "horizon": int(horizon),
+        "seconds": float(seconds),
+        "backend": backend,
+    }
+    record.update(extra)
+    return record
+
+
+def bench_output_dir() -> Path:
+    """Directory for ``BENCH_*.json`` files (``$REPRO_BENCH_DIR`` or cwd)."""
+    return Path(os.environ.get("REPRO_BENCH_DIR", "."))
+
+
+def write_bench_json(
+    name: str,
+    records: Sequence[Mapping[str, object]],
+    meta: Optional[Mapping[str, object]] = None,
+) -> Path:
+    """Write ``BENCH_<name>.json`` and return its path.
+
+    The payload is ``{"experiment", "created", "python", "records": [...]}``
+    plus any ``meta`` pairs — flat JSON, append-friendly for CI artifact
+    upload and later cross-PR comparison.
+    """
+    payload: Dict[str, object] = {
+        "experiment": name,
+        "created": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+        "python": platform.python_version(),
+        "records": [dict(r) for r in records],
+    }
+    if meta:
+        payload.update(meta)
+    out = bench_output_dir() / f"BENCH_{name}.json"
+    out.parent.mkdir(parents=True, exist_ok=True)
+    out.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return out

@@ -1,10 +1,35 @@
-"""Legacy setup shim.
+"""Packaging for the Holiday Gathering reproduction.
 
-All project metadata lives in ``pyproject.toml``; this file exists so that
-``pip install -e .`` works on environments whose setuptools predates PEP 660
-editable wheels (and on offline machines that cannot fetch build backends).
+Plain ``setup.py`` (no build-backend requirement) so that ``pip install -e .``
+works on environments whose setuptools predates PEP 660 editable wheels and
+on offline machines that cannot fetch build backends.
+
+The core package is pure Python.  ``numpy`` is an *optional* accelerator for
+the bit-parallel trace engine (:mod:`repro.core.trace`): install it with
+``pip install .[fast]``; without it the engine transparently falls back to
+the pure-Python int-bitmask backend.
 """
 
-from setuptools import setup
+from setuptools import find_packages, setup
 
-setup()
+setup(
+    name="repro-holiday",
+    version="1.0.0",
+    description=(
+        "Reproduction of 'The Family Holiday Gathering Problem or Fair and "
+        "Periodic Scheduling of Independent Sets' (SPAA 2016)"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages("src"),
+    python_requires=">=3.9",
+    install_requires=["networkx"],
+    extras_require={
+        # accelerates TraceMatrix (dense numpy backend); everything works
+        # without it via the int-bitmask fallback
+        "fast": ["numpy"],
+        "test": ["pytest", "pytest-benchmark"],
+    },
+    entry_points={
+        "console_scripts": ["repro-holiday = repro.cli:main"],
+    },
+)

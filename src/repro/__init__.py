@@ -31,6 +31,7 @@ from repro.core import (
     Schedule,
     ScheduleReport,
     SlotAssignment,
+    TraceMatrix,
     ValidationReport,
     certify_local_bound,
     certify_periodicity,
@@ -86,6 +87,7 @@ __all__ = [
     "GeneratorSchedule",
     "SlotAssignment",
     "HappinessTrace",
+    "TraceMatrix",
     "ScheduleReport",
     "ValidationReport",
     "evaluate_schedule",

@@ -5,9 +5,12 @@ The runner encapsulates the repetitive part of every experiment:
 1. pick an observation horizon long enough to witness several periods of the
    slowest node (``choose_horizon``),
 2. build the schedule and time the construction,
-3. evaluate the metric suite (:func:`repro.core.metrics.evaluate_schedule`),
-4. validate legality and, when the scheduler states a per-node bound,
-   certify it (:func:`repro.core.validation.validate_schedule`).
+3. build the occupancy trace **once** (:class:`repro.core.trace.TraceMatrix`,
+   unless ``backend="sets"`` selects the frozenset reference engine),
+4. evaluate the metric suite (:func:`repro.core.metrics.evaluate_schedule`),
+5. validate legality and, when the scheduler states a per-node bound,
+   certify it (:func:`repro.core.validation.validate_schedule`) — both steps
+   share the step-3 matrix instead of re-materializing the schedule twice.
 
 ``compare_schedulers`` runs a list of registered scheduler names over a
 workload dictionary and returns a :class:`~repro.analysis.records.ResultSet`
@@ -23,7 +26,7 @@ from typing import Dict, Iterable, List, Mapping, Optional, Sequence
 from repro.algorithms.base import Scheduler
 from repro.algorithms.registry import get_scheduler
 from repro.analysis.records import ExperimentRecord, ResultSet
-from repro.core.metrics import ScheduleReport, evaluate_schedule
+from repro.core.metrics import ScheduleReport, build_trace, evaluate_schedule
 from repro.core.problem import ConflictGraph
 from repro.core.schedule import Schedule
 from repro.core.validation import ValidationReport, validate_schedule
@@ -43,11 +46,16 @@ class RunOutcome:
     validation: ValidationReport
     build_seconds: float
     bound_satisfied: Optional[bool]
+    backend: str = "auto"
+    #: wall time of the whole measurement stage: trace construction plus the
+    #: metric suite plus all validation checks (they share the one trace).
+    measure_seconds: float = 0.0
 
     def metrics(self) -> Dict[str, float]:
         """Flat metric dictionary (report summary + construction cost + validity)."""
         out = dict(self.report.summary())
         out["build_seconds"] = self.build_seconds
+        out["measure_seconds"] = self.measure_seconds
         out["legal"] = 1.0 if self.validation.ok else 0.0
         if self.bound_satisfied is not None:
             out["bound_satisfied"] = 1.0 if self.bound_satisfied else 0.0
@@ -79,8 +87,14 @@ def run_scheduler(
     seed: int = 0,
     certify_bound: bool = True,
     skip_isolated: bool = True,
+    backend: str = "auto",
 ) -> RunOutcome:
-    """Build, evaluate and validate one scheduler on one graph."""
+    """Build, evaluate and validate one scheduler on one graph.
+
+    ``backend`` selects the trace engine (``"auto"``/``"numpy"``/
+    ``"bitmask"``/``"sets"``); on the matrix engines the occupancy trace is
+    built exactly once and shared by the metric suite and the validator.
+    """
     start = time.perf_counter()
     schedule = scheduler.build(graph, seed=seed)
     build_seconds = time.perf_counter() - start
@@ -93,7 +107,9 @@ def run_scheduler(
             worst_bound = max(bound_fn(p) for p in graph.nodes())
             horizon = max(horizon, int(2 * worst_bound) + 2)
 
-    report = evaluate_schedule(schedule, graph, horizon, name=scheduler.name)
+    start = time.perf_counter()
+    trace = build_trace(schedule, graph, horizon, backend=backend)
+    report = evaluate_schedule(schedule, graph, horizon, name=scheduler.name, backend=backend, trace=trace)
     validation = validate_schedule(
         schedule,
         graph,
@@ -102,7 +118,10 @@ def run_scheduler(
         bound_name=scheduler.info.local_bound,
         check_periodic=scheduler.info.periodic,
         skip_isolated=skip_isolated,
+        backend=backend,
+        trace=trace,
     )
+    measure_seconds = time.perf_counter() - start
     bound_satisfied: Optional[bool] = None
     if bound_fn is not None:
         bound_satisfied = not any(v.kind == "bound-exceeded" for v in validation.violations)
@@ -116,6 +135,8 @@ def run_scheduler(
         validation=validation,
         build_seconds=build_seconds,
         bound_satisfied=bound_satisfied,
+        backend=backend,
+        measure_seconds=measure_seconds,
     )
 
 
@@ -126,6 +147,7 @@ def compare_schedulers(
     horizon: Optional[int] = None,
     seed: int = 0,
     certify_bound: bool = True,
+    backend: str = "auto",
 ) -> ResultSet:
     """Run every named scheduler over every workload and collect the results."""
     results = ResultSet()
@@ -138,6 +160,7 @@ def compare_schedulers(
                 horizon=horizon,
                 seed=seed,
                 certify_bound=certify_bound,
+                backend=backend,
             )
             results.add(
                 ExperimentRecord(
@@ -145,7 +168,7 @@ def compare_schedulers(
                     workload=workload_name,
                     algorithm=scheduler_name,
                     metrics=outcome.metrics(),
-                    params={"horizon": outcome.horizon, "n": graph.num_nodes()},
+                    params={"horizon": outcome.horizon, "n": graph.num_nodes(), "backend": backend},
                 )
             )
     return results

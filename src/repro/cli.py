@@ -1,6 +1,6 @@
 """Command-line interface for the holiday-gathering scheduler.
 
-Installed as ``repro-holiday`` (see ``pyproject.toml``); also runnable as
+Installed as ``repro-holiday`` (see ``setup.py``); also runnable as
 ``python -m repro.cli``.  Subcommands:
 
 ``generate``
@@ -40,6 +40,7 @@ from repro.coloring.greedy import greedy_coloring
 from repro.core.bounds import bound_table
 from repro.core.problem import ConflictGraph
 from repro.core.schedule import PeriodicSchedule
+from repro.core.trace import resolve_backend
 from repro.graphs.families import clique, star
 from repro.graphs.random_graphs import barabasi_albert, erdos_renyi
 from repro.graphs.society import random_society
@@ -74,6 +75,16 @@ def _write_graph(graph: ConflictGraph, path: str) -> None:
         write_graph_json(graph, path)
     else:
         save_edge_list(graph, path)
+
+
+def _check_backend(backend: str) -> str:
+    """Turn an unavailable trace backend into a clean CLI error."""
+    if backend != "sets":
+        try:
+            resolve_backend(backend)
+        except RuntimeError as exc:
+            raise SystemExit(f"error: {exc} (install the [fast] extra or use --backend bitmask)")
+    return backend
 
 
 # ---------------------------------------------------------------------------
@@ -111,7 +122,9 @@ def cmd_generate(args: argparse.Namespace) -> int:
 def cmd_schedule(args: argparse.Namespace) -> int:
     graph = _load_graph(args.graph)
     scheduler = get_scheduler(args.algorithm)
-    outcome = run_scheduler(scheduler, graph, horizon=args.horizon, seed=args.seed)
+    outcome = run_scheduler(
+        scheduler, graph, horizon=args.horizon, seed=args.seed, backend=_check_backend(args.backend)
+    )
     schedule = outcome.schedule
 
     calendar_years = min(args.calendar_years, outcome.horizon)
@@ -160,7 +173,13 @@ def cmd_compare(args: argparse.Namespace) -> int:
     unknown = [a for a in algorithms if a not in available_schedulers()]
     if unknown:
         raise SystemExit(f"error: unknown algorithm(s): {', '.join(unknown)}")
-    results = compare_schedulers({graph.name: graph}, algorithms, horizon=args.horizon, seed=args.seed)
+    results = compare_schedulers(
+        {graph.name: graph},
+        algorithms,
+        horizon=args.horizon,
+        seed=args.seed,
+        backend=_check_backend(args.backend),
+    )
     metrics = ["max_mul", "mean_mul", "max_norm_gap", "mean_norm_gap", "fairness"]
     rows = [[r.algorithm] + [r.metrics.get(m) for m in metrics] for r in results]
     print(render_table(["algorithm"] + metrics, rows, title=f"comparison on {graph.name}"))
@@ -240,6 +259,12 @@ def build_parser() -> argparse.ArgumentParser:
     sch.add_argument("graph", help="graph file (.json or edge list)")
     sch.add_argument("--algorithm", default="degree-periodic", choices=available_schedulers())
     sch.add_argument("--horizon", type=int, default=None, help="evaluation horizon (default: auto)")
+    sch.add_argument(
+        "--backend",
+        default="auto",
+        choices=["auto", "numpy", "bitmask", "sets"],
+        help="trace engine: bit-parallel matrix (numpy/bitmask, auto-selected) or the frozenset reference",
+    )
     sch.add_argument("--calendar-years", type=int, default=12, help="years printed to the terminal")
     sch.add_argument("--calendar-csv", help="write the full calendar to this CSV file")
     sch.add_argument("--save-schedule", help="write the periodic schedule JSON to this file")
@@ -250,6 +275,12 @@ def build_parser() -> argparse.ArgumentParser:
     cmp_.add_argument("graph", help="graph file (.json or edge list)")
     cmp_.add_argument("--algorithms", nargs="*", help="algorithm names (default: a representative set)")
     cmp_.add_argument("--horizon", type=int, default=None)
+    cmp_.add_argument(
+        "--backend",
+        default="auto",
+        choices=["auto", "numpy", "bitmask", "sets"],
+        help="trace engine: bit-parallel matrix (numpy/bitmask, auto-selected) or the frozenset reference",
+    )
     cmp_.add_argument("--seed", type=int, default=0)
     cmp_.set_defaults(func=cmd_compare)
 

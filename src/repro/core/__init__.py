@@ -14,9 +14,11 @@ from repro.core.schedule import (
     Schedule,
     SlotAssignment,
 )
+from repro.core.trace import TraceMatrix, numpy_available, resolve_backend
 from repro.core.metrics import (
     HappinessTrace,
     ScheduleReport,
+    build_trace,
     evaluate_schedule,
     happiness_rates,
     jain_fairness_index,
@@ -64,6 +66,10 @@ __all__ = [
     "ExplicitSchedule",
     "GeneratorSchedule",
     "SlotAssignment",
+    "TraceMatrix",
+    "numpy_available",
+    "resolve_backend",
+    "build_trace",
     "HappinessTrace",
     "ScheduleReport",
     "evaluate_schedule",

@@ -12,6 +12,22 @@ comparison benchmark (E5) and the first-come-first-grab study (E10).
 All functions accept either a :class:`~repro.core.schedule.Schedule` or a
 pre-materialised sequence of happy sets, so metrics can also be applied to
 traces produced outside this package.
+
+Two evaluation engines back every metric (see :mod:`repro.core.trace` for
+the architecture notes):
+
+* ``backend="sets"`` — the historical reference path: one ``frozenset`` per
+  holiday, walked node by node through :class:`HappinessTrace`.  Exact but
+  O(n·horizon) Python-object churn; kept as ground truth for differential
+  testing.
+* ``backend="auto"`` / ``"numpy"`` / ``"bitmask"`` — the bit-parallel
+  :class:`~repro.core.trace.TraceMatrix` engine: the occupancy matrix is
+  built once (vectorized for periodic schedules) and every metric becomes a
+  run-length-encoding query over dense rows.  ``"auto"`` picks numpy when it
+  is installed and the pure-Python bitmask otherwise.
+
+Every entry point also accepts a pre-built ``trace=`` so a caller (e.g. the
+experiment runner) can share a single matrix between metrics and validation.
 """
 
 from __future__ import annotations
@@ -22,9 +38,11 @@ from typing import Dict, FrozenSet, Iterable, List, Mapping, Optional, Sequence,
 
 from repro.core.problem import ConflictGraph, Node
 from repro.core.schedule import Schedule
+from repro.core.trace import TraceMatrix, materialize_prefix
 
 __all__ = [
     "HappinessTrace",
+    "build_trace",
     "materialize",
     "max_unhappiness_lengths",
     "unhappiness_gaps",
@@ -39,18 +57,45 @@ __all__ = [
 ScheduleLike = Union[Schedule, Sequence[Iterable[Node]]]
 
 
+def build_trace(
+    schedule: ScheduleLike,
+    graph: ConflictGraph,
+    horizon: int,
+    backend: str = "auto",
+    trace: Optional[TraceMatrix] = None,
+) -> Optional[TraceMatrix]:
+    """Resolve the evaluation engine for one metric call.
+
+    Returns a :class:`~repro.core.trace.TraceMatrix` (the given one when the
+    caller already built it, a fresh one otherwise), or ``None`` when
+    ``backend="sets"`` selects the frozenset reference path.
+    """
+    if trace is not None:
+        if backend == "sets":
+            raise ValueError(
+                "backend='sets' selects the frozenset reference engine and cannot "
+                "use a prebuilt trace; omit trace="
+            )
+        if trace.horizon != horizon:
+            raise ValueError(
+                f"shared trace covers horizon {trace.horizon}, requested {horizon}"
+            )
+        if trace.graph is not graph and trace.graph.nodes() != graph.nodes():
+            raise ValueError(
+                f"shared trace was built on graph {trace.graph.name!r} whose nodes "
+                f"differ from {graph.name!r}"
+            )
+        return trace
+    if backend == "sets":
+        return None
+    return TraceMatrix.from_schedule(schedule, graph, horizon, backend=backend)
+
+
 def materialize(schedule: ScheduleLike, graph: ConflictGraph, horizon: int) -> List[FrozenSet[Node]]:
     """Return the first ``horizon`` happy sets of ``schedule`` as frozensets."""
     if horizon < 1:
         raise ValueError(f"horizon must be >= 1, got {horizon!r}")
-    if isinstance(schedule, Schedule):
-        return schedule.prefix(horizon)
-    sets = [frozenset(s) for s in schedule[:horizon]]
-    if len(sets) < horizon:
-        raise ValueError(
-            f"explicit sequence has only {len(sets)} holidays, requested horizon {horizon}"
-        )
-    return sets
+    return list(materialize_prefix(schedule, horizon))
 
 
 @dataclass
@@ -128,28 +173,64 @@ class HappinessTrace:
         return len(self.appearances[node]) / self.horizon
 
 
-def max_unhappiness_lengths(schedule: ScheduleLike, graph: ConflictGraph, horizon: int) -> Dict[Node, int]:
+def max_unhappiness_lengths(
+    schedule: ScheduleLike,
+    graph: ConflictGraph,
+    horizon: int,
+    backend: str = "auto",
+    trace: Optional[TraceMatrix] = None,
+) -> Dict[Node, int]:
     """``{node: mul(node)}`` over the first ``horizon`` holidays."""
-    trace = HappinessTrace.from_schedule(schedule, graph, horizon)
-    return {p: trace.mul(p) for p in graph.nodes()}
+    matrix = build_trace(schedule, graph, horizon, backend, trace)
+    if matrix is not None:
+        return matrix.muls()
+    reference = HappinessTrace.from_schedule(schedule, graph, horizon)
+    return {p: reference.mul(p) for p in graph.nodes()}
 
 
-def unhappiness_gaps(schedule: ScheduleLike, graph: ConflictGraph, horizon: int) -> Dict[Node, List[int]]:
+def unhappiness_gaps(
+    schedule: ScheduleLike,
+    graph: ConflictGraph,
+    horizon: int,
+    backend: str = "auto",
+    trace: Optional[TraceMatrix] = None,
+) -> Dict[Node, List[int]]:
     """``{node: list of unhappiness interval lengths}``."""
-    trace = HappinessTrace.from_schedule(schedule, graph, horizon)
-    return {p: trace.gaps(p) for p in graph.nodes()}
+    matrix = build_trace(schedule, graph, horizon, backend, trace)
+    if matrix is not None:
+        return matrix.all_gaps()
+    reference = HappinessTrace.from_schedule(schedule, graph, horizon)
+    return {p: reference.gaps(p) for p in graph.nodes()}
 
 
-def observed_periods(schedule: ScheduleLike, graph: ConflictGraph, horizon: int) -> Dict[Node, Optional[int]]:
+def observed_periods(
+    schedule: ScheduleLike,
+    graph: ConflictGraph,
+    horizon: int,
+    backend: str = "auto",
+    trace: Optional[TraceMatrix] = None,
+) -> Dict[Node, Optional[int]]:
     """``{node: empirically observed period or None}``."""
-    trace = HappinessTrace.from_schedule(schedule, graph, horizon)
-    return {p: trace.observed_period(p) for p in graph.nodes()}
+    matrix = build_trace(schedule, graph, horizon, backend, trace)
+    if matrix is not None:
+        return matrix.observed_periods()
+    reference = HappinessTrace.from_schedule(schedule, graph, horizon)
+    return {p: reference.observed_period(p) for p in graph.nodes()}
 
 
-def happiness_rates(schedule: ScheduleLike, graph: ConflictGraph, horizon: int) -> Dict[Node, float]:
+def happiness_rates(
+    schedule: ScheduleLike,
+    graph: ConflictGraph,
+    horizon: int,
+    backend: str = "auto",
+    trace: Optional[TraceMatrix] = None,
+) -> Dict[Node, float]:
     """``{node: fraction of holidays hosted}``."""
-    trace = HappinessTrace.from_schedule(schedule, graph, horizon)
-    return {p: trace.happiness_rate(p) for p in graph.nodes()}
+    matrix = build_trace(schedule, graph, horizon, backend, trace)
+    if matrix is not None:
+        return matrix.happiness_rates()
+    reference = HappinessTrace.from_schedule(schedule, graph, horizon)
+    return {p: reference.happiness_rate(p) for p in graph.nodes()}
 
 
 def normalized_gaps(
@@ -261,17 +342,35 @@ def evaluate_schedule(
     graph: ConflictGraph,
     horizon: int,
     name: str = "schedule",
+    backend: str = "auto",
+    trace: Optional[TraceMatrix] = None,
 ) -> ScheduleReport:
-    """Run the full metric suite over a schedule prefix and return a report."""
-    trace = HappinessTrace.from_schedule(schedule, graph, horizon)
-    muls = {p: trace.mul(p) for p in graph.nodes()}
+    """Run the full metric suite over a schedule prefix and return a report.
+
+    ``backend`` selects the evaluation engine (``"auto"``/``"numpy"``/
+    ``"bitmask"`` for the bit-parallel trace, ``"sets"`` for the frozenset
+    reference); passing a pre-built ``trace`` skips matrix construction
+    entirely so the runner can share one matrix with the validator.  Both
+    engines produce identical reports — this is enforced by the differential
+    tests in ``tests/core/test_trace.py``.
+    """
+    matrix = build_trace(schedule, graph, horizon, backend, trace)
+    if matrix is not None:
+        muls = matrix.muls()
+        periods = matrix.observed_periods()
+        rates = matrix.happiness_rates()
+    else:
+        reference = HappinessTrace.from_schedule(schedule, graph, horizon)
+        muls = {p: reference.mul(p) for p in graph.nodes()}
+        periods = {p: reference.observed_period(p) for p in graph.nodes()}
+        rates = {p: reference.happiness_rate(p) for p in graph.nodes()}
     report = ScheduleReport(
         name=name,
         graph_name=graph.name,
         horizon=horizon,
         muls=muls,
-        periods={p: trace.observed_period(p) for p in graph.nodes()},
-        rates={p: trace.happiness_rate(p) for p in graph.nodes()},
+        periods=periods,
+        rates=rates,
         normalized=normalized_gaps(muls, graph),
     )
     report._degrees = graph.degrees()

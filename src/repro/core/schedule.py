@@ -18,11 +18,15 @@ cyclic); :class:`GeneratorSchedule` adapts an online scheduler object.
 
 from __future__ import annotations
 
+import math
 from abc import ABC, abstractmethod
 from dataclasses import dataclass
-from typing import Callable, Dict, FrozenSet, Iterable, Iterator, List, Mapping, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Callable, Dict, FrozenSet, Iterable, Iterator, List, Mapping, Optional, Sequence, Tuple
 
 from repro.core.problem import ConflictGraph, Node
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard; trace.py imports us
+    from repro.core.trace import TraceMatrix
 
 __all__ = [
     "Schedule",
@@ -74,6 +78,20 @@ class Schedule(ABC):
     def describe(self) -> str:
         """Short human-readable description used by benchmark tables."""
         return type(self).__name__
+
+    def trace(self, horizon: int, backend: str = "auto") -> "TraceMatrix":
+        """Materialise the first ``horizon`` holidays as a dense occupancy matrix.
+
+        This is the bit-parallel counterpart of :meth:`prefix`: one
+        :class:`~repro.core.trace.TraceMatrix` built once and shared by the
+        metric suite and the validator.  Subclasses get vectorized fast paths
+        automatically (periodic schedules never materialise a single happy
+        set).  ``backend`` is ``"auto"`` (numpy when available, else the
+        pure-Python bitmask), ``"numpy"`` or ``"bitmask"``.
+        """
+        from repro.core.trace import TraceMatrix
+
+        return TraceMatrix.from_schedule(self, self.graph, horizon, backend=backend)
 
 
 @dataclass(frozen=True)
@@ -140,24 +158,24 @@ class PeriodicSchedule(Schedule):
 
     @staticmethod
     def _congruence_collision(a: SlotAssignment, b: SlotAssignment) -> Optional[int]:
-        """Return a colliding holiday for two assignments, or None.
+        """Return the earliest colliding holiday for two assignments, or None.
 
         By the Chinese Remainder Theorem the congruences
         ``t ≡ φ_a (mod τ_a)`` and ``t ≡ φ_b (mod τ_b)`` have a common
-        solution iff ``φ_a ≡ φ_b (mod gcd(τ_a, τ_b))``; when they do, a
-        collision occurs within ``lcm(τ_a, τ_b)`` holidays, which we locate
-        by direct scan (periods in this package are small powers of two).
+        solution iff ``φ_a ≡ φ_b (mod gcd(τ_a, τ_b))``; when they do, the
+        solutions form a single residue class modulo ``lcm(τ_a, τ_b)``,
+        computed here in closed form (O(log) arithmetic) rather than by
+        scanning up to the lcm, which blows up for large coprime periods.
         """
-        import math
-
         g = math.gcd(a.period, b.period)
         if (a.phase - b.phase) % g != 0:
             return None
         lcm = a.period // g * b.period
-        for t in range(1, lcm + 1):
-            if a.is_happy(t) and b.is_happy(t):
-                return t
-        return None  # pragma: no cover - unreachable given the gcd test above
+        # CRT: t = φ_a + τ_a·k with k ≡ (φ_b - φ_a)/g · (τ_a/g)⁻¹ (mod τ_b/g).
+        m = b.period // g
+        k = ((b.phase - a.phase) // g * pow(a.period // g, -1, m)) % m
+        t0 = (a.phase + a.period * k) % lcm
+        return t0 if t0 >= 1 else lcm  # holidays are numbered from 1
 
     def find_conflict(self) -> Optional[Tuple[Node, Node, int]]:
         """Return ``(u, v, holiday)`` for some conflicting adjacent pair, or None."""
@@ -190,8 +208,6 @@ class PeriodicSchedule(Schedule):
 
     def global_period(self) -> int:
         """The least common multiple of all node periods (the schedule's cycle)."""
-        import math
-
         lcm = 1
         for slot in self.assignments.values():
             lcm = lcm // math.gcd(lcm, slot.period) * slot.period

@@ -1,0 +1,493 @@
+"""Bit-parallel trace engine: dense node × holiday occupancy matrices.
+
+Every metric and validation question in this package reduces to queries over
+the *occupancy trace* of a schedule prefix — "was node ``p`` happy at holiday
+``t``?" for ``p`` in the graph and ``t`` in ``1..horizon``.  The historical
+implementation (:class:`repro.core.metrics.HappinessTrace`) answers these by
+materialising one ``frozenset`` per holiday and walking them node by node,
+which caps practical horizons at a few tens of thousands.
+
+:class:`TraceMatrix` stores the same information as a dense boolean matrix
+with one row per node and one column per holiday, built **once** per run and
+shared by the metric suite, the validator and the benchmark harness.  Two
+storage backends implement the matrix:
+
+``numpy``
+    A ``numpy.ndarray`` of ``bool_`` — rows are contiguous byte vectors, so
+    gap/run-length queries become ``flatnonzero``/``diff`` calls and edge
+    collision tests become elementwise ``&`` reductions.  Selected by
+    default whenever :mod:`numpy` is importable.
+
+``bitmask``
+    One arbitrary-precision Python integer per node, bit ``t - 1`` set when
+    the node is happy at holiday ``t``.  CPython's big-int machinery gives
+    64-bit-word-parallel ``&``/``|``/``popcount`` without any third-party
+    dependency; this is the fallback that keeps numpy strictly optional.
+
+Both backends expose identical query methods and are differentially tested
+against the ``frozenset`` reference (``backend="sets"`` throughout
+:mod:`repro.core.metrics`), which remains the semantic ground truth.
+
+Memory trade-off: a numpy trace costs ``n × horizon`` bytes (numpy stores one
+byte per bool) and a bitmask trace ``n × horizon / 8`` bytes, so a 60-node
+workload at horizon 10⁶ is ~60 MB / ~7.5 MB respectively — the engine is
+deliberately dense because every consumer reads every cell at least once.
+
+Construction fast paths (see :meth:`TraceMatrix.from_schedule`):
+
+* :class:`~repro.core.schedule.PeriodicSchedule` — rows are computed directly
+  from the ``(period, phase)`` table, grouping nodes by period so each
+  distinct period costs one ``arange % τ`` (numpy) or one doubling-fill
+  (bitmask); **no happy set is ever constructed**.
+* cyclic :class:`~repro.core.schedule.ExplicitSchedule` — one cycle of
+  columns is filled and then tiled/repeated out to the horizon.
+* everything else (including online :class:`~repro.core.schedule.GeneratorSchedule`
+  runs and raw sequences of sets) — columns are filled from the materialised
+  prefix in a single batched pass.
+"""
+
+from __future__ import annotations
+
+from itertools import repeat
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Tuple, Union
+
+from repro.core.problem import ConflictGraph, Node
+from repro.core.schedule import ExplicitSchedule, PeriodicSchedule, Schedule
+
+try:  # numpy is an optional extra (``pip install .[fast]``)
+    import numpy as _np
+except ImportError:  # pragma: no cover - exercised on minimal installs
+    _np = None
+
+__all__ = [
+    "TraceMatrix",
+    "BACKENDS",
+    "materialize_prefix",
+    "numpy_available",
+    "resolve_backend",
+]
+
+#: Backends accepted by :func:`resolve_backend`.  ``"sets"`` is *not* a
+#: :class:`TraceMatrix` backend — it names the frozenset reference path and is
+#: handled by the callers in :mod:`repro.core.metrics` / ``validation``.
+BACKENDS = ("auto", "numpy", "bitmask")
+
+ScheduleOrSets = Union[Schedule, Sequence[Iterable[Node]]]
+
+
+def numpy_available() -> bool:
+    """True when the numpy backend can be used in this interpreter."""
+    return _np is not None
+
+
+def materialize_prefix(schedule: ScheduleOrSets, horizon: int) -> Sequence[FrozenSet[Node]]:
+    """The first ``horizon`` happy sets of a schedule or raw sequence, as
+    frozensets — the single materialization used by both the trace builder
+    and :func:`repro.core.metrics.materialize`."""
+    if isinstance(schedule, Schedule):
+        return schedule.prefix(horizon)
+    sets = [frozenset(s) for s in schedule[:horizon]]
+    if len(sets) < horizon:
+        raise ValueError(
+            f"explicit sequence has only {len(sets)} holidays, requested horizon {horizon}"
+        )
+    return sets
+
+
+def resolve_backend(backend: str) -> str:
+    """Normalise a backend name, resolving ``"auto"`` to the fastest available."""
+    if backend == "auto":
+        return "numpy" if _np is not None else "bitmask"
+    if backend not in ("numpy", "bitmask"):
+        raise ValueError(
+            f"unknown trace backend {backend!r}; expected one of {BACKENDS} (or 'sets' "
+            f"at the metrics/validation layer)"
+        )
+    if backend == "numpy" and _np is None:
+        raise RuntimeError("trace backend 'numpy' requested but numpy is not installed")
+    return backend
+
+
+class TraceMatrix:
+    """A node × holiday boolean occupancy matrix over a finite horizon.
+
+    Rows follow the graph's deterministic node order; column ``j`` is holiday
+    ``j + 1`` (holidays are 1-indexed throughout the package).  Instances are
+    immutable once built; construct them through :meth:`from_schedule`.
+
+    Attributes:
+        graph: the conflict graph the trace was observed on.
+        horizon: number of holidays covered (columns).
+        backend: resolved storage backend, ``"numpy"`` or ``"bitmask"``.
+        unknown: ``(holiday, node)`` pairs scheduled by the source but absent
+            from the graph — impossible for :class:`Schedule` sources that
+            validate, possible for raw sequences; consumed by the validator.
+    """
+
+    def __init__(
+        self,
+        graph: ConflictGraph,
+        horizon: int,
+        backend: str,
+        rows_numpy=None,
+        rows_bitmask: Optional[List[int]] = None,
+        unknown: Optional[List[Tuple[int, Node]]] = None,
+    ) -> None:
+        self.graph = graph
+        self.horizon = horizon
+        self.backend = backend
+        self._order: List[Node] = graph.nodes()
+        self._index: Dict[Node, int] = {p: i for i, p in enumerate(self._order)}
+        self._matrix = rows_numpy
+        self._bits: List[int] = rows_bitmask if rows_bitmask is not None else []
+        self.unknown: List[Tuple[int, Node]] = unknown or []
+
+    # -- construction --------------------------------------------------------------
+    @classmethod
+    def from_schedule(
+        cls,
+        schedule: ScheduleOrSets,
+        graph: ConflictGraph,
+        horizon: int,
+        backend: str = "auto",
+    ) -> "TraceMatrix":
+        """Observe ``horizon`` holidays of ``schedule`` into a new matrix.
+
+        Dispatches to the periodic fast path, the cyclic tiling path, or the
+        generic batched column fill depending on the schedule type.
+        """
+        if horizon < 1:
+            raise ValueError(f"horizon must be >= 1, got {horizon!r}")
+        backend = resolve_backend(backend)
+        # The periodic fast path reads the assignment table directly, so it is
+        # only valid when the table covers exactly the nodes being observed;
+        # evaluating a schedule against a different graph (extra or missing
+        # nodes) goes through the generic set fill, which tracks unknowns.
+        if isinstance(schedule, PeriodicSchedule) and set(schedule.assignments) == set(graph.nodes()):
+            return cls._from_periodic(schedule, graph, horizon, backend)
+        if isinstance(schedule, ExplicitSchedule) and schedule.is_periodic() and 0 < len(schedule) < horizon:
+            return cls._from_cyclic_explicit(schedule, graph, horizon, backend)
+        return cls._from_sets(materialize_prefix(schedule, horizon), graph, horizon, backend)
+
+    @classmethod
+    def _from_periodic(
+        cls, schedule: PeriodicSchedule, graph: ConflictGraph, horizon: int, backend: str
+    ) -> "TraceMatrix":
+        """Vectorized build from a ``{node: (period, phase)}`` table.
+
+        Nodes are grouped by period so each distinct period τ is expanded
+        exactly once — one ``arange % τ`` under numpy, one doubling-fill per
+        (τ, phase) under bitmask.  No per-holiday set is constructed.
+        """
+        order = graph.nodes()
+        by_period: Dict[int, List[Tuple[int, int]]] = {}
+        for i, p in enumerate(order):
+            slot = schedule.assignments[p]
+            by_period.setdefault(slot.period, []).append((i, slot.phase))
+
+        if backend == "numpy":
+            matrix = _np.zeros((len(order), horizon), dtype=_np.bool_)
+            holidays = _np.arange(1, horizon + 1, dtype=_np.int64)
+            for period, members in by_period.items():
+                mod = holidays % period
+                rows = _np.fromiter((i for i, _ in members), dtype=_np.intp, count=len(members))
+                phases = _np.fromiter((ph for _, ph in members), dtype=_np.int64, count=len(members))
+                matrix[rows] = mod[_np.newaxis, :] == phases[:, _np.newaxis]
+            return cls(graph, horizon, backend, rows_numpy=matrix)
+
+        bits = [0] * len(order)
+        pattern_cache: Dict[Tuple[int, int], int] = {}
+        for period, members in by_period.items():
+            for i, phase in members:
+                key = (period, phase)
+                if key not in pattern_cache:
+                    pattern_cache[key] = _periodic_bitmask(period, phase, horizon)
+                bits[i] = pattern_cache[key]
+        return cls(graph, horizon, backend, rows_bitmask=bits)
+
+    @classmethod
+    def _from_cyclic_explicit(
+        cls, schedule: ExplicitSchedule, graph: ConflictGraph, horizon: int, backend: str
+    ) -> "TraceMatrix":
+        """Fill one cycle of columns, then tile it out to the horizon."""
+        cycle = [schedule.happy_set(t) for t in range(1, len(schedule) + 1)]
+        base = cls._from_sets(cycle, graph, len(cycle), backend)
+        reps = -(-horizon // len(cycle))  # ceil division
+        unknown = sorted(
+            (
+                (t0 + k * len(cycle), p)
+                for t0, p in base.unknown
+                for k in range(reps)
+                if t0 + k * len(cycle) <= horizon
+            ),
+            key=lambda pair: pair[0],
+        )
+        if backend == "numpy":
+            matrix = _np.tile(base._matrix, (1, reps))[:, :horizon]
+            return cls(graph, horizon, backend, rows_numpy=_np.ascontiguousarray(matrix),
+                       unknown=unknown)
+        mask = (1 << horizon) - 1
+        bits = [_repeat_bitmask(row, len(cycle), reps) & mask for row in base._bits]
+        return cls(graph, horizon, backend, rows_bitmask=bits, unknown=unknown)
+
+    @classmethod
+    def _from_sets(
+        cls, sets: Sequence[FrozenSet[Node]], graph: ConflictGraph, horizon: int, backend: str
+    ) -> "TraceMatrix":
+        """Batched column fill from a materialised prefix of happy sets."""
+        order = graph.nodes()
+        index = {p: i for i, p in enumerate(order)}
+        unknown: List[Tuple[int, Node]] = []
+        if backend == "numpy":
+            # Schedules usually repeat happy sets heavily (periodic phases,
+            # greedy cycles), and frozensets cache their hash — so dedup the
+            # columns, fill one column per *distinct* set and assemble the
+            # matrix with one vectorized gather.  A small sample decides
+            # whether dedup pays: randomized schedules with (almost) all
+            # columns distinct go through a direct scatter instead.
+            sample = sets[:256]
+            if len(sample) >= 64 and len(set(sample)) > 0.9 * len(sample):
+                matrix = _np.zeros((len(order), horizon), dtype=_np.bool_)
+                _scatter_columns(
+                    matrix, enumerate(sets), index,
+                    on_unknown=lambda j, p: unknown.append((j + 1, p)),
+                )
+                return cls(graph, horizon, backend, rows_numpy=matrix, unknown=unknown)
+
+            ids: Dict[FrozenSet[Node], int] = {}
+            uniques: List[FrozenSet[Node]] = []
+            col_ids: List[int] = []
+            for happy in sets:
+                fs = happy if isinstance(happy, frozenset) else frozenset(happy)
+                sid = ids.get(fs)
+                if sid is None:
+                    sid = len(uniques)
+                    ids[fs] = sid
+                    uniques.append(fs)
+                col_ids.append(sid)
+            distinct = _np.zeros((len(order), max(len(uniques), 1)), dtype=_np.bool_)
+            unknown_members: List[List[Node]] = [[] for _ in uniques]
+            _scatter_columns(
+                distinct, enumerate(uniques), index,
+                on_unknown=lambda sid, p: unknown_members[sid].append(p),
+            )
+            if any(unknown_members):
+                for j, sid in enumerate(col_ids):
+                    for p in unknown_members[sid]:
+                        unknown.append((j + 1, p))
+            matrix = distinct[:, _np.asarray(col_ids, dtype=_np.intp)]
+            return cls(graph, horizon, backend, rows_numpy=matrix, unknown=unknown)
+        buffers = [bytearray((horizon + 7) // 8) for _ in order]
+        for j, happy in enumerate(sets):
+            for p in happy:
+                i = index.get(p)
+                if i is None:
+                    unknown.append((j + 1, p))
+                else:
+                    buffers[i][j >> 3] |= 1 << (j & 7)
+        bits = [int.from_bytes(buf, "little") for buf in buffers]
+        return cls(graph, horizon, backend, rows_bitmask=bits, unknown=unknown)
+
+    # -- per-node queries ----------------------------------------------------------
+    def row_index(self, node: Node) -> int:
+        """Row of ``node`` in the matrix (KeyError for unknown nodes)."""
+        return self._index[node]
+
+    def appearances(self, node: Node) -> List[int]:
+        """Sorted 1-indexed holidays at which ``node`` is happy."""
+        if self.backend == "numpy":
+            return (_np.flatnonzero(self._matrix[self._index[node]]) + 1).tolist()
+        return _bit_positions(self._bits[self._index[node]], offset=1)
+
+    def count(self, node: Node) -> int:
+        """Number of holidays within the horizon at which ``node`` is happy."""
+        if self.backend == "numpy":
+            return int(self._matrix[self._index[node]].sum())
+        return _popcount(self._bits[self._index[node]])
+
+    def gaps(self, node: Node) -> List[int]:
+        """Unhappiness interval lengths, identical in semantics to
+        :meth:`repro.core.metrics.HappinessTrace.gaps`: the run before the
+        first appearance, runs between consecutive appearances, and the run
+        after the last appearance; ``[horizon]`` for a never-happy node."""
+        times = self.appearances(node)
+        if not times:
+            return [self.horizon]
+        gaps = [times[0] - 1]
+        gaps.extend(b - a - 1 for a, b in zip(times, times[1:]))
+        gaps.append(self.horizon - times[-1])
+        return gaps
+
+    def mul(self, node: Node) -> int:
+        """Maximum unhappiness length of ``node`` within the horizon."""
+        if self.backend == "numpy":
+            row = self._matrix[self._index[node]]
+            idx = _np.flatnonzero(row)
+            if idx.size == 0:
+                return self.horizon
+            # run-length encoding of the zero runs via diff over the padded
+            # appearance positions: [-1] + idx + [horizon]
+            before = int(idx[0])
+            after = self.horizon - 1 - int(idx[-1])
+            between = int(_np.diff(idx).max() - 1) if idx.size > 1 else 0
+            return max(before, after, between)
+        return max(self.gaps(node))
+
+    def appearance_diffs(self, node: Node) -> List[int]:
+        """Differences between consecutive appearances (empty if < 2)."""
+        times = self.appearances(node)
+        return [b - a for a, b in zip(times, times[1:])]
+
+    def observed_period(self, node: Node) -> Optional[int]:
+        """The constant inter-appearance difference, or None (matches the
+        reference: fewer than two appearances is "insufficient evidence")."""
+        if self.backend == "numpy":
+            idx = _np.flatnonzero(self._matrix[self._index[node]])
+            if idx.size < 2:
+                return None
+            diffs = _np.diff(idx)
+            first = int(diffs[0])
+            return first if bool((diffs == first).all()) else None
+        diffs = self.appearance_diffs(node)
+        if not diffs:
+            return None
+        first = diffs[0]
+        return first if all(d == first for d in diffs) else None
+
+    def happiness_rate(self, node: Node) -> float:
+        """Fraction of observed holidays at which ``node`` was happy."""
+        return self.count(node) / self.horizon
+
+    # -- bulk queries --------------------------------------------------------------
+    def muls(self) -> Dict[Node, int]:
+        """``{node: mul(node)}`` for every node, in graph order."""
+        return {p: self.mul(p) for p in self._order}
+
+    def all_gaps(self) -> Dict[Node, List[int]]:
+        """``{node: gap list}`` for every node."""
+        return {p: self.gaps(p) for p in self._order}
+
+    def observed_periods(self) -> Dict[Node, Optional[int]]:
+        """``{node: observed period or None}`` for every node."""
+        return {p: self.observed_period(p) for p in self._order}
+
+    def happiness_rates(self) -> Dict[Node, float]:
+        """``{node: happiness rate}`` for every node."""
+        if self.backend == "numpy" and len(self._order) > 0:
+            counts = self._matrix.sum(axis=1)
+            return {p: int(counts[i]) / self.horizon for i, p in enumerate(self._order)}
+        return {p: self.happiness_rate(p) for p in self._order}
+
+    # -- column / edge queries -----------------------------------------------------
+    def happy_set(self, holiday: int) -> FrozenSet[Node]:
+        """The recorded happy set at ``holiday`` (known nodes only)."""
+        if not (1 <= holiday <= self.horizon):
+            raise ValueError(f"holiday {holiday} outside recorded horizon 1..{self.horizon}")
+        if self.backend == "numpy":
+            col = _np.flatnonzero(self._matrix[:, holiday - 1])
+            return frozenset(self._order[i] for i in col)
+        bit = 1 << (holiday - 1)
+        return frozenset(p for i, p in enumerate(self._order) if self._bits[i] & bit)
+
+    def edge_collisions(self, u: Node, v: Node) -> List[int]:
+        """Holidays at which ``u`` and ``v`` are simultaneously happy.
+
+        This is the adjacency-masked column test: a single vectorized AND of
+        the two rows replaces a per-holiday membership scan.
+        """
+        i, j = self._index[u], self._index[v]
+        if self.backend == "numpy":
+            both = self._matrix[i] & self._matrix[j]
+            return (_np.flatnonzero(both) + 1).tolist()
+        return _bit_positions(self._bits[i] & self._bits[j], offset=1)
+
+    def conflicting_holidays(self) -> Dict[int, List[Tuple[Node, Node]]]:
+        """``{holiday: [(u, v), ...]}`` over all graph edges with collisions."""
+        out: Dict[int, List[Tuple[Node, Node]]] = {}
+        for u, v in self.graph.edges():
+            for t in self.edge_collisions(u, v):
+                out.setdefault(t, []).append((u, v))
+        return out
+
+
+def _scatter_columns(matrix, columns, index, on_unknown) -> None:
+    """Fill ``matrix[row_of(p), col] = True`` for every ``(col, happy_set)``.
+
+    Memberships are translated to row indices with a C-speed ``map`` over
+    the index lookup; the rare column containing a node missing from the
+    index rolls back its partial extend and is redone element-wise, routing
+    missing nodes to ``on_unknown(col_key, node)``.  Marks are applied with
+    one vectorized scatter instead of one scalar store per appearance.
+    """
+    lookup = index.__getitem__
+    rows: List[int] = []
+    cols: List[int] = []
+    for key, happy in columns:
+        mark = len(rows)
+        try:
+            rows.extend(map(lookup, happy))
+        except KeyError:
+            del rows[mark:]  # drop the partial extend, redo element-wise
+            for p in happy:
+                i = index.get(p)
+                if i is None:
+                    on_unknown(key, p)
+                else:
+                    rows.append(i)
+        cols.extend(repeat(key, len(rows) - mark))
+    if rows:
+        matrix[_np.asarray(rows, dtype=_np.intp), _np.asarray(cols, dtype=_np.intp)] = True
+
+
+# -- bit-twiddling helpers (pure-Python backend) ------------------------------------
+
+try:
+    _popcount = int.bit_count  # Python 3.10+
+except AttributeError:  # pragma: no cover - 3.9 fallback
+    def _popcount(x: int) -> int:
+        return bin(x).count("1")
+
+
+def _bit_positions(mask: int, offset: int = 0) -> List[int]:
+    """Positions of set bits in ascending order, each shifted by ``offset``.
+
+    Scans byte by byte over a single ``to_bytes`` export: peeling bits off
+    the big int directly (``mask &= mask - 1``) re-touches every word of the
+    integer per bit, which is quadratic in the horizon and visibly hangs at
+    horizons ≥ 10⁵.
+    """
+    if mask == 0:
+        return []
+    data = mask.to_bytes((mask.bit_length() + 7) // 8, "little")
+    out: List[int] = []
+    for byte_index, byte in enumerate(data):
+        base = byte_index * 8 + offset
+        while byte:
+            low = byte & -byte
+            out.append(base + low.bit_length() - 1)
+            byte ^= low
+    return out
+
+
+def _periodic_bitmask(period: int, phase: int, horizon: int) -> int:
+    """Bitmask with bit ``t - 1`` set for every ``1 <= t <= horizon`` with
+    ``t % period == phase`` — built by doubling so the cost is
+    ``O(log(horizon/period))`` big-int operations, not one per appearance."""
+    first = phase if phase >= 1 else period
+    if first > horizon:
+        return 0
+    reps = (horizon - first) // period + 1
+    return _repeat_bitmask(1, period, reps) << (first - 1)
+
+
+def _repeat_bitmask(pattern: int, width: int, reps: int) -> int:
+    """Concatenate ``reps`` copies of a ``width``-bit pattern (doubling fill)."""
+    if reps <= 0 or pattern == 0:
+        return 0
+    mask = pattern
+    have = 1
+    while have < reps:
+        take = min(have, reps - have)
+        mask |= mask << (take * width)
+        have += take
+    return mask

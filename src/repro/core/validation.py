@@ -12,6 +12,13 @@ Three levels of checking are provided:
 3. **Periodicity certification** — a schedule that claims to be perfectly
    periodic indeed shows a constant inter-appearance gap equal to the
    advertised period for every node (:func:`certify_periodicity`).
+
+Like the metric suite, every check runs on either engine: the bit-parallel
+:class:`~repro.core.trace.TraceMatrix` (default), where legality becomes one
+adjacency-masked column test per edge (an elementwise AND of two rows) and
+bound/periodicity certification reuses the matrix's run-length queries, or
+the ``backend="sets"`` frozenset reference that walks every holiday.  A
+pre-built ``trace=`` can be shared across checks and with the metric suite.
 """
 
 from __future__ import annotations
@@ -19,9 +26,10 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 
-from repro.core.metrics import HappinessTrace, ScheduleLike, materialize
+from repro.core.metrics import HappinessTrace, ScheduleLike, build_trace, materialize
 from repro.core.problem import ConflictGraph, Node
 from repro.core.schedule import Schedule
+from repro.core.trace import TraceMatrix
 
 __all__ = [
     "Violation",
@@ -82,9 +90,21 @@ class ValidationReport:
 
 
 def check_independent_sets(
-    schedule: ScheduleLike, graph: ConflictGraph, horizon: int
+    schedule: ScheduleLike,
+    graph: ConflictGraph,
+    horizon: int,
+    backend: str = "auto",
+    trace: Optional[TraceMatrix] = None,
 ) -> ValidationReport:
-    """Verify that every holiday in the prefix schedules an independent set."""
+    """Verify that every holiday in the prefix schedules an independent set.
+
+    On the trace engine this is one adjacency-masked column test per edge —
+    ``row(u) & row(v)`` flags every holiday at which two in-laws host
+    simultaneously — instead of a per-holiday membership scan.
+    """
+    matrix = build_trace(schedule, graph, horizon, backend, trace)
+    if matrix is not None:
+        return _check_independent_sets_trace(matrix, graph, horizon)
     sets = materialize(schedule, graph, horizon)
     report = ValidationReport(checked_holidays=horizon)
     node_set = set(graph.nodes())
@@ -97,6 +117,43 @@ def check_independent_sets(
         known = [p for p in happy if p in node_set]
         if not graph.is_independent_set(known):
             offending = _find_adjacent_pair(graph, known)
+            report.violations.append(
+                Violation(
+                    "not-independent",
+                    None,
+                    t,
+                    f"adjacent nodes scheduled together: {offending!r}",
+                )
+            )
+    return report
+
+
+def _check_independent_sets_trace(
+    matrix: TraceMatrix, graph: ConflictGraph, horizon: int
+) -> ValidationReport:
+    """Trace-engine legality check, emitting the same violation kinds per
+    holiday (unknown nodes first, then one not-independent record) as the
+    reference.  The *pair* named in a not-independent detail may differ from
+    the reference's choice — the matrix cannot recover the original set
+    iteration order, so the first colliding edge (in graph edge order) is
+    named as the witness."""
+    report = ValidationReport(checked_holidays=horizon)
+    unknown_by_holiday: Dict[int, List[Node]] = {}
+    for t, p in matrix.unknown:
+        unknown_by_holiday.setdefault(t, []).append(p)
+    # Collisions are computed against the *passed* graph's edge set — a
+    # shared trace only guarantees node agreement, not edge agreement.
+    collisions: Dict[int, List[Tuple[Node, Node]]] = {}
+    for u, v in graph.edges():
+        for t in matrix.edge_collisions(u, v):
+            collisions.setdefault(t, []).append((u, v))
+    for t in sorted(set(unknown_by_holiday) | set(collisions)):
+        for p in unknown_by_holiday.get(t, ()):
+            report.violations.append(
+                Violation("unknown-node", p, t, "scheduled node is not in the conflict graph")
+            )
+        if t in collisions:
+            offending = collisions[t][0]
             report.violations.append(
                 Violation(
                     "not-independent",
@@ -124,6 +181,8 @@ def certify_local_bound(
     bound: Callable[[Node], float] | Mapping[Node, float],
     bound_name: str = "bound",
     skip_isolated: bool = False,
+    backend: str = "auto",
+    trace: Optional[TraceMatrix] = None,
 ) -> ValidationReport:
     """Check ``mul(p) <= bound(p)`` for every node over the given horizon.
 
@@ -133,13 +192,14 @@ def certify_local_bound(
     holiday without coordination; the paper's guarantees are stated for
     nodes that actually have in-laws).
     """
-    trace = HappinessTrace.from_schedule(schedule, graph, horizon)
+    matrix = build_trace(schedule, graph, horizon, backend, trace)
+    reference = None if matrix is not None else HappinessTrace.from_schedule(schedule, graph, horizon)
     report = ValidationReport(checked_holidays=horizon)
     for p in graph.nodes():
         if skip_isolated and graph.degree(p) == 0:
             continue
         limit = bound[p] if isinstance(bound, Mapping) else bound(p)
-        measured = trace.mul(p)
+        measured = matrix.mul(p) if matrix is not None else reference.mul(p)
         if measured > limit:
             report.violations.append(
                 Violation(
@@ -156,6 +216,8 @@ def certify_periodicity(
     schedule: Schedule,
     horizon: int,
     require_advertised: bool = True,
+    backend: str = "auto",
+    trace: Optional[TraceMatrix] = None,
 ) -> ValidationReport:
     """Check that a schedule claiming periodicity really is perfectly periodic.
 
@@ -165,10 +227,13 @@ def certify_periodicity(
     the observed period must also equal the advertised one.
     """
     graph = schedule.graph
-    trace = HappinessTrace.from_schedule(schedule, graph, horizon)
+    matrix = build_trace(schedule, graph, horizon, backend, trace)
+    reference = None if matrix is not None else HappinessTrace.from_schedule(schedule, graph, horizon)
     report = ValidationReport(checked_holidays=horizon)
     for p in graph.nodes():
-        diffs = trace.inter_appearance_gaps(p)
+        diffs = (
+            matrix.appearance_diffs(p) if matrix is not None else reference.inter_appearance_gaps(p)
+        )
         if not diffs:
             continue
         if len(set(diffs)) != 1:
@@ -198,15 +263,38 @@ def validate_schedule(
     bound_name: str = "bound",
     check_periodic: bool = False,
     skip_isolated: bool = False,
+    backend: str = "auto",
+    trace: Optional[TraceMatrix] = None,
 ) -> ValidationReport:
-    """Run legality + optional bound + optional periodicity checks in one call."""
-    report = check_independent_sets(schedule, graph, horizon)
+    """Run legality + optional bound + optional periodicity checks in one call.
+
+    On a non-``"sets"`` backend the occupancy matrix is built at most once
+    and shared by all three checks (or taken from ``trace=`` when the caller
+    already built it for the metric suite).
+    """
+    matrix = build_trace(schedule, graph, horizon, backend, trace)
+    report = check_independent_sets(schedule, graph, horizon, backend=backend, trace=matrix)
     if bound is not None:
         report = report.merge(
             certify_local_bound(
-                schedule, graph, horizon, bound, bound_name=bound_name, skip_isolated=skip_isolated
+                schedule,
+                graph,
+                horizon,
+                bound,
+                bound_name=bound_name,
+                skip_isolated=skip_isolated,
+                backend=backend,
+                trace=matrix,
             )
         )
     if check_periodic and isinstance(schedule, Schedule):
-        report = report.merge(certify_periodicity(schedule, horizon))
+        # The periodicity check runs over schedule.graph's nodes; the trace
+        # built on this call's `graph` can only be shared when the two agree
+        # (certify_periodicity builds its own otherwise).
+        shareable = matrix is not None and matrix.graph.nodes() == schedule.graph.nodes()
+        report = report.merge(
+            certify_periodicity(
+                schedule, horizon, backend=backend, trace=matrix if shareable else None
+            )
+        )
     return report

@@ -114,6 +114,18 @@ class TestSchedule:
         with pytest.raises(SystemExit, match="does not exist"):
             main(["schedule", str(tmp_path / "nope.edges")])
 
+    def test_schedule_backend_selection_is_observation_equivalent(self, graph_file, capsys):
+        outputs = {}
+        for backend in ("auto", "bitmask", "sets"):
+            code = main(["schedule", graph_file, "--backend", backend, "--calendar-years", "4"])
+            assert code == 0
+            outputs[backend] = capsys.readouterr().out
+        assert outputs["auto"] == outputs["bitmask"] == outputs["sets"]
+
+    def test_schedule_rejects_unknown_backend(self, graph_file):
+        with pytest.raises(SystemExit):
+            main(["schedule", graph_file, "--backend", "cuda"])
+
 
 class TestCompareBoundsSatisfaction:
     def test_compare_default_set(self, graph_file, capsys):
@@ -126,6 +138,14 @@ class TestCompareBoundsSatisfaction:
     def test_compare_rejects_unknown_algorithm(self, graph_file):
         with pytest.raises(SystemExit, match="unknown algorithm"):
             main(["compare", graph_file, "--algorithms", "sequential", "bogus"])
+
+    def test_compare_backend_selection_is_observation_equivalent(self, graph_file, capsys):
+        outputs = {}
+        for backend in ("auto", "sets"):
+            code = main(["compare", graph_file, "--horizon", "48", "--backend", backend])
+            assert code == 0
+            outputs[backend] = capsys.readouterr().out
+        assert outputs["auto"] == outputs["sets"]
 
     def test_bounds(self, graph_file, capsys):
         code = main(["bounds", graph_file])
