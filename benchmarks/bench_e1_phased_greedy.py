@@ -7,13 +7,26 @@ claimed bound, and reports the worst ratio ``mul(p)/(deg(p)+1)`` (must be
 The timed quantity is the per-holiday scheduling step (construction plus a
 full horizon of holidays), the cost the paper calls "O(1) rounds per
 holiday" in aggregate form.
+
+Also runnable as a script (``python benchmarks/bench_e1_phased_greedy.py
+[--quick] [--jobs N]``): runs the same experiment through the declarative
+engine — the whole workload set as one :class:`ExperimentSpec` — asserts
+the Theorem 3.1 bound ``max_norm_gap <= 1`` on every record, and writes
+``BENCH_e1_phased_greedy.json`` from the engine records.
 """
 
 from __future__ import annotations
 
+import sys
+
 import pytest
 
-from benchmarks.common import experiment_workloads, horizon_for_bound, print_table
+from benchmarks.common import (
+    experiment_workloads,
+    horizon_for_bound,
+    print_table,
+    run_engine_script,
+)
 from repro.algorithms.phased_greedy import PhasedGreedyScheduler
 from repro.core.metrics import HappinessTrace
 
@@ -64,3 +77,35 @@ def test_e1_phased_greedy_degree_bound(benchmark, workload):
     )
     assert violations == 0
     assert worst_ratio <= 1.0
+
+
+# ---------------------------------------------------------------------------
+# script mode: engine-driven run (BENCH_e1_phased_greedy.json)
+# ---------------------------------------------------------------------------
+
+def _check_thm31(record) -> None:
+    # Theorem 3.1: mul(p) <= deg(p)+1 for every node, i.e. the
+    # degree-normalised gap never exceeds 1.
+    assert record.metrics["max_norm_gap"] <= 1.0 + 1e-9, (record.workload, record.metrics)
+    assert record.metrics["legal"] == 1.0, record.workload
+
+
+def main(argv=None) -> int:
+    return run_engine_script(
+        argv,
+        name="E1",
+        algorithms=("phased-greedy",),
+        bench_name="e1_phased_greedy",
+        check_record=_check_thm31,
+        row_fn=lambda r: [
+            r.workload, r.params["n"], r.params["horizon"],
+            round(r.metrics["max_norm_gap"], 4), round(r.metrics["mean_norm_gap"], 4),
+        ],
+        table_title="E1: Phased Greedy (Thm 3.1) via the experiment engine",
+        table_headers=["workload", "n", "horizon", "max mul/(deg+1)", "mean mul/(deg+1)"],
+        value_metric="max_norm_gap",
+    )
+
+
+if __name__ == "__main__":
+    sys.exit(main())

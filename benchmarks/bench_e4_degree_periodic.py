@@ -6,13 +6,26 @@ distributed §5.2) the benchmark verifies that every node's period is exactly
 periods (they may differ in the slots).  The timed quantity is the full
 construction, so the sequential-vs-distributed rows also show the
 construction-cost gap that motivates Section 5.2.
+
+Also runnable as a script (``python benchmarks/bench_e4_degree_periodic.py
+[--quick] [--jobs N]``): runs both constructions over the workload set as
+one engine :class:`ExperimentSpec`, asserts perfect periodicity and the
+factor-2 bound on every record, and writes ``BENCH_e4_degree_periodic.json``
+from the engine records.
 """
 
 from __future__ import annotations
 
+import sys
+
 import pytest
 
-from benchmarks.common import experiment_workloads, horizon_for_bound, print_table
+from benchmarks.common import (
+    experiment_workloads,
+    horizon_for_bound,
+    print_table,
+    run_engine_script,
+)
 from repro.algorithms.degree_periodic import DegreePeriodicScheduler
 from repro.coloring.slot_assignment import modulus_for_degree
 from repro.core.metrics import HappinessTrace
@@ -76,3 +89,36 @@ def test_e4_degree_periodic(benchmark, workload, mode):
             "worst_period_over_2deg": round(worst_ratio, 4),
         }
     )
+
+
+# ---------------------------------------------------------------------------
+# script mode: engine-driven run (BENCH_e4_degree_periodic.json)
+# ---------------------------------------------------------------------------
+
+def _check_thm53(record) -> None:
+    # Theorem 5.3: every node perfectly periodic with period
+    # 2^ceil(log(deg+1)) <= 2*deg, so the normalised gap stays below 2.
+    assert record.metrics["periodic_fraction"] == 1.0, (record.workload, record.algorithm)
+    assert record.metrics["max_norm_gap"] <= 2.0 + 1e-9, (record.workload, record.metrics)
+    assert record.metrics["legal"] == 1.0 and record.metrics.get("bound_satisfied", 1.0) == 1.0
+
+
+def main(argv=None) -> int:
+    return run_engine_script(
+        argv,
+        name="E4",
+        algorithms=("degree-periodic", "degree-periodic-distributed"),
+        bench_name="e4_degree_periodic",
+        check_record=_check_thm53,
+        row_fn=lambda r: [
+            r.workload, r.algorithm, r.params["n"], r.params["horizon"],
+            round(r.metrics["max_norm_gap"], 4),
+        ],
+        table_title="E4: degree-bound periodic schedule (Thm 5.3) via the experiment engine",
+        table_headers=["workload", "construction", "n", "horizon", "max mul/(deg+1)"],
+        value_metric="max_norm_gap",
+    )
+
+
+if __name__ == "__main__":
+    sys.exit(main())

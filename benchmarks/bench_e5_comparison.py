@@ -18,9 +18,12 @@ legality.  The qualitative shape expected from the paper:
   heavy-tailed worst-case gaps.
 
 Also runnable as a script (``python benchmarks/bench_e5_comparison.py
-[--quick] [--horizon H] [--backend B]``): runs the comparison, then times
-``evaluate_schedule`` on the bit-parallel trace engine against the
-``backend="sets"`` reference over the same workload × scheduler grid,
+[--quick] [--horizon H] [--backend B] [--jobs N]``): runs the comparison
+through the declarative experiment engine (``--jobs`` fans cells out over
+worker processes; with ``--jobs > 1`` a serial reference run is also timed,
+its summaries asserted identical, and the wall-clock speedup recorded),
+then times ``evaluate_schedule`` on the bit-parallel trace engine against
+the ``backend="sets"`` reference over the same workload × scheduler grid,
 asserts both engines produce identical report summaries, and writes
 machine-readable ``BENCH_e5_comparison.json`` + ``BENCH_trace.json``
 perf reports (see :func:`benchmarks.common.write_bench_json`).
@@ -34,7 +37,13 @@ import time
 
 import pytest
 
-from benchmarks.common import bench_record, experiment_workloads, print_table, write_bench_json
+from benchmarks.common import (
+    bench_record,
+    engine_bench_records,
+    experiment_workloads,
+    print_table,
+    write_bench_json,
+)
 from repro.analysis.runner import compare_schedulers
 from repro.algorithms.registry import get_scheduler
 from repro.core.metrics import evaluate_schedule
@@ -160,11 +169,36 @@ def trace_speedup_report(horizon: int, backend: str, quick: bool = False, grid=N
     return records, worst, geo_mean
 
 
+def summary_pivots(results):
+    """The report summaries used to compare two runs for equality.
+
+    Everything except the timing metrics, pivoted workload × scheduler.
+    """
+    metrics = ("max_mul", "mean_mul", "max_norm_gap", "mean_norm_gap", "fairness", "legal")
+    return {m: results.pivot(m) for m in metrics}
+
+
+def run_engine_comparison(workloads, schedulers, horizon, backend, jobs):
+    """One engine-driven comparison run; returns ``(results, wall_seconds)``."""
+    start = time.perf_counter()
+    results = compare_schedulers(
+        workloads,
+        schedulers,
+        experiment="E5",
+        horizon=horizon,
+        seed=1,
+        backend=backend,
+        jobs=jobs,
+    )
+    return results, time.perf_counter() - start
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--quick", action="store_true", help="small smoke grid for CI")
     parser.add_argument("--horizon", type=int, default=None, help="evaluation horizon (default: 2048 quick, 10000 full)")
     parser.add_argument("--backend", default="auto", choices=["auto", "numpy", "bitmask"])
+    parser.add_argument("--jobs", type=int, default=1, help="engine worker processes for the comparison stage")
     args = parser.parse_args(argv)
     horizon = args.horizon or (2048 if args.quick else 10_000)
 
@@ -182,28 +216,34 @@ def main(argv=None) -> int:
     print(f"worst speedup {worst:.2f}x, geometric mean {geo_mean:.2f}x over {len(records)} runs")
 
     workloads, schedulers = grid
-    results = compare_schedulers(
-        workloads,
-        schedulers,
-        experiment="E5",
-        horizon=horizon if args.quick else None,
-        seed=1,
-        backend=backend,
+    comparison_horizon = horizon if args.quick else None
+    results, wall = run_engine_comparison(
+        workloads, schedulers, comparison_horizon, backend, args.jobs
     )
-    e5_records = [
-        bench_record(
-            "measure_stage",  # trace build + metric suite + validation
-            int(r.params["horizon"]),
-            float(r.metrics["measure_seconds"]),
-            backend,
-            workload=r.workload,
-            scheduler=r.algorithm,
-            value=r.metrics["mean_norm_gap"],
-            build_seconds=r.metrics["build_seconds"],
+    meta = {"quick": args.quick, "jobs": args.jobs, "wall_seconds": round(wall, 4)}
+    if args.jobs > 1:
+        serial_results, serial_wall = run_engine_comparison(
+            workloads, schedulers, comparison_horizon, backend, jobs=1
         )
-        for r in results
-    ]
-    path_e5 = write_bench_json("e5_comparison", e5_records, meta={"quick": args.quick})
+        if summary_pivots(results) != summary_pivots(serial_results):
+            raise AssertionError(
+                f"--jobs {args.jobs} report summaries diverge from --jobs 1"
+            )
+        parallel_speedup = serial_wall / wall if wall > 0 else float("inf")
+        meta.update(
+            {
+                "serial_wall_seconds": round(serial_wall, 4),
+                "parallel_speedup": round(parallel_speedup, 2),
+            }
+        )
+        print(
+            f"engine comparison: jobs={args.jobs} {wall:.2f}s vs jobs=1 {serial_wall:.2f}s "
+            f"({parallel_speedup:.2f}x), summaries identical"
+        )
+    else:
+        print(f"engine comparison: jobs=1 {wall:.2f}s")
+
+    path_e5 = write_bench_json("e5_comparison", engine_bench_records(results), meta=meta)
     path_trace = write_bench_json(
         "trace",
         records,

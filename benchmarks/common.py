@@ -17,44 +17,72 @@ performance trajectory across PRs.  Files land in ``$REPRO_BENCH_DIR``
 
 from __future__ import annotations
 
+import argparse
 import json
 import os
 import platform
 import time
 from pathlib import Path
-from typing import Dict, List, Mapping, Optional, Sequence
+from typing import Callable, Dict, List, Mapping, Optional, Sequence
 
+from repro.analysis.engine import HorizonPolicy
+from repro.analysis.records import ResultSet
 from repro.analysis.tables import render_table
 from repro.core.problem import ConflictGraph
-from repro.graphs.families import clique, complete_bipartite, cycle, grid, random_tree, star
-from repro.graphs.random_graphs import barabasi_albert, erdos_renyi
-from repro.graphs.society import random_society
+from repro.graphs.suites import get_workload
 
 BENCH_SEED = 20160711  # SPAA'16 started on 2016-07-11
 
+#: display name -> workload-registry name, for the standard benchmark set.
+#: The registry factories (:mod:`repro.graphs.suites`) are the single
+#: definition of these graphs; the display names keep the historical sized
+#: labels the EXPERIMENTS.md tables use.
+BENCH_WORKLOAD_NAMES: Mapping[str, str] = {
+    "clique-12": "clique",
+    "star-20": "star",
+    "bipartite-10x14": "bipartite",
+    "cycle-40": "cycle",
+    "grid-8x8": "grid",
+    "tree-60": "tree",
+    "gnp-sparse": "gnp-sparse",
+    "gnp-dense": "gnp-dense",
+    "powerlaw-60": "powerlaw",
+    "society-60": "society",
+}
+
+
+#: graph-name overrides preserving the exact historical ``graph.name``
+#: values (they feed seed-derivation labels, e.g. fcfg's per-graph stream,
+#: so renaming a graph would silently change seeded schedules).
+_BENCH_GRAPH_NAMES: Mapping[str, str] = {
+    "gnp-sparse": "gnp-sparse",
+    "gnp-dense": "gnp-dense",
+    "society": "society-60",
+}
+
 
 def experiment_workloads(scale: int = 1) -> Dict[str, ConflictGraph]:
-    """The standard workload set used by E1, E3, E4 and E5."""
-    n = 60 * scale
-    return {
-        "clique-12": clique(12 * scale),
-        "star-20": star(20 * scale),
-        "bipartite-10x14": complete_bipartite(10 * scale, 14 * scale),
-        "cycle-40": cycle(40 * scale),
-        "grid-8x8": grid(8 * scale, 8 * scale),
-        "tree-60": random_tree(n, seed=BENCH_SEED),
-        "gnp-sparse": erdos_renyi(n, 3.0 / n, seed=BENCH_SEED, name="gnp-sparse"),
-        "gnp-dense": erdos_renyi(n, 0.2, seed=BENCH_SEED, name="gnp-dense"),
-        "powerlaw-60": barabasi_albert(n, 3, seed=BENCH_SEED),
-        "society-60": random_society(n, mean_children=2.5, marriage_fraction=0.75, seed=BENCH_SEED).conflict_graph(
-            name="society-60"
-        ),
-    }
+    """The standard workload set used by E1, E3, E4 and E5.
+
+    Built from the workload registry with the fixed benchmark seed, so the
+    graphs are identical across experiments and across PRs.
+    """
+    out: Dict[str, ConflictGraph] = {}
+    for display, registry_name in BENCH_WORKLOAD_NAMES.items():
+        params: Dict[str, object] = {"seed": BENCH_SEED, "scale": scale}
+        if registry_name in _BENCH_GRAPH_NAMES:
+            params["graph_name"] = _BENCH_GRAPH_NAMES[registry_name]
+        out[display] = get_workload(registry_name, **params)
+    return out
 
 
 def horizon_for_bound(worst_bound: float, minimum: int = 64, multiplier: int = 3, cap: int = 8192) -> int:
-    """A horizon long enough to witness a per-node bound several times over."""
-    return max(minimum, min(int(multiplier * worst_bound) + 2, cap))
+    """A horizon long enough to witness a per-node bound several times over.
+
+    Delegates to :class:`repro.analysis.engine.HorizonPolicy` — the one
+    horizon rule shared with ``analysis.runner.choose_horizon``.
+    """
+    return HorizonPolicy(multiplier=multiplier, minimum=minimum, cap=cap).for_bound(worst_bound)
 
 
 def print_table(title: str, headers: Sequence[str], rows: List[Sequence[object]]) -> None:
@@ -62,6 +90,88 @@ def print_table(title: str, headers: Sequence[str], rows: List[Sequence[object]]
     print()
     print(render_table(headers, rows, title=title))
     print()
+
+
+def engine_bench_records(
+    results: ResultSet, value_metric: str = "mean_norm_gap"
+) -> List[Dict[str, object]]:
+    """Turn engine :class:`~repro.analysis.records.ExperimentRecord`\\ s into
+    the flat ``BENCH_*.json`` rows this module writes.
+
+    Each row times the measurement stage (trace build + metric suite +
+    validation) of one cell and carries the chosen quality metric so the
+    perf trajectory and the paper numbers travel together.
+    """
+    rows: List[Dict[str, object]] = []
+    for r in results:
+        rows.append(
+            bench_record(
+                "measure_stage",
+                int(r.params["horizon"]),
+                float(r.metrics["measure_seconds"]),
+                str(r.params.get("backend", "auto")),
+                workload=r.workload,
+                scheduler=r.algorithm,
+                value=r.metrics.get(value_metric),
+                build_seconds=r.metrics.get("build_seconds"),
+            )
+        )
+    return rows
+
+
+#: the workload triple every engine script mode uses under ``--quick``.
+QUICK_WORKLOADS = ("clique", "grid", "gnp-sparse")
+
+
+def run_engine_script(
+    argv,
+    *,
+    name: str,
+    algorithms: Sequence[str],
+    bench_name: str,
+    check_record: Callable[[object], None],
+    row_fn: Callable[[object], List[object]],
+    table_title: str,
+    table_headers: Sequence[str],
+    value_metric: str = "mean_norm_gap",
+) -> int:
+    """The shared script-mode harness for engine-driven benchmarks (E1, E4).
+
+    Parses ``--quick``/``--jobs``, runs one :class:`ExperimentSpec` over the
+    standard workload set, applies ``check_record`` to every record (raise
+    to fail), prints a table built by ``row_fn`` and writes
+    ``BENCH_<bench_name>.json`` from the engine records.
+    """
+    from repro.analysis.engine import ExperimentEngine, ExperimentSpec
+
+    parser = argparse.ArgumentParser(description=table_title)
+    parser.add_argument("--quick", action="store_true", help="three-workload smoke grid for CI")
+    parser.add_argument("--jobs", type=int, default=1, help="engine worker processes")
+    args = parser.parse_args(argv)
+
+    names = list(QUICK_WORKLOADS) if args.quick else list(BENCH_WORKLOAD_NAMES.values())
+    spec = ExperimentSpec(
+        name=name,
+        workloads=tuple(names),
+        algorithms=tuple(algorithms),
+        workload_params={"seed": BENCH_SEED},
+    )
+    engine = ExperimentEngine(jobs=args.jobs)
+    results = engine.run(spec)
+
+    rows = []
+    for record in results:
+        check_record(record)
+        rows.append(row_fn(record))
+    print_table(table_title, list(table_headers), rows)
+    path = write_bench_json(
+        bench_name,
+        engine_bench_records(results, value_metric=value_metric),
+        meta={"quick": args.quick, "jobs": args.jobs,
+              "wall_seconds": round(float(engine.stats["wall_seconds"]), 4)},
+    )
+    print(f"wrote {path}")
+    return 0
 
 
 # ---------------------------------------------------------------------------

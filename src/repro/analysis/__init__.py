@@ -14,6 +14,15 @@ from repro.analysis.conjecture import (
     minimal_max_stretch,
     phase_assignment_exists,
 )
+from repro.analysis.engine import (
+    ExperimentCell,
+    ExperimentEngine,
+    ExperimentSpec,
+    HorizonPolicy,
+    execute_cell,
+    expand_grid,
+    run_grid,
+)
 from repro.analysis.records import ExperimentRecord, ResultSet
 from repro.analysis.runner import (
     RunOutcome,
@@ -27,6 +36,13 @@ from repro.analysis.sweeps import sweep
 __all__ = [
     "ExperimentRecord",
     "ResultSet",
+    "ExperimentSpec",
+    "ExperimentCell",
+    "ExperimentEngine",
+    "HorizonPolicy",
+    "execute_cell",
+    "expand_grid",
+    "run_grid",
     "RunOutcome",
     "run_scheduler",
     "compare_schedulers",

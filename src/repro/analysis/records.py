@@ -10,7 +10,8 @@ instead of pulling in pandas.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, Iterable, Iterator, List, Mapping, Optional, Sequence, Tuple
+from pathlib import Path
+from typing import Callable, Dict, Iterable, Iterator, List, Mapping, Optional, Sequence, Tuple, Union
 
 __all__ = ["ExperimentRecord", "ResultSet"]
 
@@ -105,6 +106,28 @@ class ResultSet:
                 continue
             groups.setdefault(key(r), []).append(float(value))
         return {k: reducer(v) for k, v in groups.items()}
+
+    def to_jsonl(self, path: Union[str, Path]) -> Path:
+        """Write all records to ``path`` as JSON lines (overwrites).
+
+        The inverse of :meth:`from_jsonl`; see :mod:`repro.io.results` for
+        the line format and the streaming/append variants the experiment
+        engine uses.
+        """
+        from repro.io.results import write_records_jsonl
+
+        return write_records_jsonl(path, self._records)
+
+    @classmethod
+    def from_jsonl(cls, path: Union[str, Path], strict: bool = False) -> "ResultSet":
+        """Load a :class:`ResultSet` from a JSONL file.
+
+        With ``strict=False`` a half-written trailing line (interrupted run)
+        is skipped rather than raising.
+        """
+        from repro.io.results import read_records_jsonl
+
+        return cls(read_records_jsonl(path, strict=strict))
 
     def best_algorithm_per_workload(self, metric: str, minimize: bool = True) -> Dict[str, str]:
         """For each workload, the algorithm with the best (min/max) value of ``metric``.

@@ -14,18 +14,21 @@ The runner encapsulates the repetitive part of every experiment:
 
 ``compare_schedulers`` runs a list of registered scheduler names over a
 workload dictionary and returns a :class:`~repro.analysis.records.ResultSet`
-ready for table rendering — this is the engine behind benchmark E5.
+ready for table rendering — since the declarative engine landed it is a thin
+wrapper over :class:`repro.analysis.engine.ExperimentEngine`, which is also
+where ``jobs``/``sink``/``resume`` come from.
 """
 
 from __future__ import annotations
 
 import time
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Mapping, Optional, Sequence
+from pathlib import Path
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Union
 
 from repro.algorithms.base import Scheduler
-from repro.algorithms.registry import get_scheduler
-from repro.analysis.records import ExperimentRecord, ResultSet
+from repro.analysis.engine import ExperimentEngine, ExperimentSpec, HorizonPolicy
+from repro.analysis.records import ResultSet
 from repro.core.metrics import ScheduleReport, build_trace, evaluate_schedule
 from repro.core.problem import ConflictGraph
 from repro.core.schedule import Schedule
@@ -73,11 +76,11 @@ def choose_horizon(
     reaching ``2·(Δ+1)`` (the Section 5 period), clamped to ``[minimum, cap]``.
     Color-bound runs that need more (large Δ with the omega code) can pass
     an explicit horizon instead.
+
+    Delegates to :class:`repro.analysis.engine.HorizonPolicy` — the one
+    horizon rule shared with ``benchmarks.common.horizon_for_bound``.
     """
-    delta = graph.max_degree()
-    base = 2 * (delta + 1)
-    horizon = multiplier * base
-    return max(minimum, min(horizon, cap))
+    return HorizonPolicy(multiplier=multiplier, minimum=minimum, cap=cap).for_graph(graph)
 
 
 def run_scheduler(
@@ -88,12 +91,16 @@ def run_scheduler(
     certify_bound: bool = True,
     skip_isolated: bool = True,
     backend: str = "auto",
+    policy: Optional[HorizonPolicy] = None,
 ) -> RunOutcome:
     """Build, evaluate and validate one scheduler on one graph.
 
     ``backend`` selects the trace engine (``"auto"``/``"numpy"``/
     ``"bitmask"``/``"sets"``); on the matrix engines the occupancy trace is
     built exactly once and shared by the metric suite and the validator.
+    When ``horizon`` is ``None`` the observation window comes from
+    ``policy`` (default :class:`~repro.analysis.engine.HorizonPolicy`),
+    extended so any claimed per-node bound can be witnessed.
     """
     start = time.perf_counter()
     schedule = scheduler.build(graph, seed=seed)
@@ -101,11 +108,7 @@ def run_scheduler(
 
     bound_fn = scheduler.bound_function(graph) if certify_bound else None
     if horizon is None:
-        horizon = choose_horizon(graph)
-        if bound_fn is not None and graph.num_nodes() > 0:
-            # Make sure the horizon can actually witness the claimed bound.
-            worst_bound = max(bound_fn(p) for p in graph.nodes())
-            horizon = max(horizon, int(2 * worst_bound) + 2)
+        horizon = (policy or HorizonPolicy()).resolve(graph, bound_fn)
 
     start = time.perf_counter()
     trace = build_trace(schedule, graph, horizon, backend=backend)
@@ -148,27 +151,33 @@ def compare_schedulers(
     seed: int = 0,
     certify_bound: bool = True,
     backend: str = "auto",
+    jobs: int = 1,
+    sink: Optional[Union[str, Path]] = None,
+    resume: bool = False,
 ) -> ResultSet:
-    """Run every named scheduler over every workload and collect the results."""
-    results = ResultSet()
-    for workload_name, graph in workloads.items():
-        for scheduler_name in scheduler_names:
-            scheduler = get_scheduler(scheduler_name)
-            outcome = run_scheduler(
-                scheduler,
-                graph,
-                horizon=horizon,
-                seed=seed,
-                certify_bound=certify_bound,
-                backend=backend,
-            )
-            results.add(
-                ExperimentRecord(
-                    experiment=experiment,
-                    workload=workload_name,
-                    algorithm=scheduler_name,
-                    metrics=outcome.metrics(),
-                    params={"horizon": outcome.horizon, "n": graph.num_nodes(), "backend": backend},
-                )
-            )
-    return results
+    """Run every named scheduler over every workload and collect the results.
+
+    A thin wrapper over the declarative engine: the workload dictionary is
+    turned into an :class:`~repro.analysis.engine.ExperimentSpec` whose
+    workload names shadow the registry with the given graphs.  ``jobs``
+    selects parallel execution, ``sink``/``resume`` stream the records to a
+    JSONL file and skip already-completed cells.
+
+    Seed semantics: ``seed`` is the *root* seed; each cell's scheduler runs
+    with a seed derived from ``(workload, algorithm, params, seed)`` (the
+    engine's determinism contract), not with ``seed`` itself.  Runs remain
+    exactly reproducible for a given root seed, but randomized schedulers
+    (e.g. ``first-come-first-grab``) draw different streams than the
+    pre-engine serial loop, which passed the root seed straight through.
+    """
+    spec = ExperimentSpec(
+        name=experiment,
+        workloads=tuple(workloads),
+        algorithms=tuple(scheduler_names),
+        seeds=(seed,),
+        horizon=horizon,
+        backend=backend,
+        certify_bound=certify_bound,
+    )
+    engine = ExperimentEngine(jobs=jobs, sink=sink, resume=resume)
+    return engine.run(spec, workloads=workloads)

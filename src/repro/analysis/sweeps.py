@@ -3,42 +3,34 @@
 ``sweep`` expands a dictionary of parameter lists into the cartesian product
 of parameter combinations and applies a runner callable to each, collecting
 the returned records.  Used by the density/size sweeps in E5, E6 and E9.
+
+Since the declarative engine landed this module is a thin compatibility
+wrapper: grid expansion and execution live in
+:func:`repro.analysis.engine.expand_grid` / :func:`repro.analysis.engine.run_grid`,
+which also provide multi-process execution (``jobs=N``).
 """
 
 from __future__ import annotations
 
-import itertools
-from typing import Callable, Dict, Iterable, List, Mapping, Sequence
+from typing import Callable, Iterable, Mapping, Sequence
 
+from repro.analysis.engine import expand_grid, run_grid
 from repro.analysis.records import ExperimentRecord, ResultSet
 
 __all__ = ["sweep", "expand_grid"]
 
 
-def expand_grid(param_lists: Mapping[str, Sequence[object]]) -> List[Dict[str, object]]:
-    """All combinations of the given parameter lists, as dictionaries.
-
-    The iteration order is deterministic: parameters vary fastest in the
-    order they appear last in the mapping (standard cartesian-product order).
-    """
-    if not param_lists:
-        return [{}]
-    names = list(param_lists.keys())
-    combos = itertools.product(*(param_lists[name] for name in names))
-    return [dict(zip(names, combo)) for combo in combos]
-
-
 def sweep(
     param_lists: Mapping[str, Sequence[object]],
     runner: Callable[..., Iterable[ExperimentRecord]],
+    jobs: int = 1,
 ) -> ResultSet:
     """Run ``runner(**params)`` for every parameter combination.
 
     The runner must return an iterable of
     :class:`~repro.analysis.records.ExperimentRecord`; all records are
-    merged into a single :class:`~repro.analysis.records.ResultSet`.
+    merged into a single :class:`~repro.analysis.records.ResultSet`, in
+    grid order.  With ``jobs > 1`` combinations execute in worker processes
+    (the runner must then be picklable, i.e. a module-level function).
     """
-    results = ResultSet()
-    for params in expand_grid(param_lists):
-        results.extend(runner(**params))
-    return results
+    return run_grid(param_lists, runner, jobs=jobs)

@@ -24,16 +24,28 @@ Installed as ``repro-holiday`` (see ``setup.py``); also runnable as
 ``satisfaction``
     Appendix A analysis of a society JSON file: maximum satisfaction via
     matching, the linear-time algorithm, and the alternating schedule gap.
+
+``experiment``
+    Run a declarative experiment — named workloads × registered algorithms
+    × parameter grid × seeds — through the parallel, resumable engine
+    (:mod:`repro.analysis.engine`), streaming records to a JSONL file.
+    The spec comes from a JSON file (``--spec``) or from flags; ``--jobs``
+    fans cells out over worker processes, ``--resume`` skips cells already
+    present in the output, ``-v`` shows per-cell progress.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
+import logging
 import sys
+from dataclasses import replace
 from pathlib import Path
 from typing import List, Optional, Sequence
 
 from repro.algorithms.registry import available_schedulers, get_scheduler
+from repro.analysis.engine import ExperimentEngine, ExperimentSpec, HorizonPolicy
 from repro.analysis.runner import compare_schedulers, run_scheduler
 from repro.analysis.tables import render_table
 from repro.coloring.greedy import greedy_coloring
@@ -44,6 +56,7 @@ from repro.core.trace import resolve_backend
 from repro.graphs.families import clique, star
 from repro.graphs.random_graphs import barabasi_albert, erdos_renyi
 from repro.graphs.society import random_society
+from repro.graphs.suites import available_workloads
 from repro.io.graphs import load_edge_list, read_graph_json, save_edge_list, write_graph_json
 from repro.io.schedules import save_periodic_schedule, write_calendar_csv
 from repro.io.societies import load_society, save_society
@@ -53,6 +66,7 @@ from repro.satisfaction.satisfaction import (
     satisfaction_gaps,
     single_child_first_satisfaction,
 )
+from repro.utils.logging import configure as configure_logging
 
 __all__ = ["main", "build_parser"]
 
@@ -232,6 +246,115 @@ def cmd_satisfaction(args: argparse.Namespace) -> int:
     return 0 if matching.num_satisfied == linear.num_satisfied else 1
 
 
+def _parse_grid(pairs: Sequence[str]) -> dict:
+    """Parse ``key=v1,v2,...`` grid flags; values go through JSON when possible."""
+    grid = {}
+    for pair in pairs:
+        if "=" not in pair:
+            raise SystemExit(f"error: --grid expects key=v1,v2 pairs, got {pair!r}")
+        key, _, values = pair.partition("=")
+        parsed = []
+        for token in values.split(","):
+            try:
+                parsed.append(json.loads(token))
+            except ValueError:
+                parsed.append(token)
+        grid[key.strip()] = parsed
+    return grid
+
+
+def cmd_experiment(args: argparse.Namespace) -> int:
+    if args.verbose:
+        configure_logging(logging.INFO)
+
+    if args.list:
+        print(render_table(["workload"], [[w] for w in available_workloads()], title="registered workloads"))
+        print()
+        print(render_table(["algorithm"], [[a] for a in available_schedulers()], title="registered algorithms"))
+        return 0
+
+    if args.spec:
+        try:
+            spec = ExperimentSpec.from_json(args.spec)
+        except (OSError, ValueError, KeyError, TypeError) as exc:
+            raise SystemExit(f"error: cannot load spec {args.spec!r}: {exc}")
+        # flags override the corresponding spec fields when given
+        overrides = {}
+        if args.name is not None:
+            overrides["name"] = args.name
+        if args.workloads:
+            overrides["workloads"] = tuple(args.workloads)
+        if args.algorithms:
+            overrides["algorithms"] = tuple(args.algorithms)
+        if args.seeds is not None:
+            overrides["seeds"] = tuple(args.seeds)
+        if args.horizon is not None:
+            overrides["horizon"] = args.horizon
+        if args.backend is not None:
+            overrides["backend"] = _check_backend(args.backend)
+        if args.grid:
+            overrides["grid"] = _parse_grid(args.grid)
+        if overrides:
+            try:
+                spec = replace(spec, **overrides)
+            except ValueError as exc:
+                raise SystemExit(f"error: {exc}")
+    else:
+        if not args.workloads:
+            raise SystemExit("error: give --workloads (or --spec spec.json); see --list")
+        try:
+            spec = ExperimentSpec(
+                name=args.name or "experiment",
+                workloads=tuple(args.workloads),
+                algorithms=tuple(args.algorithms or ["phased-greedy", "color-periodic-omega", "degree-periodic"]),
+                grid=_parse_grid(args.grid or []),
+                seeds=tuple(args.seeds if args.seeds is not None else [0]),
+                horizon=args.horizon,
+                backend=_check_backend(args.backend or "auto"),
+            )
+        except ValueError as exc:
+            raise SystemExit(f"error: {exc}")
+
+    unknown = [a for a in spec.algorithms if a not in available_schedulers()]
+    if unknown:
+        raise SystemExit(f"error: unknown algorithm(s): {', '.join(unknown)}")
+    try:
+        spec.resolved_workloads()
+    except KeyError as exc:
+        raise SystemExit(f"error: {exc.args[0]}")
+
+    if args.save_spec:
+        spec.to_json(args.save_spec)
+        print(f"wrote spec JSON to {args.save_spec}")
+
+    if args.resume and not args.output:
+        raise SystemExit("error: --resume needs --output to know which records already exist")
+    try:
+        engine = ExperimentEngine(jobs=args.jobs, sink=args.output, resume=args.resume)
+    except ValueError as exc:
+        raise SystemExit(f"error: {exc}")
+    try:
+        results = engine.run(spec)
+    except KeyError as exc:
+        raise SystemExit(f"error: {exc.args[0]}")
+
+    metrics = ["max_mul", "mean_norm_gap", "fairness", "legal"]
+    rows = [
+        [r.workload, r.algorithm, r.params.get("seed")] + [r.metrics.get(m) for m in metrics]
+        for r in results
+    ]
+    print(render_table(["workload", "algorithm", "seed"] + metrics, rows, title=f"experiment {spec.name}"))
+    stats = engine.stats
+    print(
+        f"\n{stats['total']} cells in {stats['wall_seconds']:.2f}s "
+        f"({stats['executed']} executed, {stats['skipped']} resumed, jobs={args.jobs})"
+    )
+    if args.output:
+        print(f"records streamed to {args.output}")
+    illegal = [r for r in results if r.metrics.get("legal") != 1.0]
+    return 1 if illegal else 0
+
+
 # ---------------------------------------------------------------------------
 # parser
 # ---------------------------------------------------------------------------
@@ -292,6 +415,48 @@ def build_parser() -> argparse.ArgumentParser:
     sat.add_argument("society", help="society JSON file (see 'generate society --society-out')")
     sat.add_argument("--horizon", type=int, default=10)
     sat.set_defaults(func=cmd_satisfaction)
+
+    exp = sub.add_parser(
+        "experiment",
+        help="run a declarative experiment spec (parallel, resumable)",
+        description=(
+            "Run named workloads × registered algorithms × parameter grid × seeds "
+            "through the experiment engine, streaming JSONL records as cells complete."
+        ),
+    )
+    exp.add_argument("--spec", help="experiment spec JSON file (flags below override its fields)")
+    exp.add_argument("--name", help="experiment name stamped on every record")
+    exp.add_argument(
+        "--workloads",
+        nargs="*",
+        help="workload registry names; glob patterns like 'small/*' expand (see --list)",
+    )
+    exp.add_argument("--algorithms", nargs="*", help="registered algorithm names")
+    exp.add_argument("--seeds", nargs="*", type=int, help="root seeds (default: 0)")
+    exp.add_argument(
+        "--grid",
+        nargs="*",
+        metavar="KEY=V1,V2",
+        help="parameter grid, e.g. --grid scale=1,2 — forwarded to workload factories",
+    )
+    exp.add_argument("--horizon", type=int, default=None, help="fixed evaluation horizon (default: policy)")
+    exp.add_argument(
+        "--backend",
+        default=None,
+        choices=["auto", "numpy", "bitmask", "sets"],
+        help="trace engine backend (default: auto)",
+    )
+    exp.add_argument("--jobs", type=int, default=1, help="worker processes (default: 1, serial)")
+    exp.add_argument("--output", help="stream records to this JSONL file as cells complete")
+    exp.add_argument(
+        "--resume",
+        action="store_true",
+        help="skip cells whose records are already in --output (after an interrupted run)",
+    )
+    exp.add_argument("--save-spec", help="also write the resolved spec JSON here")
+    exp.add_argument("--list", action="store_true", help="list registered workloads and algorithms, then exit")
+    exp.add_argument("-v", "--verbose", action="store_true", help="per-cell progress lines on stderr")
+    exp.set_defaults(func=cmd_experiment)
 
     return parser
 

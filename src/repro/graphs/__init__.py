@@ -12,6 +12,10 @@ Three kinds of generators are provided:
 * the "marriage society" generator in :mod:`repro.graphs.society`, which
   builds conflict graphs from an explicit families-and-children story
   matching the paper's motivation.
+
+:mod:`repro.graphs.suites` additionally maintains the **workload registry**
+(:func:`register_workload` / :func:`get_workload`) that makes scenarios
+addressable by string for the declarative experiment engine.
 """
 
 from repro.graphs.families import (
@@ -32,7 +36,14 @@ from repro.graphs.random_graphs import (
     watts_strogatz,
 )
 from repro.graphs.society import Family, Society, random_society
-from repro.graphs.suites import benchmark_suite, small_suite
+from repro.graphs.suites import (
+    available_workloads,
+    benchmark_suite,
+    expand_workload_names,
+    get_workload,
+    register_workload,
+    small_suite,
+)
 
 __all__ = [
     "clique",
@@ -53,4 +64,8 @@ __all__ = [
     "random_society",
     "benchmark_suite",
     "small_suite",
+    "register_workload",
+    "get_workload",
+    "available_workloads",
+    "expand_workload_names",
 ]

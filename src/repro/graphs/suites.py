@@ -1,13 +1,27 @@
-"""Curated graph suites used by the integration tests and benchmarks.
+"""Workload registry and curated graph suites.
 
-``small_suite`` is cheap enough to run inside unit tests; ``benchmark_suite``
-is the workload set that the E1–E5 benchmarks sweep over (structured
-extremes plus random and society graphs at a few densities).
+Scenarios are addressable by string, mirroring
+:mod:`repro.algorithms.registry`: benchmarks, the experiment engine
+(:mod:`repro.analysis.engine`) and the CLI resolve workload names through
+:func:`get_workload`, so an :class:`~repro.analysis.engine.ExperimentSpec`
+is pure data — ``{"workloads": ["gnp-dense", "powerlaw"], ...}`` — and a
+worker process can rebuild the exact same graph from the name alone.
+
+Factories are keyword-parameterised (``seed``, ``scale``, ...);
+:func:`get_workload` passes each factory only the parameters its signature
+accepts, so one parameter grid can sweep a heterogeneous workload list.
+
+``small_suite`` is cheap enough to run inside unit tests (registered under
+``small/*``); ``benchmark_suite`` is the workload set that the E1–E5
+benchmarks sweep over (structured extremes plus random and society graphs
+at a few densities).
 """
 
 from __future__ import annotations
 
-from typing import Dict, List
+import fnmatch
+import inspect
+from typing import Callable, Dict, Iterable, List, Mapping, Sequence
 
 from repro.core.problem import ConflictGraph
 from repro.graphs.families import (
@@ -23,8 +37,244 @@ from repro.graphs.families import (
 from repro.graphs.random_graphs import barabasi_albert, erdos_renyi, random_regular
 from repro.graphs.society import random_society
 
-__all__ = ["small_suite", "benchmark_suite"]
+__all__ = [
+    "register_workload",
+    "get_workload",
+    "available_workloads",
+    "expand_workload_names",
+    "regular_graph_order",
+    "small_suite",
+    "benchmark_suite",
+    "SMALL_WORKLOADS",
+    "BENCHMARK_WORKLOADS",
+]
 
+_FACTORIES: Dict[str, Callable[..., ConflictGraph]] = {}
+
+
+def register_workload(
+    name: str, factory: Callable[..., ConflictGraph], overwrite: bool = False
+) -> None:
+    """Register a workload factory under ``name``.
+
+    The factory must accept only keyword-able parameters (typically ``seed``
+    and ``scale``) and return a :class:`~repro.core.problem.ConflictGraph`.
+    Raises :class:`ValueError` on duplicate names unless ``overwrite`` is set.
+    """
+    if not overwrite and name in _FACTORIES:
+        raise ValueError(f"workload {name!r} is already registered")
+    _FACTORIES[name] = factory
+
+
+def get_workload(name: str, **params: object) -> ConflictGraph:
+    """Build the workload registered under ``name``.
+
+    ``params`` is filtered down to the parameters the factory actually
+    accepts (unless it takes ``**kwargs``), so callers can pass one shared
+    parameter set — e.g. an experiment grid point — to every workload.
+    """
+    if name not in _FACTORIES:
+        raise KeyError(
+            f"unknown workload {name!r}; available: {', '.join(sorted(_FACTORIES))}"
+        )
+    factory = _FACTORIES[name]
+    signature = inspect.signature(factory)
+    accepts_kwargs = any(
+        p.kind is inspect.Parameter.VAR_KEYWORD for p in signature.parameters.values()
+    )
+    if not accepts_kwargs:
+        params = {k: v for k, v in params.items() if k in signature.parameters}
+    return factory(**params)
+
+
+def available_workloads() -> List[str]:
+    """Names of all registered workloads, sorted."""
+    return sorted(_FACTORIES)
+
+
+def expand_workload_names(
+    names: Iterable[str], extra: Sequence[str] = ()
+) -> List[str]:
+    """Expand glob patterns (``small/*``) against the registry.
+
+    Plain names pass through verbatim (they may refer to caller-provided
+    graphs that are not in the registry); patterns containing ``*``, ``?``
+    or ``[`` are matched against registered names plus ``extra``, in sorted
+    order.  Names listed in ``extra`` are always taken literally, even if
+    they contain glob characters — an ad-hoc graph named ``net[1]`` is an
+    ad-hoc graph, not a pattern.  Duplicates are dropped, first occurrence
+    wins.
+    """
+    extra_literals = set(extra)
+    universe = sorted(set(available_workloads()) | extra_literals)
+    out: List[str] = []
+    for name in names:
+        if name not in extra_literals and any(ch in name for ch in "*?["):
+            matches = fnmatch.filter(universe, name)
+            if not matches:
+                raise KeyError(f"workload pattern {name!r} matches nothing")
+            candidates = matches
+        else:
+            candidates = [name]
+        for candidate in candidates:
+            if candidate not in out:
+                out.append(candidate)
+    return out
+
+
+def regular_graph_order(n: int, degree: int) -> int:
+    """The smallest order ``>= n`` on which a ``degree``-regular graph exists.
+
+    A ``d``-regular graph requires ``n * d`` to be even; for even degrees any
+    ``n`` works, for odd degrees an odd ``n`` is bumped to ``n + 1``.
+    """
+    return n if (n * degree) % 2 == 0 else n + 1
+
+
+# ---------------------------------------------------------------------------
+# built-in registrations: the benchmark workload family
+# ---------------------------------------------------------------------------
+
+def _bench_n(scale: int) -> int:
+    if scale < 1:
+        raise ValueError("scale must be >= 1")
+    return 60 * scale
+
+
+def _clique(seed: int = 11, scale: int = 1) -> ConflictGraph:
+    _bench_n(scale)
+    return clique(12 * scale)
+
+
+def _star(seed: int = 11, scale: int = 1) -> ConflictGraph:
+    _bench_n(scale)
+    return star(20 * scale)
+
+
+def _bipartite(seed: int = 11, scale: int = 1) -> ConflictGraph:
+    _bench_n(scale)
+    return complete_bipartite(10 * scale, 14 * scale)
+
+
+def _cycle(seed: int = 11, scale: int = 1) -> ConflictGraph:
+    _bench_n(scale)
+    return cycle(40 * scale)
+
+
+def _grid(seed: int = 11, scale: int = 1) -> ConflictGraph:
+    _bench_n(scale)
+    return grid(8 * scale, 8 * scale)
+
+
+def _tree(seed: int = 11, scale: int = 1) -> ConflictGraph:
+    return random_tree(_bench_n(scale), seed=seed)
+
+
+def _gnp_sparse(seed: int = 11, scale: int = 1, graph_name: str = None) -> ConflictGraph:
+    n = _bench_n(scale)
+    return erdos_renyi(n, 3.0 / n, seed=seed, name=graph_name or f"gnp-{n}-sparse")
+
+
+def _gnp_dense(seed: int = 11, scale: int = 1, graph_name: str = None) -> ConflictGraph:
+    n = _bench_n(scale)
+    return erdos_renyi(n, 0.2, seed=seed, name=graph_name or f"gnp-{n}-dense")
+
+
+def _powerlaw(seed: int = 11, scale: int = 1) -> ConflictGraph:
+    return barabasi_albert(_bench_n(scale), 3, seed=seed)
+
+
+def _regular(seed: int = 11, scale: int = 1, degree: int = 6) -> ConflictGraph:
+    n = regular_graph_order(_bench_n(scale), degree)
+    return random_regular(n, degree, seed=seed)
+
+
+def _society(seed: int = 11, scale: int = 1, graph_name: str = None) -> ConflictGraph:
+    n = _bench_n(scale)
+    return random_society(
+        num_families=n, mean_children=2.5, marriage_fraction=0.75, seed=seed
+    ).conflict_graph(name=graph_name or f"society-{n}")
+
+
+#: registry names of the benchmark workload set, in suite order.
+BENCHMARK_WORKLOADS: Mapping[str, Callable[..., ConflictGraph]] = {
+    "clique": _clique,
+    "star": _star,
+    "bipartite": _bipartite,
+    "cycle": _cycle,
+    "grid": _grid,
+    "tree": _tree,
+    "gnp-sparse": _gnp_sparse,
+    "gnp-dense": _gnp_dense,
+    "powerlaw": _powerlaw,
+    "regular": _regular,
+    "society": _society,
+}
+
+for _name, _factory in BENCHMARK_WORKLOADS.items():
+    register_workload(_name, _factory)
+
+
+# ---------------------------------------------------------------------------
+# built-in registrations: the small unit-test suite (``small/*``)
+# ---------------------------------------------------------------------------
+
+def _small_empty(seed: int = 7) -> ConflictGraph:
+    return empty_graph(5, name="empty-5")
+
+
+def _small_single_edge(seed: int = 7) -> ConflictGraph:
+    return ConflictGraph(edges=[(0, 1)], name="single-edge")
+
+
+def _small_path(seed: int = 7) -> ConflictGraph:
+    return path(8)
+
+
+def _small_cycle(seed: int = 7) -> ConflictGraph:
+    return cycle(9)
+
+
+def _small_star(seed: int = 7) -> ConflictGraph:
+    return star(6)
+
+
+def _small_clique(seed: int = 7) -> ConflictGraph:
+    return clique(5)
+
+
+def _small_bipartite(seed: int = 7) -> ConflictGraph:
+    return complete_bipartite(3, 4)
+
+
+def _small_tree(seed: int = 7) -> ConflictGraph:
+    return random_tree(12, seed=seed)
+
+
+def _small_gnp(seed: int = 7) -> ConflictGraph:
+    return erdos_renyi(16, 0.25, seed=seed)
+
+
+#: registry names of the small suite, in suite order.
+SMALL_WORKLOADS: Mapping[str, Callable[..., ConflictGraph]] = {
+    "small/empty": _small_empty,
+    "small/single-edge": _small_single_edge,
+    "small/path": _small_path,
+    "small/cycle": _small_cycle,
+    "small/star": _small_star,
+    "small/clique": _small_clique,
+    "small/bipartite": _small_bipartite,
+    "small/tree": _small_tree,
+    "small/gnp": _small_gnp,
+}
+
+for _name, _factory in SMALL_WORKLOADS.items():
+    register_workload(_name, _factory)
+
+
+# ---------------------------------------------------------------------------
+# curated suites (built from the registry)
+# ---------------------------------------------------------------------------
 
 def small_suite(seed: int = 7) -> List[ConflictGraph]:
     """A small, fast suite covering the structural extremes.
@@ -32,17 +282,7 @@ def small_suite(seed: int = 7) -> List[ConflictGraph]:
     Contains: an edgeless graph, a single edge, a path, a cycle, a star, a
     clique, a complete bipartite graph, a random tree and a sparse G(n,p).
     """
-    return [
-        empty_graph(5, name="empty-5"),
-        ConflictGraph(edges=[(0, 1)], name="single-edge"),
-        path(8),
-        cycle(9),
-        star(6),
-        clique(5),
-        complete_bipartite(3, 4),
-        random_tree(12, seed=seed),
-        erdos_renyi(16, 0.25, seed=seed),
-    ]
+    return [get_workload(name, seed=seed) for name in SMALL_WORKLOADS]
 
 
 def benchmark_suite(seed: int = 11, scale: int = 1) -> Dict[str, ConflictGraph]:
@@ -53,20 +293,6 @@ def benchmark_suite(seed: int = 11, scale: int = 1) -> Dict[str, ConflictGraph]:
     """
     if scale < 1:
         raise ValueError("scale must be >= 1")
-    n = 60 * scale
-    suite: Dict[str, ConflictGraph] = {
-        "clique": clique(12 * scale),
-        "star": star(20 * scale),
-        "bipartite": complete_bipartite(10 * scale, 14 * scale),
-        "cycle": cycle(40 * scale),
-        "grid": grid(8 * scale, 8 * scale),
-        "tree": random_tree(n, seed=seed),
-        "gnp-sparse": erdos_renyi(n, 3.0 / n, seed=seed, name=f"gnp-{n}-sparse"),
-        "gnp-dense": erdos_renyi(n, 0.2, seed=seed, name=f"gnp-{n}-dense"),
-        "powerlaw": barabasi_albert(n, 3, seed=seed),
-        "regular": random_regular(n if (n * 6) % 2 == 0 else n + 1, 6, seed=seed),
-        "society": random_society(
-            num_families=n, mean_children=2.5, marriage_fraction=0.75, seed=seed
-        ).conflict_graph(name=f"society-{n}"),
+    return {
+        name: get_workload(name, seed=seed, scale=scale) for name in BENCHMARK_WORKLOADS
     }
-    return suite

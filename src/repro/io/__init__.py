@@ -6,7 +6,8 @@ consumed by other tools (and so the CLI can operate on files):
 * edge-list text files for conflict graphs (``u v`` per line, ``#`` comments),
 * JSON documents for societies (families, children, couples),
 * JSON documents for perfectly periodic schedules (per-node period/phase),
-* CSV calendars (one row per holiday, the hosting families as columns).
+* CSV calendars (one row per holiday, the hosting families as columns),
+* JSONL experiment records (one result cell per line, stream/append safe).
 """
 
 from repro.io.graphs import (
@@ -24,6 +25,13 @@ from repro.io.schedules import (
     periodic_schedule_to_dict,
     save_periodic_schedule,
     write_calendar_csv,
+)
+from repro.io.results import (
+    append_records_jsonl,
+    read_records_jsonl,
+    record_from_dict,
+    record_to_dict,
+    write_records_jsonl,
 )
 from repro.io.societies import load_society, save_society, society_from_dict, society_to_dict
 
@@ -44,4 +52,9 @@ __all__ = [
     "society_from_dict",
     "save_society",
     "load_society",
+    "record_to_dict",
+    "record_from_dict",
+    "write_records_jsonl",
+    "append_records_jsonl",
+    "read_records_jsonl",
 ]

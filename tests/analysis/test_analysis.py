@@ -60,6 +60,40 @@ class TestRecords:
         rs.extend([record(), record()])
         assert len(list(rs)) == 3
 
+    def test_jsonl_round_trip(self, tmp_path):
+        rs = ResultSet(
+            [
+                record(workload="g1", algorithm="fast", max_mul=2.0),
+                record(workload="g2", algorithm="slow", max_mul=9.5),
+            ]
+        )
+        path = tmp_path / "results.jsonl"
+        rs.to_jsonl(path)
+        loaded = ResultSet.from_jsonl(path)
+        assert list(loaded) == list(rs)
+
+    def test_from_jsonl_skips_truncated_tail(self, tmp_path):
+        rs = ResultSet([record(workload="g1"), record(workload="g2")])
+        path = tmp_path / "results.jsonl"
+        rs.to_jsonl(path)
+        content = path.read_text()
+        path.write_text(content[: len(content) - 10])  # chop the last record
+        loaded = ResultSet.from_jsonl(path)
+        assert [r.workload for r in loaded] == ["g1"]
+        with pytest.raises(ValueError):
+            ResultSet.from_jsonl(path, strict=True)
+
+    def test_from_jsonl_rejects_mid_file_corruption(self, tmp_path):
+        # only a truncated *final* line is interrupted-run damage; corruption
+        # anywhere else must not silently shrink the result set
+        rs = ResultSet([record(workload="g1"), record(workload="g2")])
+        path = tmp_path / "results.jsonl"
+        rs.to_jsonl(path)
+        lines = path.read_text().splitlines()
+        path.write_text("{corrupt\n" + "\n".join(lines) + "\n")
+        with pytest.raises(ValueError):
+            ResultSet.from_jsonl(path)
+
 
 class TestTables:
     def test_format_value(self):
@@ -129,6 +163,10 @@ class TestRunner:
         assert norm["star"]["degree-periodic"] < norm["star"]["sequential"]
 
 
+def _sweep_runner(n):
+    return [record(workload=f"n{n}", size=float(n))]
+
+
 class TestSweeps:
     def test_expand_grid(self):
         combos = expand_grid({"a": [1, 2], "b": ["x"]})
@@ -141,4 +179,10 @@ class TestSweeps:
 
         results = sweep({"n": [2, 4, 8]}, runner)
         assert len(results) == 3
+        assert results.workloads() == ["n2", "n4", "n8"]
+
+    def test_sweep_parallel_preserves_grid_order(self):
+        # jobs > 1 executes in worker processes, so the runner must be a
+        # module-level (picklable) function; record order stays grid order.
+        results = sweep({"n": [2, 4, 8]}, _sweep_runner, jobs=2)
         assert results.workloads() == ["n2", "n4", "n8"]

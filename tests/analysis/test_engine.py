@@ -1,0 +1,403 @@
+"""Tests for the declarative experiment engine.
+
+Covers the spec/cell data model (round-trip, content keys, per-cell seeds),
+the horizon policy consolidation, serial-vs-parallel determinism on the
+small suite, JSONL streaming, and resume-after-truncation semantics.
+"""
+
+import json
+
+import pytest
+
+from repro.analysis.engine import (
+    ExperimentCell,
+    ExperimentEngine,
+    ExperimentSpec,
+    HorizonPolicy,
+    TIMING_METRICS,
+    execute_cell,
+    expand_grid,
+    run_grid,
+)
+from repro.analysis.records import ExperimentRecord, ResultSet
+from repro.analysis.runner import choose_horizon
+from repro.graphs.families import clique, star
+from repro.graphs.suites import SMALL_WORKLOADS
+from repro.io.results import read_records_jsonl, record_to_json_line
+
+
+def tiny_spec(**overrides):
+    fields = dict(
+        name="t",
+        workloads=("small/path", "small/clique"),
+        algorithms=("sequential", "degree-periodic"),
+        horizon=48,
+    )
+    fields.update(overrides)
+    return ExperimentSpec(**fields)
+
+
+def stripped_lines(path):
+    """Sink lines with the timing metrics removed (canonical JSON)."""
+    out = []
+    for line in open(path):
+        payload = json.loads(line)
+        for key in TIMING_METRICS:
+            payload["metrics"].pop(key, None)
+        out.append(json.dumps(payload, sort_keys=True))
+    return out
+
+
+class TestHorizonPolicy:
+    def test_for_graph_matches_choose_horizon(self):
+        for graph in (star(3), clique(5), clique(30)):
+            assert HorizonPolicy().for_graph(graph) == choose_horizon(graph)
+
+    def test_for_bound_matches_legacy_rule(self):
+        # the historical benchmarks.common.horizon_for_bound defaults
+        policy = HorizonPolicy(multiplier=3, minimum=64, cap=8192)
+        assert policy.for_bound(10) == 64
+        assert policy.for_bound(100) == 302
+        assert policy.for_bound(10_000) == 8192
+
+    def test_explicit_short_circuits(self):
+        policy = HorizonPolicy(explicit=77)
+        assert policy.for_graph(clique(30)) == 77
+        assert policy.for_bound(1e9) == 77
+        assert policy.resolve(clique(30), bound_fn=lambda p: 1e9) == 77
+
+    def test_resolve_extends_past_cap_for_bounds(self):
+        policy = HorizonPolicy(cap=40)
+        horizon = policy.resolve(clique(5), bound_fn=lambda p: 1000)
+        assert horizon == 2 * 1000 + 2
+
+    def test_round_trip(self):
+        policy = HorizonPolicy(multiplier=7, minimum=8, cap=99, explicit=None)
+        assert HorizonPolicy.from_dict(policy.to_dict()) == policy
+        with pytest.raises(ValueError):
+            HorizonPolicy.from_dict({"nope": 1})
+
+
+class TestSpec:
+    def test_cells_cartesian_order(self):
+        spec = tiny_spec(grid={"scale": [1, 2]}, seeds=(0, 1))
+        cells = spec.cells()
+        assert len(cells) == 2 * 2 * 2 * 2
+        # workload varies slowest, seed fastest
+        assert [c.workload for c in cells[:8]] == ["small/path"] * 8
+        assert [c.seed for c in cells[:2]] == [0, 1]
+        assert cells[0].params == {"scale": 1} and cells[2].params == {"scale": 2}
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ExperimentSpec(name="t", workloads=(), algorithms=("sequential",))
+        with pytest.raises(ValueError):
+            ExperimentSpec(name="t", workloads=("small/path",), algorithms=())
+        with pytest.raises(ValueError):
+            tiny_spec(seeds=())
+
+    def test_scalar_grid_values_rejected(self):
+        # tuple("fast") would silently expand to per-character grid points
+        with pytest.raises(ValueError, match="grid values"):
+            tiny_spec(grid={"mode": "fast"})
+        with pytest.raises(ValueError, match="grid values"):
+            tiny_spec(grid={"scale": 2})
+
+    def test_reserved_grid_keys_rejected(self):
+        # the engine stamps these params on every record; a grid key would
+        # be silently clobbered in the output
+        for key in ("seed", "horizon", "n", "backend", "cell_id"):
+            with pytest.raises(ValueError, match="reserved"):
+                tiny_spec(grid={key: [1, 2]})
+
+    def test_glob_expansion(self):
+        spec = tiny_spec(workloads=("small/*",))
+        resolved = spec.resolved_workloads()
+        assert set(resolved) == set(SMALL_WORKLOADS)
+        with pytest.raises(KeyError):
+            tiny_spec(workloads=("nope/*",)).resolved_workloads()
+
+    def test_json_round_trip(self, tmp_path):
+        spec = tiny_spec(
+            grid={"scale": [1, 2]},
+            seeds=(3, 4),
+            policy=HorizonPolicy(multiplier=5),
+            backend="bitmask",
+            workload_params={"seed": 99},
+        )
+        path = tmp_path / "spec.json"
+        spec.to_json(path)
+        assert ExperimentSpec.from_json(path) == spec
+        with pytest.raises(ValueError):
+            ExperimentSpec.from_dict({**spec.to_dict(), "bogus": 1})
+
+
+class TestCells:
+    def test_cell_ids_stable_and_distinct(self):
+        cells = tiny_spec().cells()
+        again = tiny_spec().cells()
+        assert [c.cell_id() for c in cells] == [c.cell_id() for c in again]
+        assert len({c.cell_id() for c in cells}) == len(cells)
+
+    def test_cell_id_tracks_execution_knobs(self):
+        base = tiny_spec().cells()[0]
+        for changed in (
+            tiny_spec(horizon=64).cells()[0],
+            tiny_spec(backend="bitmask").cells()[0],
+            tiny_spec(certify_bound=False).cells()[0],
+            tiny_spec(policy=HorizonPolicy(multiplier=9)).cells()[0],
+        ):
+            assert changed.cell_id() != base.cell_id()
+
+    def test_cell_seed_derivation(self):
+        a, b = tiny_spec().cells()[:2]
+        # same root seed, different algorithm -> decorrelated scheduler seeds
+        assert a.seed == b.seed and a.cell_seed() != b.cell_seed()
+        assert a.cell_seed() == tiny_spec().cells()[0].cell_seed()
+
+    def test_execute_cell_from_registry(self):
+        record = execute_cell(tiny_spec().cells()[0])
+        assert record.workload == "small/path"
+        assert record.metrics["legal"] == 1.0
+        assert record.params["cell_id"] == tiny_spec().cells()[0].cell_id()
+        assert record.params["horizon"] == 48
+
+    def test_cells_sharing_a_workload_share_a_graph_key(self):
+        from repro.analysis.engine import _graph_cache_key
+
+        cells = tiny_spec().cells()
+        path_cells = [c for c in cells if c.workload == "small/path"]
+        assert len(path_cells) == 2  # one per algorithm
+        assert _graph_cache_key(path_cells[0]) == _graph_cache_key(path_cells[1])
+        grid_cells = tiny_spec(grid={"scale": [1, 2]}).cells()
+        keys = {_graph_cache_key(c) for c in grid_cells if c.workload == "small/path"}
+        assert len(keys) == 2  # distinct grid points resolve distinct graphs
+
+    def test_execute_cell_with_override_graph(self):
+        cell = ExperimentCell(
+            experiment="t", workload="custom", algorithm="sequential",
+            params={}, seed=0, horizon=32,
+        )
+        record = execute_cell(cell, graph=star(4))
+        assert record.workload == "custom" and record.params["n"] == 5
+
+
+class TestEngine:
+    def test_serial_run_returns_spec_order(self):
+        spec = tiny_spec()
+        results = ExperimentEngine(jobs=1).run(spec)
+        assert [(r.workload, r.algorithm) for r in results] == [
+            (c.workload, c.algorithm) for c in spec.cells()
+        ]
+
+    def test_unknown_workload_raises_before_touching_sink(self, tmp_path):
+        sink = tmp_path / "precious.jsonl"
+        sink.write_text('{"existing": "data"}\n')
+        with pytest.raises(KeyError, match="unknown workload"):
+            ExperimentEngine(sink=sink).run(tiny_spec(workloads=("no-such-graph",)))
+        # the typo'd run must not have truncated the existing file
+        assert sink.read_text() == '{"existing": "data"}\n'
+
+    def test_jobs_validation(self):
+        with pytest.raises(ValueError):
+            ExperimentEngine(jobs=0)
+
+    def test_resume_requires_sink(self):
+        with pytest.raises(ValueError, match="resume"):
+            ExperimentEngine(resume=True)
+
+    def test_sink_streams_records(self, tmp_path):
+        sink = tmp_path / "out.jsonl"
+        results = ExperimentEngine(jobs=1, sink=sink).run(tiny_spec())
+        loaded = ResultSet.from_jsonl(sink)
+        assert [record_to_json_line(r) for r in loaded] == [
+            record_to_json_line(r) for r in results
+        ]
+
+    def test_serial_and_parallel_sinks_identical_on_small_suite(self, tmp_path):
+        """jobs=1 and jobs=4 write byte-identical JSONL modulo timing fields."""
+        spec = ExperimentSpec(
+            name="det",
+            workloads=("small/*",),
+            algorithms=("sequential", "degree-periodic"),
+            horizon=48,
+        )
+        serial_sink = tmp_path / "serial.jsonl"
+        parallel_sink = tmp_path / "parallel.jsonl"
+        serial = ExperimentEngine(jobs=1, sink=serial_sink).run(spec)
+        parallel = ExperimentEngine(jobs=4, sink=parallel_sink).run(spec)
+        assert len(serial) == len(parallel) == len(SMALL_WORKLOADS) * 2
+        assert stripped_lines(serial_sink) == stripped_lines(parallel_sink)
+
+    def test_resume_skips_completed_cells(self, tmp_path):
+        spec = tiny_spec()
+        sink = tmp_path / "run.jsonl"
+        first = ExperimentEngine(jobs=1, sink=sink).run(spec)
+        lines = sink.read_text().splitlines(keepends=True)
+        assert len(lines) == 4
+        # crash simulation: one record missing, one half-written
+        sink.write_text("".join(lines[:2]) + lines[2][: len(lines[2]) // 2])
+
+        engine = ExperimentEngine(jobs=1, sink=sink, resume=True)
+        resumed = engine.run(spec)
+        assert engine.stats["skipped"] == 2 and engine.stats["executed"] == 2
+        assert len(read_records_jsonl(sink)) == 4
+        ids = [r.params["cell_id"] for r in read_records_jsonl(sink)]
+        assert sorted(ids) == sorted(r.params["cell_id"] for r in first)
+        # resumed ResultSet is in spec order and complete
+        assert [r.params["cell_id"] for r in resumed] == [
+            c.cell_id() for c in spec.cells()
+        ]
+
+    def test_resumed_sink_rewritten_in_spec_order(self, tmp_path):
+        """A completed resume leaves the sink in spec order even when the
+        resumed spec orders cells differently than the original run."""
+        sink = tmp_path / "run.jsonl"
+        ExperimentEngine(jobs=1, sink=sink).run(
+            tiny_spec(workloads=("small/path", "small/clique"))
+        )
+        reordered = tiny_spec(workloads=("small/path", "small/star", "small/clique"))
+        ExperimentEngine(jobs=1, sink=sink, resume=True).run(reordered)
+        sunk = [r.params["cell_id"] for r in read_records_jsonl(sink)]
+        assert sunk == [c.cell_id() for c in reordered.cells()]
+
+    def test_resume_preserves_foreign_records(self, tmp_path):
+        """Records from another spec in a shared sink are kept, not deleted,
+        and never counted as completed cells of this spec."""
+        spec = tiny_spec()
+        sink = tmp_path / "run.jsonl"
+        foreign = ExperimentRecord(
+            experiment="other", workload="w", algorithm="a",
+            metrics={}, params={"cell_id": "feedfacefeedface"},
+        )
+        sink.write_text(record_to_json_line(foreign) + "\n")
+        engine = ExperimentEngine(jobs=1, sink=sink, resume=True)
+        engine.run(spec)
+        assert engine.stats["executed"] == 4
+        sunk = read_records_jsonl(sink)
+        assert len(sunk) == 5 and sunk[0] == foreign
+        assert all(r.experiment == "t" for r in sunk[1:])
+
+    def test_resume_preserves_non_record_lines(self, tmp_path):
+        """Intact JSON lines that are not ExperimentRecords (e.g. a metadata
+        header in a shared file) survive resume verbatim; only an
+        unparseable final line (crash truncation) is dropped."""
+        spec = tiny_spec()
+        sink = tmp_path / "run.jsonl"
+        header = '{"version": 1, "tool": "other"}'
+        sink.write_text(header + "\n" + '{"experiment": truncat')
+        engine = ExperimentEngine(jobs=1, sink=sink, resume=True)
+        engine.run(spec)
+        lines = sink.read_text().splitlines()
+        assert lines[0] == header and len(lines) == 5
+        assert engine.stats["executed"] == 4
+
+    def test_resume_keeps_foreign_json_even_as_last_line(self, tmp_path):
+        """Valid JSON that isn't a record is foreign wherever it sits —
+        only an unparseable tail counts as crash truncation."""
+        spec = tiny_spec()
+        sink = tmp_path / "run.jsonl"
+        header = '{"version": 1, "tool": "other"}'
+        sink.write_text(header + "\n")  # header is the last (and only) line
+        ExperimentEngine(jobs=1, sink=sink, resume=True).run(spec)
+        lines = sink.read_text().splitlines()
+        assert lines[0] == header and len(lines) == 5
+
+    def test_glob_named_adhoc_graph_runs_literally(self):
+        """A caller-provided graph whose name contains glob characters is
+        run as-is, not expanded against the registry."""
+        from repro.analysis.runner import compare_schedulers
+
+        results = compare_schedulers({"net[1]": star(4)}, ["sequential"], horizon=32)
+        assert [r.workload for r in results] == ["net[1]"]
+
+    def test_resume_never_reuses_changed_adhoc_graph(self, tmp_path):
+        """An ad-hoc graph's content is part of the cell id, so resume
+        re-runs when the graph changes under the same workload name."""
+        from repro.analysis.runner import compare_schedulers
+
+        sink = tmp_path / "run.jsonl"
+        compare_schedulers({"g": clique(4)}, ["sequential"], horizon=32, sink=sink)
+        results = compare_schedulers(
+            {"g": star(8)}, ["sequential"], horizon=32, sink=sink, resume=True
+        )
+        assert list(results)[0].params["n"] == 9  # star(8), not the stale clique
+
+    def test_fresh_run_overwrites_sink(self, tmp_path):
+        sink = tmp_path / "run.jsonl"
+        sink.write_text("garbage\n")
+        ExperimentEngine(jobs=1, sink=sink).run(tiny_spec())
+        assert len(read_records_jsonl(sink)) == 4
+
+    def test_runtime_registered_workload_runs_in_pool(self):
+        """Graphs are resolved in the parent and shipped to workers, so a
+        workload registered at runtime works with jobs>1 even on platforms
+        whose workers re-import the registry fresh (spawn)."""
+        from repro.graphs.families import path as path_graph
+        from repro.graphs.suites import register_workload
+
+        register_workload("runtime/engine-test", lambda seed=0: path_graph(6), overwrite=True)
+        spec = ExperimentSpec(
+            name="rt", workloads=("runtime/engine-test",),
+            algorithms=("sequential", "degree-periodic"), horizon=32,
+        )
+        results = ExperimentEngine(jobs=2).run(spec)
+        assert len(results) == 2
+        assert all(r.metrics["legal"] == 1.0 for r in results)
+
+    def test_compare_schedulers_via_engine_matches_direct_cells(self):
+        """The thin wrapper produces exactly the engine's records."""
+        from repro.analysis.runner import compare_schedulers
+
+        workloads = {"star": star(4), "clique": clique(4)}
+        direct = ExperimentEngine(jobs=1).run(
+            ExperimentSpec(
+                name="test", workloads=tuple(workloads),
+                algorithms=("sequential", "degree-periodic"), horizon=48,
+            ),
+            workloads=workloads,
+        )
+        wrapped = compare_schedulers(
+            workloads, ["sequential", "degree-periodic"], experiment="test", horizon=48
+        )
+
+        def stripped(records):
+            out = []
+            for r in records:
+                metrics = {k: v for k, v in r.metrics.items() if k not in TIMING_METRICS}
+                out.append(record_to_json_line(
+                    ExperimentRecord(r.experiment, r.workload, r.algorithm, metrics, r.params)
+                ))
+            return out
+
+        assert stripped(direct) == stripped(wrapped)
+
+
+def _grid_runner(n):
+    return [
+        ExperimentRecord(
+            experiment="g", workload=f"n{n}", algorithm="a", metrics={"size": float(n)}
+        )
+    ]
+
+
+class TestRunGrid:
+    def test_serial_matches_parallel(self):
+        serial = run_grid({"n": [2, 4, 8]}, _grid_runner, jobs=1)
+        parallel = run_grid({"n": [2, 4, 8]}, _grid_runner, jobs=3)
+        assert [r.workload for r in serial] == ["n2", "n4", "n8"]
+        assert [record_to_json_line(r) for r in serial] == [
+            record_to_json_line(r) for r in parallel
+        ]
+
+    def test_empty_grid_runs_once(self):
+        def runner():
+            return [ExperimentRecord("g", "w", "a", {})]
+
+        assert len(run_grid({}, runner)) == 1
+
+    def test_expand_grid(self):
+        assert expand_grid({"a": [1, 2], "b": ["x"]}) == [
+            {"a": 1, "b": "x"},
+            {"a": 2, "b": "x"},
+        ]

@@ -12,7 +12,17 @@ from repro.graphs.random_graphs import (
     watts_strogatz,
 )
 from repro.graphs.society import Family, Society, random_society
-from repro.graphs.suites import benchmark_suite, small_suite
+from repro.graphs.suites import (
+    BENCHMARK_WORKLOADS,
+    SMALL_WORKLOADS,
+    available_workloads,
+    benchmark_suite,
+    expand_workload_names,
+    get_workload,
+    register_workload,
+    regular_graph_order,
+    small_suite,
+)
 
 
 class TestRandomGraphs:
@@ -200,3 +210,77 @@ class TestSuites:
     def test_benchmark_suite_scale_validation(self):
         with pytest.raises(ValueError):
             benchmark_suite(scale=0)
+
+
+class TestWorkloadRegistry:
+    def test_builtin_names_registered(self):
+        names = available_workloads()
+        assert set(BENCHMARK_WORKLOADS) <= set(names)
+        assert set(SMALL_WORKLOADS) <= set(names)
+
+    def test_get_workload_unknown(self):
+        with pytest.raises(KeyError):
+            get_workload("no-such-workload")
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(ValueError):
+            register_workload("clique", lambda: None)
+        # overwrite=True re-registers (restore the original right away)
+        original = BENCHMARK_WORKLOADS["clique"]
+        register_workload("clique", original, overwrite=True)
+        assert get_workload("clique").num_nodes() == 12
+
+    def test_param_filtering(self):
+        # factories receive only the parameters they accept: 'degree' applies
+        # to the regular workload, is dropped for the clique
+        assert get_workload("regular", degree=4).max_degree() == 4
+        assert get_workload("clique", degree=4).num_nodes() == 12
+
+    def test_reproducible_and_scalable(self):
+        a = get_workload("gnp-dense", seed=5)
+        b = get_workload("gnp-dense", seed=5)
+        assert a.edges() == b.edges()
+        assert get_workload("tree", scale=2).num_nodes() == 120
+
+    def test_suites_built_from_registry(self):
+        assert [g.edges() for g in small_suite(seed=7)] == [
+            get_workload(name, seed=7).edges() for name in SMALL_WORKLOADS
+        ]
+        suite = benchmark_suite(seed=11)
+        assert suite["powerlaw"].edges() == get_workload("powerlaw", seed=11).edges()
+
+    def test_expand_workload_names(self):
+        assert expand_workload_names(["small/*"]) == sorted(SMALL_WORKLOADS)
+        # plain names pass through, duplicates collapse, extras are matchable
+        assert expand_workload_names(["clique", "clique", "ad-hoc"], extra=["ad-hoc"]) == [
+            "clique",
+            "ad-hoc",
+        ]
+        with pytest.raises(KeyError):
+            expand_workload_names(["zzz*"])
+
+    def test_expand_workload_names_extra_taken_literally(self):
+        # an ad-hoc graph named with glob characters is a name, not a pattern
+        assert expand_workload_names(["net[1]", "g*"], extra=["net[1]", "g*"]) == [
+            "net[1]",
+            "g*",
+        ]
+
+
+class TestRegularParity:
+    def test_even_degree_any_order(self):
+        # degree 6 is even, so n*d is always even: no bump for any n
+        assert regular_graph_order(60, 6) == 60
+        assert regular_graph_order(61, 6) == 61
+
+    def test_odd_degree_odd_order_bumped(self):
+        assert regular_graph_order(61, 5) == 62
+        assert regular_graph_order(60, 5) == 60
+        assert regular_graph_order(7, 3) == 8
+
+    def test_registry_regular_handles_odd_degrees(self):
+        graph = get_workload("regular", degree=5, seed=3)
+        assert graph.max_degree() == 5
+        # bumped order still yields a valid regular graph
+        odd = get_workload("regular", degree=7, seed=3)
+        assert all(odd.degree(p) == 7 for p in odd.nodes())

@@ -164,3 +164,125 @@ class TestCompareBoundsSatisfaction:
         path = tmp_path / "graph.json"
         write_graph_json(graph, path)
         assert main(["bounds", str(path)]) == 0
+
+
+class TestExperiment:
+    def test_flags_run_with_output(self, tmp_path, capsys):
+        out = tmp_path / "results.jsonl"
+        code = main(
+            [
+                "experiment",
+                "--name", "cli-test",
+                "--workloads", "small/path", "small/star",
+                "--algorithms", "sequential", "degree-periodic",
+                "--horizon", "48",
+                "--output", str(out),
+            ]
+        )
+        assert code == 0
+        printed = capsys.readouterr().out
+        assert "experiment cli-test" in printed and "4 cells" in printed
+        from repro.analysis.records import ResultSet
+
+        results = ResultSet.from_jsonl(out)
+        assert len(results) == 4
+        assert {r.workload for r in results} == {"small/path", "small/star"}
+
+    def test_glob_workloads_and_jobs(self, tmp_path, capsys):
+        out = tmp_path / "results.jsonl"
+        code = main(
+            [
+                "experiment",
+                "--workloads", "small/cycl*",
+                "--algorithms", "sequential",
+                "--horizon", "32",
+                "--jobs", "2",
+                "--output", str(out),
+            ]
+        )
+        assert code == 0
+        from repro.analysis.records import ResultSet
+
+        assert [r.workload for r in ResultSet.from_jsonl(out)] == ["small/cycle"]
+
+    def test_resume_skips_completed(self, tmp_path, capsys):
+        out = tmp_path / "results.jsonl"
+        argv = [
+            "experiment",
+            "--workloads", "small/path",
+            "--algorithms", "sequential", "degree-periodic",
+            "--horizon", "48",
+            "--output", str(out),
+        ]
+        assert main(argv) == 0
+        capsys.readouterr()
+        assert main(argv + ["--resume"]) == 0
+        assert "0 executed, 2 resumed" in capsys.readouterr().out
+
+    def test_spec_file_with_overrides(self, tmp_path, capsys):
+        from repro.analysis.engine import ExperimentSpec
+
+        spec_path = tmp_path / "spec.json"
+        ExperimentSpec(
+            name="from-file",
+            workloads=("small/path",),
+            algorithms=("sequential",),
+            horizon=32,
+        ).to_json(spec_path)
+        code = main(
+            ["experiment", "--spec", str(spec_path), "--algorithms", "degree-periodic"]
+        )
+        assert code == 0
+        printed = capsys.readouterr().out
+        assert "from-file" in printed and "degree-periodic" in printed
+
+    def test_save_spec_round_trips(self, tmp_path, capsys):
+        from repro.analysis.engine import ExperimentSpec
+
+        saved = tmp_path / "saved.json"
+        code = main(
+            [
+                "experiment",
+                "--name", "saved-run",
+                "--workloads", "small/path",
+                "--algorithms", "sequential",
+                "--horizon", "32",
+                "--grid", "scale=1",
+                "--save-spec", str(saved),
+            ]
+        )
+        assert code == 0
+        spec = ExperimentSpec.from_json(saved)
+        assert spec.name == "saved-run" and spec.grid == {"scale": (1,)}
+
+    def test_list_mode(self, capsys):
+        assert main(["experiment", "--list"]) == 0
+        printed = capsys.readouterr().out
+        assert "registered workloads" in printed and "registered algorithms" in printed
+        assert "small/path" in printed and "degree-periodic" in printed
+
+    def test_errors(self, tmp_path):
+        with pytest.raises(SystemExit, match="--workloads"):
+            main(["experiment", "--algorithms", "sequential"])
+        with pytest.raises(SystemExit, match="unknown algorithm"):
+            main(["experiment", "--workloads", "small/path", "--algorithms", "bogus"])
+        with pytest.raises(SystemExit, match="matches nothing"):
+            main(["experiment", "--workloads", "zzz*", "--algorithms", "sequential"])
+        with pytest.raises(SystemExit, match="cannot load spec"):
+            main(["experiment", "--spec", str(tmp_path / "missing.json")])
+        with pytest.raises(SystemExit, match="key=v1,v2"):
+            main(["experiment", "--workloads", "small/path", "--grid", "oops"])
+        with pytest.raises(SystemExit, match="--resume needs --output"):
+            main(["experiment", "--workloads", "small/path", "--algorithms", "sequential", "--resume"])
+
+    def test_spec_override_errors_are_clean(self, tmp_path):
+        from repro.analysis.engine import ExperimentSpec
+
+        spec_path = tmp_path / "spec.json"
+        ExperimentSpec(
+            name="t", workloads=("small/path",), algorithms=("sequential",), horizon=32
+        ).to_json(spec_path)
+        # empty --seeds reaches the spec as (), which must surface as a clean
+        # CLI error, not a raw ValueError traceback
+        with pytest.raises(SystemExit, match="at least one seed"):
+            main(["experiment", "--spec", str(spec_path), "--seeds"])
