@@ -1,0 +1,223 @@
+"""E14 — the streaming chunked trace engine: 10⁸-holiday horizons at bounded memory.
+
+PR 1 made evaluation fast by materialising one dense node × holiday matrix;
+its own architecture notes flag the ceiling — a 60-node workload at horizon
+10⁸ would need ~6 GB.  The streaming mode (``horizon_mode="stream"``)
+removes it: :class:`repro.core.trace.TraceStream` tiles periodic schedules
+straight into fixed-width :class:`~repro.core.trace.TraceMatrix` chunks and
+:class:`~repro.core.trace.StreamedTrace` carries gap/run-length and
+edge-collision state across chunk boundaries, so the full metric suite and
+the validator run in ``O(n × chunk)`` resident memory regardless of horizon.
+
+This benchmark demonstrates exactly that claim and turns it into assertions:
+
+1. **Equivalence** — at a dense-feasible horizon, ``dense`` and ``stream``
+   produce identical reports and validation outcomes.
+2. **Bounded memory** — the full run evaluates + validates the standard
+   60-node society workload at horizon 10⁸ (``--quick``: 2·10⁶) under
+   ``tracemalloc``, asserting the peak traced allocation stays within a
+   small multiple of one chunk — versus the ~6 GB a dense matrix would need.
+
+Results land in ``BENCH_stream.json`` (see ``docs/bench_schema.md``).
+
+Run as a script::
+
+    python benchmarks/bench_e14_streaming.py [--quick] [--horizon H]
+        [--chunk W] [--backend B] [--algorithm NAME]
+
+Notes: the default scheduler is perfectly periodic (``degree-periodic``), so
+no schedule prefix is ever materialised — that is the fast path the 10⁸
+claim rests on.  Aperiodic generator-backed schedulers stream too, but their
+own memoisation grows with the horizon (see the ``repro.core.trace`` module
+notes), and the pure-Python ``bitmask`` backend walks appearances bit by
+bit, so the full horizon is a numpy-backend benchmark.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+import tracemalloc
+
+from benchmarks.common import BENCH_SEED, bench_record, print_table, write_bench_json
+from repro.algorithms.registry import get_scheduler
+from repro.analysis.runner import run_scheduler
+from repro.core.trace import DEFAULT_CHUNK, dense_trace_bytes, resolve_backend
+from repro.graphs.suites import get_workload
+
+FULL_HORIZON = 100_000_000
+QUICK_HORIZON = 2_000_000
+#: horizon of the dense-vs-stream equivalence stage (dense-feasible).
+EQUIVALENCE_HORIZON = 200_000
+
+MIB = 1 << 20
+
+
+def society_workload():
+    """The standard 60-node benchmark society (same seed as E1–E5)."""
+    return get_workload("society", seed=BENCH_SEED, graph_name="society-60")
+
+
+def memory_budget(num_nodes: int, chunk: int, backend: str) -> int:
+    """The peak-allocation bound the streaming run must stay under.
+
+    One resident chunk costs ``dense_trace_bytes(n, chunk)``; the builder,
+    the per-chunk index arrays and the accumulators are worth a few more
+    chunk-multiples; the graph, schedule and interpreter noise a fixed
+    floor.  The budget is deliberately generous — the point is that it is a
+    function of the *chunk*, not of the horizon.
+    """
+    return 10 * dense_trace_bytes(num_nodes, chunk, backend) + 48 * MIB
+
+
+def equivalence_check(graph, algorithm: str, backend: str, chunk: int):
+    """Assert dense and stream runs agree report-for-report."""
+    horizon = EQUIVALENCE_HORIZON
+    dense = run_scheduler(
+        get_scheduler(algorithm), graph, horizon=horizon, seed=1,
+        backend=backend, horizon_mode="dense",
+    )
+    stream = run_scheduler(
+        get_scheduler(algorithm), graph, horizon=horizon, seed=1,
+        backend=backend, horizon_mode="stream", chunk=chunk,
+    )
+    assert dense.horizon_mode == "dense" and stream.horizon_mode == "stream"
+    if stream.report.summary() != dense.report.summary():
+        raise AssertionError(
+            f"stream diverges from dense at horizon {horizon}: "
+            f"{stream.report.summary()} != {dense.report.summary()}"
+        )
+    assert stream.report.muls == dense.report.muls
+    assert stream.report.periods == dense.report.periods
+    assert stream.validation.ok == dense.validation.ok
+    assert stream.bound_satisfied == dense.bound_satisfied
+    return horizon
+
+
+def streaming_run(graph, algorithm: str, horizon: int, chunk: int, backend: str):
+    """The headline run: evaluate + validate at ``horizon`` under tracemalloc.
+
+    Returns one ``BENCH_stream.json`` record.  Raises when the run is not
+    actually streamed, is illegal, misses its bound, or exceeds the
+    chunk-derived memory budget.
+    """
+    scheduler = get_scheduler(algorithm)
+    budget = memory_budget(graph.num_nodes(), chunk, backend)
+    dense_bytes = dense_trace_bytes(graph.num_nodes(), horizon, backend)
+
+    tracemalloc.start()
+    start = time.perf_counter()
+    outcome = run_scheduler(
+        scheduler, graph, horizon=horizon, seed=1,
+        backend=backend, horizon_mode="stream", chunk=chunk,
+    )
+    seconds = time.perf_counter() - start
+    _, peak = tracemalloc.get_traced_memory()
+    tracemalloc.stop()
+
+    assert outcome.horizon_mode == "stream"
+    assert outcome.validation.ok, "streamed validation found violations"
+    assert outcome.bound_satisfied, "streamed run misses the scheduler's bound"
+    if peak > budget:
+        raise AssertionError(
+            f"peak traced memory {peak / MIB:.1f} MiB exceeds the chunk budget "
+            f"{budget / MIB:.1f} MiB (chunk={chunk}, n={graph.num_nodes()})"
+        )
+    if horizon >= 10_000_000 and peak * 4 > dense_bytes:
+        raise AssertionError(
+            f"streaming saved less than 4x over dense ({peak} vs {dense_bytes} bytes)"
+        )
+    return bench_record(
+        "stream_measure_stage",
+        horizon,
+        seconds,
+        backend,
+        workload=graph.name,
+        scheduler=algorithm,
+        horizon_mode="stream",
+        chunk=chunk,
+        num_chunks=-(-horizon // chunk),
+        peak_traced_bytes=int(peak),
+        budget_bytes=int(budget),
+        dense_estimate_bytes=int(dense_bytes),
+        dense_to_peak_ratio=round(dense_bytes / peak, 2) if peak else None,
+        max_mul=int(outcome.report.max_mul),
+        legal=1.0,
+        bound_satisfied=1.0,
+        build_seconds=outcome.build_seconds,
+        measure_seconds=outcome.measure_seconds,
+    )
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true",
+                        help=f"horizon {QUICK_HORIZON:,} instead of {FULL_HORIZON:,} (CI)")
+    parser.add_argument("--horizon", type=int, default=None,
+                        help="override the streamed horizon")
+    parser.add_argument("--chunk", type=int, default=DEFAULT_CHUNK,
+                        help=f"streaming chunk width (default {DEFAULT_CHUNK})")
+    parser.add_argument("--backend", default="auto", choices=["auto", "numpy", "bitmask"])
+    parser.add_argument("--algorithm", default="degree-periodic",
+                        help="registered scheduler (default: degree-periodic, perfectly periodic)")
+    args = parser.parse_args(argv)
+
+    backend = resolve_backend(args.backend)
+    horizon = args.horizon or (QUICK_HORIZON if args.quick else FULL_HORIZON)
+    if backend == "bitmask" and horizon > 10_000_000:
+        print(
+            f"note: backend 'bitmask' walks appearances in pure Python; "
+            f"horizon {horizon:,} will be very slow (use --backend numpy)",
+            file=sys.stderr,
+        )
+    graph = society_workload()
+
+    eq_horizon = equivalence_check(graph, args.algorithm, backend, args.chunk)
+    print(f"dense == stream at horizon {eq_horizon:,}: reports identical")
+
+    record = streaming_run(graph, args.algorithm, horizon, args.chunk, backend)
+    print_table(
+        f"E14 streaming trace (backend {backend}, {graph.name} × {args.algorithm})",
+        ["horizon", "chunk", "chunks", "seconds", "peak MiB", "budget MiB", "dense MiB", "saving"],
+        [[
+            f"{record['horizon']:,}",
+            record["chunk"],
+            record["num_chunks"],
+            round(record["seconds"], 2),
+            round(record["peak_traced_bytes"] / MIB, 1),
+            round(record["budget_bytes"] / MIB, 1),
+            round(record["dense_estimate_bytes"] / MIB, 1),
+            f"{record['dense_to_peak_ratio']}x",
+        ]],
+    )
+
+    path = write_bench_json(
+        "stream",
+        [record],
+        meta={
+            "quick": args.quick,
+            "equivalence_horizon": eq_horizon,
+            "workload_nodes": graph.num_nodes(),
+            "workload_edges": graph.num_edges(),
+        },
+    )
+    print(f"wrote {path}")
+    return 0
+
+
+# ---------------------------------------------------------------------------
+# pytest entry point (explicit file runs; sized like --quick)
+# ---------------------------------------------------------------------------
+
+def test_e14_stream_bounded_memory():
+    graph = society_workload()
+    backend = resolve_backend("auto")
+    chunk = 1 << 16
+    equivalence_check(graph, "degree-periodic", backend, chunk)
+    record = streaming_run(graph, "degree-periodic", 500_000, chunk, backend)
+    assert record["peak_traced_bytes"] <= record["budget_bytes"]
+
+
+if __name__ == "__main__":
+    sys.exit(main())

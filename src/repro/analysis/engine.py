@@ -3,9 +3,10 @@
 The layer between *one* scheduler×graph run (:mod:`repro.analysis.runner`)
 and a whole empirical campaign.  An :class:`ExperimentSpec` is pure data —
 named workloads (resolved through :mod:`repro.graphs.suites`), registered
-schedulers, a parameter grid, seeds, a :class:`HorizonPolicy` and a trace
-backend — and an :class:`ExperimentEngine` executes its cartesian product of
-cells with pluggable executors:
+schedulers, a parameter grid, seeds, a :class:`HorizonPolicy`, a trace
+backend and a horizon representation (``horizon_mode``/``chunk``, see
+:mod:`repro.core.trace`) — and an :class:`ExperimentEngine` executes its
+cartesian product of cells with pluggable executors:
 
 * ``jobs=1`` — in-process serial loop (no pool overhead);
 * ``jobs=N`` — :class:`concurrent.futures.ProcessPoolExecutor` fan-out.
@@ -47,6 +48,7 @@ from typing import (
 
 from repro.analysis.records import ExperimentRecord, ResultSet
 from repro.core.problem import ConflictGraph
+from repro.core.trace import HORIZON_MODES
 from repro.graphs.suites import expand_workload_names, get_workload
 from repro.utils.logging import get_logger
 from repro.utils.rng import derive_seed
@@ -69,7 +71,9 @@ TIMING_METRICS = ("build_seconds", "measure_seconds")
 
 #: record params the engine stamps on every cell; grid keys must not shadow
 #: them or the swept values would be silently clobbered in the output.
-RESERVED_PARAMS = frozenset({"horizon", "n", "backend", "seed", "cell_seed", "cell_id"})
+RESERVED_PARAMS = frozenset(
+    {"horizon", "n", "backend", "seed", "cell_seed", "cell_id", "horizon_mode"}
+)
 
 
 # ---------------------------------------------------------------------------
@@ -92,6 +96,10 @@ class HorizonPolicy:
     degree rule first, then (uncapped) extension so a claimed per-node bound
     can actually be witnessed twice.  ``explicit`` short-circuits everything
     — a spec with a fixed horizon evaluates every cell over that horizon.
+
+    The policy decides how *long* to observe; how the observation is
+    *represented* (dense matrix vs. streamed chunks) is the spec's
+    ``horizon_mode``/``chunk`` — see :mod:`repro.core.trace`.
     """
 
     multiplier: int = 4
@@ -186,6 +194,11 @@ class ExperimentSpec:
     backend: str = "auto"
     certify_bound: bool = True
     workload_params: Mapping[str, object] = field(default_factory=dict)
+    #: horizon representation for every cell: "dense" / "stream" / "auto"
+    #: (auto streams only past the repro.core.trace.AUTO_STREAM_BYTES line).
+    horizon_mode: str = "auto"
+    #: streaming chunk width (None = repro.core.trace.DEFAULT_CHUNK).
+    chunk: Optional[int] = None
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "workloads", tuple(self.workloads))
@@ -212,6 +225,16 @@ class ExperimentSpec:
             raise ValueError("spec needs at least one algorithm")
         if not self.seeds:
             raise ValueError("spec needs at least one seed")
+        if self.horizon_mode not in HORIZON_MODES:
+            raise ValueError(
+                f"unknown horizon_mode {self.horizon_mode!r}; expected one of {HORIZON_MODES}"
+            )
+        if self.backend == "sets" and self.horizon_mode == "stream":
+            raise ValueError(
+                "backend='sets' (the frozenset reference) has no streaming mode"
+            )
+        if self.chunk is not None and int(self.chunk) < 1:
+            raise ValueError(f"chunk width must be >= 1, got {self.chunk!r}")
 
     def resolved_workloads(self, extra: Sequence[str] = ()) -> List[str]:
         """Workload names with glob patterns expanded."""
@@ -236,6 +259,8 @@ class ExperimentSpec:
                                 backend=self.backend,
                                 certify_bound=self.certify_bound,
                                 workload_params=dict(self.workload_params),
+                                horizon_mode=self.horizon_mode,
+                                chunk=self.chunk,
                             )
                         )
         return out
@@ -254,6 +279,8 @@ class ExperimentSpec:
             "backend": self.backend,
             "certify_bound": self.certify_bound,
             "workload_params": dict(self.workload_params),
+            "horizon_mode": self.horizon_mode,
+            "chunk": self.chunk,
         }
 
     @classmethod
@@ -311,6 +338,8 @@ class ExperimentCell:
     backend: str = "auto"
     certify_bound: bool = True
     workload_params: Mapping[str, object] = field(default_factory=dict)
+    horizon_mode: str = "auto"
+    chunk: Optional[int] = None
     #: content hash of an ad-hoc (non-registry) graph; None for registry
     #: workloads, whose content is already determined by name + params.
     graph_key: Optional[str] = None
@@ -335,24 +364,29 @@ class ExperimentCell:
         Hashes the cell identity *and* the execution knobs that change the
         measured numbers (horizon, policy, backend, certification), so a
         resumed run only skips cells that were produced by an equivalent
-        spec.
+        spec.  The horizon representation is hashed only when it deviates
+        from the defaults: dense and stream produce identical records, so
+        ``horizon_mode="auto"`` keeps the cell ids (and therefore resumable
+        sinks) of runs recorded before streaming existed.
         """
-        payload = json.dumps(
-            {
-                "experiment": self.experiment,
-                "workload": self.workload,
-                "algorithm": self.algorithm,
-                "params": dict(self.params),
-                "seed": self.seed,
-                "horizon": self.horizon,
-                "policy": self.policy.to_dict(),
-                "backend": self.backend,
-                "certify_bound": self.certify_bound,
-                "workload_params": dict(self.workload_params),
-                "graph_key": self.graph_key,
-            },
-            sort_keys=True,
-        )
+        identity: Dict[str, object] = {
+            "experiment": self.experiment,
+            "workload": self.workload,
+            "algorithm": self.algorithm,
+            "params": dict(self.params),
+            "seed": self.seed,
+            "horizon": self.horizon,
+            "policy": self.policy.to_dict(),
+            "backend": self.backend,
+            "certify_bound": self.certify_bound,
+            "workload_params": dict(self.workload_params),
+            "graph_key": self.graph_key,
+        }
+        if self.horizon_mode != "auto":
+            identity["horizon_mode"] = self.horizon_mode
+        if self.chunk is not None:
+            identity["chunk"] = self.chunk
+        payload = json.dumps(identity, sort_keys=True)
         return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:16]
 
     def describe(self) -> str:
@@ -400,6 +434,8 @@ def execute_cell(
         certify_bound=cell.certify_bound,
         backend=cell.backend,
         policy=cell.policy,
+        horizon_mode=cell.horizon_mode,
+        chunk=cell.chunk,
     )
     params: Dict[str, object] = dict(cell.params)
     params.update(
@@ -410,6 +446,7 @@ def execute_cell(
             "seed": cell.seed,
             "cell_seed": cell.cell_seed(),
             "cell_id": cell.cell_id(),
+            "horizon_mode": outcome.horizon_mode,
         }
     )
     return ExperimentRecord(

@@ -53,6 +53,9 @@ class RunOutcome:
     #: wall time of the whole measurement stage: trace construction plus the
     #: metric suite plus all validation checks (they share the one trace).
     measure_seconds: float = 0.0
+    #: horizon representation actually used: "dense", "stream" or "sets"
+    #: (the frozenset reference has no streaming mode).
+    horizon_mode: str = "dense"
 
     def metrics(self) -> Dict[str, float]:
         """Flat metric dictionary (report summary + construction cost + validity)."""
@@ -92,15 +95,21 @@ def run_scheduler(
     skip_isolated: bool = True,
     backend: str = "auto",
     policy: Optional[HorizonPolicy] = None,
+    horizon_mode: str = "auto",
+    chunk: Optional[int] = None,
 ) -> RunOutcome:
     """Build, evaluate and validate one scheduler on one graph.
 
     ``backend`` selects the trace engine (``"auto"``/``"numpy"``/
     ``"bitmask"``/``"sets"``); on the matrix engines the occupancy trace is
     built exactly once and shared by the metric suite and the validator.
-    When ``horizon`` is ``None`` the observation window comes from
-    ``policy`` (default :class:`~repro.analysis.engine.HorizonPolicy`),
-    extended so any claimed per-node bound can be witnessed.
+    ``horizon_mode`` selects the horizon representation (``"dense"`` one
+    n × horizon matrix, ``"stream"`` fixed-width chunks of ``chunk``
+    holidays at ``O(n × chunk)`` memory, ``"auto"`` dense until the matrix
+    would exceed :data:`repro.core.trace.AUTO_STREAM_BYTES`).  When
+    ``horizon`` is ``None`` the observation window comes from ``policy``
+    (default :class:`~repro.analysis.engine.HorizonPolicy`), extended so
+    any claimed per-node bound can be witnessed.
     """
     start = time.perf_counter()
     schedule = scheduler.build(graph, seed=seed)
@@ -111,7 +120,7 @@ def run_scheduler(
         horizon = (policy or HorizonPolicy()).resolve(graph, bound_fn)
 
     start = time.perf_counter()
-    trace = build_trace(schedule, graph, horizon, backend=backend)
+    trace = build_trace(schedule, graph, horizon, backend=backend, mode=horizon_mode, chunk=chunk)
     report = evaluate_schedule(schedule, graph, horizon, name=scheduler.name, backend=backend, trace=trace)
     validation = validate_schedule(
         schedule,
@@ -140,6 +149,7 @@ def run_scheduler(
         bound_satisfied=bound_satisfied,
         backend=backend,
         measure_seconds=measure_seconds,
+        horizon_mode=getattr(trace, "mode", "sets"),
     )
 
 
@@ -151,6 +161,8 @@ def compare_schedulers(
     seed: int = 0,
     certify_bound: bool = True,
     backend: str = "auto",
+    horizon_mode: str = "auto",
+    chunk: Optional[int] = None,
     jobs: int = 1,
     sink: Optional[Union[str, Path]] = None,
     resume: bool = False,
@@ -178,6 +190,8 @@ def compare_schedulers(
         horizon=horizon,
         backend=backend,
         certify_bound=certify_bound,
+        horizon_mode=horizon_mode,
+        chunk=chunk,
     )
     engine = ExperimentEngine(jobs=jobs, sink=sink, resume=resume)
     return engine.run(spec, workloads=workloads)

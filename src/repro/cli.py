@@ -11,7 +11,8 @@ Installed as ``repro-holiday`` (see ``setup.py``); also runnable as
     Build a schedule for a graph file with any registered algorithm, print a
     holiday calendar and per-family statistics, optionally export the
     calendar as CSV and (for perfectly periodic algorithms) the schedule
-    itself as JSON.
+    itself as JSON.  ``--horizon-mode stream`` evaluates arbitrarily long
+    horizons (10⁸ and beyond) in fixed-width chunks at bounded memory.
 
 ``compare``
     Run several algorithms over the same graph and print the comparison
@@ -101,6 +102,38 @@ def _check_backend(backend: str) -> str:
     return backend
 
 
+def _check_horizon_mode(backend: str, mode: str, chunk: Optional[int]) -> str:
+    """Validate the --horizon-mode/--chunk combination up front."""
+    if backend == "sets" and mode == "stream":
+        raise SystemExit(
+            "error: --backend sets (the frozenset reference) has no streaming mode; "
+            "use --backend auto/numpy/bitmask with --horizon-mode stream"
+        )
+    if chunk is not None and chunk < 1:
+        raise SystemExit(f"error: --chunk must be >= 1, got {chunk}")
+    return mode
+
+
+def _add_horizon_mode_flags(parser: argparse.ArgumentParser, default: Optional[str] = "auto") -> None:
+    parser.add_argument(
+        "--horizon-mode",
+        default=default,
+        choices=["auto", "dense", "stream"],
+        help=(
+            "horizon representation: one dense n × horizon matrix, streamed "
+            "fixed-width chunks at O(n × chunk) memory, or auto (dense until "
+            "the matrix would exceed ~256 MiB)"
+        ),
+    )
+    parser.add_argument(
+        "--chunk",
+        type=int,
+        default=None,
+        metavar="W",
+        help="streaming chunk width in holidays (default: 262144)",
+    )
+
+
 # ---------------------------------------------------------------------------
 # subcommand implementations
 # ---------------------------------------------------------------------------
@@ -137,7 +170,13 @@ def cmd_schedule(args: argparse.Namespace) -> int:
     graph = _load_graph(args.graph)
     scheduler = get_scheduler(args.algorithm)
     outcome = run_scheduler(
-        scheduler, graph, horizon=args.horizon, seed=args.seed, backend=_check_backend(args.backend)
+        scheduler,
+        graph,
+        horizon=args.horizon,
+        seed=args.seed,
+        backend=_check_backend(args.backend),
+        horizon_mode=_check_horizon_mode(args.backend, args.horizon_mode, args.chunk),
+        chunk=args.chunk,
     )
     schedule = outcome.schedule
 
@@ -193,6 +232,8 @@ def cmd_compare(args: argparse.Namespace) -> int:
         horizon=args.horizon,
         seed=args.seed,
         backend=_check_backend(args.backend),
+        horizon_mode=_check_horizon_mode(args.backend, args.horizon_mode, args.chunk),
+        chunk=args.chunk,
     )
     metrics = ["max_mul", "mean_mul", "max_norm_gap", "mean_norm_gap", "fairness"]
     rows = [[r.algorithm] + [r.metrics.get(m) for m in metrics] for r in results]
@@ -271,6 +312,19 @@ def cmd_experiment(args: argparse.Namespace) -> int:
         print(render_table(["workload"], [[w] for w in available_workloads()], title="registered workloads"))
         print()
         print(render_table(["algorithm"], [[a] for a in available_schedulers()], title="registered algorithms"))
+        try:  # the E-suite ships next to the source tree, not in the package
+            from benchmarks.common import BENCH_SUITE
+        except ImportError:
+            BENCH_SUITE = None
+        if BENCH_SUITE:
+            print()
+            print(
+                render_table(
+                    ["benchmark", "description"],
+                    [[name, desc] for name, desc in BENCH_SUITE.items()],
+                    title="benchmark suite (python benchmarks/<name>.py)",
+                )
+            )
         return 0
 
     if args.spec:
@@ -292,6 +346,10 @@ def cmd_experiment(args: argparse.Namespace) -> int:
             overrides["horizon"] = args.horizon
         if args.backend is not None:
             overrides["backend"] = _check_backend(args.backend)
+        if args.horizon_mode is not None:
+            overrides["horizon_mode"] = args.horizon_mode
+        if args.chunk is not None:
+            overrides["chunk"] = args.chunk
         if args.grid:
             overrides["grid"] = _parse_grid(args.grid)
         if overrides:
@@ -311,6 +369,8 @@ def cmd_experiment(args: argparse.Namespace) -> int:
                 seeds=tuple(args.seeds if args.seeds is not None else [0]),
                 horizon=args.horizon,
                 backend=_check_backend(args.backend or "auto"),
+                horizon_mode=args.horizon_mode or "auto",
+                chunk=args.chunk,
             )
         except ValueError as exc:
             raise SystemExit(f"error: {exc}")
@@ -388,6 +448,7 @@ def build_parser() -> argparse.ArgumentParser:
         choices=["auto", "numpy", "bitmask", "sets"],
         help="trace engine: bit-parallel matrix (numpy/bitmask, auto-selected) or the frozenset reference",
     )
+    _add_horizon_mode_flags(sch)
     sch.add_argument("--calendar-years", type=int, default=12, help="years printed to the terminal")
     sch.add_argument("--calendar-csv", help="write the full calendar to this CSV file")
     sch.add_argument("--save-schedule", help="write the periodic schedule JSON to this file")
@@ -404,6 +465,7 @@ def build_parser() -> argparse.ArgumentParser:
         choices=["auto", "numpy", "bitmask", "sets"],
         help="trace engine: bit-parallel matrix (numpy/bitmask, auto-selected) or the frozenset reference",
     )
+    _add_horizon_mode_flags(cmp_)
     cmp_.add_argument("--seed", type=int, default=0)
     cmp_.set_defaults(func=cmd_compare)
 
@@ -446,6 +508,7 @@ def build_parser() -> argparse.ArgumentParser:
         choices=["auto", "numpy", "bitmask", "sets"],
         help="trace engine backend (default: auto)",
     )
+    _add_horizon_mode_flags(exp, default=None)  # None = "not given", overridable by --spec
     exp.add_argument("--jobs", type=int, default=1, help="worker processes (default: 1, serial)")
     exp.add_argument("--output", help="stream records to this JSONL file as cells complete")
     exp.add_argument(

@@ -28,6 +28,16 @@ the architecture notes):
 
 Every entry point also accepts a pre-built ``trace=`` so a caller (e.g. the
 experiment runner) can share a single matrix between metrics and validation.
+
+Orthogonal to the backend, ``mode`` selects the horizon *representation*:
+``"dense"`` materialises one n × horizon :class:`~repro.core.trace.TraceMatrix`,
+``"stream"`` evaluates fixed-width chunks through
+:class:`~repro.core.trace.StreamedTrace` (gap/run-length state carried across
+chunk boundaries, ``O(n × chunk)`` resident memory), and ``"auto"`` — the
+default — streams only when the dense matrix would exceed
+:data:`repro.core.trace.AUTO_STREAM_BYTES`, so small-horizon results are
+bit-identical to the historical dense path.  Both representations produce
+exactly equal metrics (asserted by ``tests/core/test_stream.py``).
 """
 
 from __future__ import annotations
@@ -38,7 +48,13 @@ from typing import Dict, FrozenSet, Iterable, List, Mapping, Optional, Sequence,
 
 from repro.core.problem import ConflictGraph, Node
 from repro.core.schedule import Schedule
-from repro.core.trace import TraceMatrix, materialize_prefix
+from repro.core.trace import (
+    StreamedTrace,
+    TraceMatrix,
+    materialize_prefix,
+    resolve_backend,
+    resolve_horizon_mode,
+)
 
 __all__ = [
     "HappinessTrace",
@@ -56,19 +72,28 @@ __all__ = [
 
 ScheduleLike = Union[Schedule, Sequence[Iterable[Node]]]
 
+#: what the trace-engine entry points accept and return: the dense matrix or
+#: its streaming counterpart — they expose the same query API.
+TraceLike = Union[TraceMatrix, StreamedTrace]
+
 
 def build_trace(
     schedule: ScheduleLike,
     graph: ConflictGraph,
     horizon: int,
     backend: str = "auto",
-    trace: Optional[TraceMatrix] = None,
-) -> Optional[TraceMatrix]:
+    trace: Optional[TraceLike] = None,
+    mode: str = "auto",
+    chunk: Optional[int] = None,
+) -> Optional[TraceLike]:
     """Resolve the evaluation engine for one metric call.
 
-    Returns a :class:`~repro.core.trace.TraceMatrix` (the given one when the
-    caller already built it, a fresh one otherwise), or ``None`` when
-    ``backend="sets"`` selects the frozenset reference path.
+    Returns a :class:`~repro.core.trace.TraceMatrix` or
+    :class:`~repro.core.trace.StreamedTrace` (the given one when the caller
+    already built it, a fresh one otherwise), or ``None`` when
+    ``backend="sets"`` selects the frozenset reference path.  ``mode`` picks
+    the representation (``"dense"``/``"stream"``/``"auto"`` by estimated
+    memory); ``chunk`` overrides the streaming chunk width.
     """
     if trace is not None:
         if backend == "sets":
@@ -87,7 +112,15 @@ def build_trace(
             )
         return trace
     if backend == "sets":
+        if mode == "stream":
+            raise ValueError(
+                "backend='sets' selects the frozenset reference engine, which has "
+                "no streaming mode; use backend='auto'/'numpy'/'bitmask'"
+            )
         return None
+    resolved = resolve_backend(backend)
+    if resolve_horizon_mode(mode, graph.num_nodes(), horizon, resolved) == "stream":
+        return StreamedTrace(schedule, graph, horizon, backend=resolved, chunk=chunk)
     return TraceMatrix.from_schedule(schedule, graph, horizon, backend=backend)
 
 
@@ -178,10 +211,12 @@ def max_unhappiness_lengths(
     graph: ConflictGraph,
     horizon: int,
     backend: str = "auto",
-    trace: Optional[TraceMatrix] = None,
+    trace: Optional[TraceLike] = None,
+    mode: str = "auto",
+    chunk: Optional[int] = None,
 ) -> Dict[Node, int]:
     """``{node: mul(node)}`` over the first ``horizon`` holidays."""
-    matrix = build_trace(schedule, graph, horizon, backend, trace)
+    matrix = build_trace(schedule, graph, horizon, backend, trace, mode, chunk)
     if matrix is not None:
         return matrix.muls()
     reference = HappinessTrace.from_schedule(schedule, graph, horizon)
@@ -193,10 +228,12 @@ def unhappiness_gaps(
     graph: ConflictGraph,
     horizon: int,
     backend: str = "auto",
-    trace: Optional[TraceMatrix] = None,
+    trace: Optional[TraceLike] = None,
+    mode: str = "auto",
+    chunk: Optional[int] = None,
 ) -> Dict[Node, List[int]]:
     """``{node: list of unhappiness interval lengths}``."""
-    matrix = build_trace(schedule, graph, horizon, backend, trace)
+    matrix = build_trace(schedule, graph, horizon, backend, trace, mode, chunk)
     if matrix is not None:
         return matrix.all_gaps()
     reference = HappinessTrace.from_schedule(schedule, graph, horizon)
@@ -208,10 +245,12 @@ def observed_periods(
     graph: ConflictGraph,
     horizon: int,
     backend: str = "auto",
-    trace: Optional[TraceMatrix] = None,
+    trace: Optional[TraceLike] = None,
+    mode: str = "auto",
+    chunk: Optional[int] = None,
 ) -> Dict[Node, Optional[int]]:
     """``{node: empirically observed period or None}``."""
-    matrix = build_trace(schedule, graph, horizon, backend, trace)
+    matrix = build_trace(schedule, graph, horizon, backend, trace, mode, chunk)
     if matrix is not None:
         return matrix.observed_periods()
     reference = HappinessTrace.from_schedule(schedule, graph, horizon)
@@ -223,10 +262,12 @@ def happiness_rates(
     graph: ConflictGraph,
     horizon: int,
     backend: str = "auto",
-    trace: Optional[TraceMatrix] = None,
+    trace: Optional[TraceLike] = None,
+    mode: str = "auto",
+    chunk: Optional[int] = None,
 ) -> Dict[Node, float]:
     """``{node: fraction of holidays hosted}``."""
-    matrix = build_trace(schedule, graph, horizon, backend, trace)
+    matrix = build_trace(schedule, graph, horizon, backend, trace, mode, chunk)
     if matrix is not None:
         return matrix.happiness_rates()
     reference = HappinessTrace.from_schedule(schedule, graph, horizon)
@@ -343,18 +384,22 @@ def evaluate_schedule(
     horizon: int,
     name: str = "schedule",
     backend: str = "auto",
-    trace: Optional[TraceMatrix] = None,
+    trace: Optional[TraceLike] = None,
+    mode: str = "auto",
+    chunk: Optional[int] = None,
 ) -> ScheduleReport:
     """Run the full metric suite over a schedule prefix and return a report.
 
     ``backend`` selects the evaluation engine (``"auto"``/``"numpy"``/
     ``"bitmask"`` for the bit-parallel trace, ``"sets"`` for the frozenset
-    reference); passing a pre-built ``trace`` skips matrix construction
-    entirely so the runner can share one matrix with the validator.  Both
-    engines produce identical reports — this is enforced by the differential
-    tests in ``tests/core/test_trace.py``.
+    reference) and ``mode`` the horizon representation (``"dense"``/
+    ``"stream"``/``"auto"``); passing a pre-built ``trace`` skips trace
+    construction entirely so the runner can share one engine with the
+    validator.  All engines produce identical reports — this is enforced by
+    the differential tests in ``tests/core/test_trace.py`` and
+    ``tests/core/test_stream.py``.
     """
-    matrix = build_trace(schedule, graph, horizon, backend, trace)
+    matrix = build_trace(schedule, graph, horizon, backend, trace, mode, chunk)
     if matrix is not None:
         muls = matrix.muls()
         periods = matrix.observed_periods()

@@ -28,10 +28,20 @@ Both backends expose identical query methods and are differentially tested
 against the ``frozenset`` reference (``backend="sets"`` throughout
 :mod:`repro.core.metrics`), which remains the semantic ground truth.
 
-Memory trade-off: a numpy trace costs ``n × horizon`` bytes (numpy stores one
-byte per bool) and a bitmask trace ``n × horizon / 8`` bytes, so a 60-node
-workload at horizon 10⁶ is ~60 MB / ~7.5 MB respectively — the engine is
-deliberately dense because every consumer reads every cell at least once.
+Memory trade-off — dense vs. stream: a dense numpy trace costs ``n ×
+horizon`` bytes (numpy stores one byte per bool) and a dense bitmask trace
+``n × horizon / 8`` bytes, so a 60-node workload at horizon 10⁶ is ~60 MB /
+~7.5 MB respectively; every consumer reads every cell at least once, so
+below that scale dense is the right call and remains the default.  Dense
+stops scaling around horizon 10⁷–10⁸ (the same 60-node workload at 10⁸
+would need ~6 GB), which is what the **streaming mode** removes:
+:class:`TraceStream` yields the same occupancy information as fixed-width
+:class:`TraceMatrix` chunks, and :class:`StreamedTrace` answers the full
+query API by carrying gap/run-length state across chunk boundaries — O(n ×
+chunk) resident bytes regardless of horizon.  ``horizon_mode="auto"``
+(:func:`resolve_horizon_mode`) picks dense below
+:data:`AUTO_STREAM_BYTES` and stream above it, so small-horizon numbers
+never move while 10⁸-holiday horizons stay bounded.
 
 Construction fast paths (see :meth:`TraceMatrix.from_schedule`):
 
@@ -44,12 +54,20 @@ Construction fast paths (see :meth:`TraceMatrix.from_schedule`):
 * everything else (including online :class:`~repro.core.schedule.GeneratorSchedule`
   runs and raw sequences of sets) — columns are filled from the materialised
   prefix in a single batched pass.
+
+The streaming fast paths mirror these: periodic and cyclic schedules tile
+straight into each chunk from the assignment table / one materialised cycle
+(no prefix is ever built), while generic schedules materialise one chunk of
+happy sets at a time.  Caveat: :class:`~repro.core.schedule.GeneratorSchedule`
+memoises every holiday it has produced (its future depends on its past), so
+streaming bounds the *trace* memory but not a generator-backed schedule's own
+cache — the unbounded-horizon fast paths are the periodic/cyclic ones.
 """
 
 from __future__ import annotations
 
 from itertools import repeat
-from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Tuple, Union
+from typing import Dict, FrozenSet, Iterable, Iterator, List, Optional, Sequence, Tuple, Union
 
 from repro.core.problem import ConflictGraph, Node
 from repro.core.schedule import ExplicitSchedule, PeriodicSchedule, Schedule
@@ -61,10 +79,17 @@ except ImportError:  # pragma: no cover - exercised on minimal installs
 
 __all__ = [
     "TraceMatrix",
+    "TraceStream",
+    "StreamedTrace",
     "BACKENDS",
+    "HORIZON_MODES",
+    "DEFAULT_CHUNK",
+    "AUTO_STREAM_BYTES",
+    "dense_trace_bytes",
     "materialize_prefix",
     "numpy_available",
     "resolve_backend",
+    "resolve_horizon_mode",
 ]
 
 #: Backends accepted by :func:`resolve_backend`.  ``"sets"`` is *not* a
@@ -72,7 +97,43 @@ __all__ = [
 #: handled by the callers in :mod:`repro.core.metrics` / ``validation``.
 BACKENDS = ("auto", "numpy", "bitmask")
 
+#: Horizon representations accepted by :func:`resolve_horizon_mode`:
+#: ``dense`` materialises one n × horizon matrix, ``stream`` evaluates
+#: fixed-width chunks with carried state, ``auto`` picks by estimated size.
+HORIZON_MODES = ("auto", "dense", "stream")
+
+#: Default streaming chunk width (holidays per block).  At 60 nodes one
+#: numpy chunk is ~15 MB — large enough to amortise per-chunk Python
+#: overhead, small enough that a handful of live blocks stay cache-friendly.
+DEFAULT_CHUNK = 1 << 18
+
+#: ``auto`` switches from dense to stream when the dense matrix would exceed
+#: this many bytes (256 MiB).  Every horizon the HorizonPolicy can pick on
+#: its own stays far below it, so default runs never change representation.
+AUTO_STREAM_BYTES = 1 << 28
+
 ScheduleOrSets = Union[Schedule, Sequence[Iterable[Node]]]
+
+
+def dense_trace_bytes(num_nodes: int, horizon: int, backend: str) -> int:
+    """Estimated resident size of a dense trace (one byte per cell under
+    numpy, one bit per cell under bitmask)."""
+    cells = num_nodes * horizon
+    return cells if backend == "numpy" else cells // 8
+
+
+def resolve_horizon_mode(mode: str, num_nodes: int, horizon: int, backend: str) -> str:
+    """Normalise a horizon mode, resolving ``"auto"`` by estimated memory.
+
+    ``backend`` must already be resolved (``"numpy"`` or ``"bitmask"``).
+    """
+    if mode not in HORIZON_MODES:
+        raise ValueError(f"unknown horizon mode {mode!r}; expected one of {HORIZON_MODES}")
+    if mode == "auto":
+        if dense_trace_bytes(num_nodes, horizon, backend) > AUTO_STREAM_BYTES:
+            return "stream"
+        return "dense"
+    return mode
 
 
 def numpy_available() -> bool:
@@ -124,6 +185,9 @@ class TraceMatrix:
             validate, possible for raw sequences; consumed by the validator.
     """
 
+    #: representation tag, mirrored by :class:`StreamedTrace` (``"stream"``).
+    mode = "dense"
+
     def __init__(
         self,
         graph: ConflictGraph,
@@ -171,13 +235,22 @@ class TraceMatrix:
 
     @classmethod
     def _from_periodic(
-        cls, schedule: PeriodicSchedule, graph: ConflictGraph, horizon: int, backend: str
+        cls,
+        schedule: PeriodicSchedule,
+        graph: ConflictGraph,
+        horizon: int,
+        backend: str,
+        start: int = 1,
     ) -> "TraceMatrix":
         """Vectorized build from a ``{node: (period, phase)}`` table.
 
         Nodes are grouped by period so each distinct period τ is expanded
         exactly once — one ``arange % τ`` under numpy, one doubling-fill per
         (τ, phase) under bitmask.  No per-holiday set is constructed.
+
+        ``start`` shifts the observation window: column ``j`` covers holiday
+        ``start + j``, which is how :class:`TraceStream` tiles the table
+        straight into each chunk without materialising any prefix.
         """
         order = graph.nodes()
         by_period: Dict[int, List[Tuple[int, int]]] = {}
@@ -187,7 +260,7 @@ class TraceMatrix:
 
         if backend == "numpy":
             matrix = _np.zeros((len(order), horizon), dtype=_np.bool_)
-            holidays = _np.arange(1, horizon + 1, dtype=_np.int64)
+            holidays = _np.arange(start, start + horizon, dtype=_np.int64)
             for period, members in by_period.items():
                 mod = holidays % period
                 rows = _np.fromiter((i for i, _ in members), dtype=_np.intp, count=len(members))
@@ -201,7 +274,7 @@ class TraceMatrix:
             for i, phase in members:
                 key = (period, phase)
                 if key not in pattern_cache:
-                    pattern_cache[key] = _periodic_bitmask(period, phase, horizon)
+                    pattern_cache[key] = _periodic_bitmask_window(period, phase, start, horizon)
                 bits[i] = pattern_cache[key]
         return cls(graph, horizon, backend, rows_bitmask=bits)
 
@@ -338,6 +411,20 @@ class TraceMatrix:
         times = self.appearances(node)
         return [b - a for a, b in zip(times, times[1:])]
 
+    def distinct_appearance_diffs(self, node: Node) -> List[int]:
+        """Sorted distinct inter-appearance differences of ``node``.
+
+        This is the summary the periodicity certifier needs — it never
+        requires the full O(appearances) diff list, which is what lets the
+        streaming engine answer the same question at bounded memory.
+        """
+        if self.backend == "numpy":
+            idx = _np.flatnonzero(self._matrix[self._index[node]])
+            if idx.size < 2:
+                return []
+            return _np.unique(_np.diff(idx)).tolist()
+        return sorted(set(self.appearance_diffs(node)))
+
     def observed_period(self, node: Node) -> Optional[int]:
         """The constant inter-appearance difference, or None (matches the
         reference: fewer than two appearances is "insufficient evidence")."""
@@ -410,6 +497,438 @@ class TraceMatrix:
         return out
 
 
+class TraceStream:
+    """Chunked view of a schedule's occupancy trace: ``(start, TraceMatrix)``
+    blocks of at most ``chunk`` holidays, covering ``1..horizon`` in order.
+
+    Each yielded block is an ordinary :class:`TraceMatrix` whose *local*
+    column ``j`` (holiday ``j + 1`` inside the block) covers *global*
+    holiday ``start + j``; ``block.unknown`` holidays are local too.  The
+    stream is re-iterable — every ``__iter__`` rebuilds blocks from the
+    schedule — and only one block is ever resident, so memory is
+    ``O(n × chunk)`` regardless of horizon.
+
+    Fast paths, chosen once at construction:
+
+    * :class:`~repro.core.schedule.PeriodicSchedule` (covering exactly the
+      graph's nodes) — every chunk comes straight from the ``(period,
+      phase)`` table shifted to the chunk's window; no prefix exists at any
+      point.
+    * cyclic :class:`~repro.core.schedule.ExplicitSchedule` — one cycle is
+      materialised once, then every chunk is a rotated tiling of it.
+    * everything else — one chunk of happy sets is materialised at a time
+      (for :class:`~repro.core.schedule.GeneratorSchedule` the schedule's
+      own memoisation still grows with the horizon; see the module notes).
+    """
+
+    def __init__(
+        self,
+        schedule: ScheduleOrSets,
+        graph: ConflictGraph,
+        horizon: int,
+        chunk: Optional[int] = None,
+        backend: str = "auto",
+    ) -> None:
+        if horizon < 1:
+            raise ValueError(f"horizon must be >= 1, got {horizon!r}")
+        self.chunk = DEFAULT_CHUNK if chunk is None else int(chunk)
+        if self.chunk < 1:
+            raise ValueError(f"chunk width must be >= 1, got {chunk!r}")
+        self.schedule = schedule
+        self.graph = graph
+        self.horizon = horizon
+        self.backend = resolve_backend(backend)
+        self._cycle: Optional[TraceMatrix] = None
+        if isinstance(schedule, PeriodicSchedule) and set(schedule.assignments) == set(graph.nodes()):
+            self._kind = "periodic"
+        elif isinstance(schedule, ExplicitSchedule) and schedule.is_periodic() and len(schedule) > 0:
+            self._kind = "cyclic"
+        else:
+            self._kind = "sets"
+            if not isinstance(schedule, Schedule) and len(schedule) < horizon:
+                raise ValueError(
+                    f"explicit sequence has only {len(schedule)} holidays, "
+                    f"requested horizon {horizon}"
+                )
+
+    def num_chunks(self) -> int:
+        """Number of blocks the stream yields."""
+        return -(-self.horizon // self.chunk)
+
+    def __iter__(self) -> Iterator[Tuple[int, TraceMatrix]]:
+        start = 1
+        while start <= self.horizon:
+            width = min(self.chunk, self.horizon - start + 1)
+            yield start, self.block(start, width)
+            start += width
+
+    def block(self, start: int, width: int) -> TraceMatrix:
+        """Build the single block covering holidays ``start..start+width-1``."""
+        if self._kind == "periodic":
+            return TraceMatrix._from_periodic(
+                self.schedule, self.graph, width, self.backend, start=start
+            )
+        if self._kind == "cyclic":
+            return self._cyclic_block(start, width)
+        return TraceMatrix._from_sets(
+            self._window_sets(start, width), self.graph, width, self.backend
+        )
+
+    def _window_sets(self, start: int, width: int) -> Sequence[FrozenSet[Node]]:
+        if isinstance(self.schedule, Schedule):
+            return self.schedule.prefix(width, start=start)
+        return [frozenset(s) for s in self.schedule[start - 1 : start - 1 + width]]
+
+    def _cycle_base(self) -> TraceMatrix:
+        """The one materialised cycle every cyclic chunk is tiled from."""
+        if self._cycle is None:
+            length = len(self.schedule)
+            cycle = [self.schedule.happy_set(t) for t in range(1, length + 1)]
+            self._cycle = TraceMatrix._from_sets(cycle, self.graph, length, self.backend)
+        return self._cycle
+
+    def _cyclic_block(self, start: int, width: int) -> TraceMatrix:
+        base = self._cycle_base()
+        length = base.horizon
+        offset = (start - 1) % length
+        unknown: List[Tuple[int, Node]] = []
+        for t0, p in base.unknown:
+            # occurrences of cycle holiday t0 within [start, start + width - 1]
+            t = t0 + max(0, -(-(start - t0) // length)) * length
+            while t <= start + width - 1:
+                unknown.append((t - start + 1, p))
+                t += length
+        unknown.sort(key=lambda pair: pair[0])
+        if self.backend == "numpy":
+            cols = (offset + _np.arange(width, dtype=_np.intp)) % length
+            block = _np.ascontiguousarray(base._matrix[:, cols])
+            return TraceMatrix(self.graph, width, self.backend, rows_numpy=block, unknown=unknown)
+        reps = -(-(offset + width) // length)
+        mask = (1 << width) - 1
+        bits = [(_repeat_bitmask(row, length, reps) >> offset) & mask for row in base._bits]
+        return TraceMatrix(self.graph, width, self.backend, rows_bitmask=bits, unknown=unknown)
+
+
+class _NodeStreamStats:
+    """Per-node run-length state carried across chunk boundaries."""
+
+    __slots__ = ("count", "first", "last", "max_diff", "diffs")
+
+    def __init__(self) -> None:
+        self.count = 0        # appearances seen so far
+        self.first = 0        # global holiday of the first appearance
+        self.last = 0         # global holiday of the latest appearance
+        self.max_diff = 0     # largest inter-appearance difference
+        self.diffs: set = set()  # distinct inter-appearance differences
+
+    def absorb(self, positions: Sequence[int]) -> None:
+        """Fold a chunk's (ascending, global) appearance holidays in."""
+        if not positions:
+            return
+        if self.count:
+            boundary = positions[0] - self.last
+            self.diffs.add(boundary)
+            if boundary > self.max_diff:
+                self.max_diff = boundary
+        else:
+            self.first = positions[0]
+        for a, b in zip(positions, positions[1:]):
+            d = b - a
+            self.diffs.add(d)
+            if d > self.max_diff:
+                self.max_diff = d
+        self.count += len(positions)
+        self.last = positions[-1]
+
+
+class StreamedTrace:
+    """Streaming counterpart of :class:`TraceMatrix`: same query API, chunked
+    evaluation, ``O(n × chunk)`` resident memory.
+
+    The first summary query triggers **one pass** over a
+    :class:`TraceStream`, accumulating per-node gap/run-length state
+    (:class:`_NodeStreamStats`) and per-edge collision holidays across chunk
+    boundaries; every summary query — ``muls``/``observed_periods``/
+    ``happiness_rates``/``edge_collisions``/``unknown`` — is then answered
+    from that cached state, so the metric suite and the validator share a
+    single pass exactly the way they share one dense matrix.
+
+    Queries that *return* per-appearance data (``appearances``, ``gaps``,
+    ``all_gaps``) stream a dedicated pass and are O(appearances) in their
+    output — inherent to the question, not to the engine.  Differential
+    tests (``tests/core/test_stream.py``) assert exact agreement with the
+    dense engine on every query, backend and chunk width.
+    """
+
+    #: representation tag, mirroring :attr:`TraceMatrix.mode`.
+    mode = "stream"
+
+    def __init__(
+        self,
+        schedule: ScheduleOrSets,
+        graph: ConflictGraph,
+        horizon: int,
+        backend: str = "auto",
+        chunk: Optional[int] = None,
+    ) -> None:
+        self.graph = graph
+        self.horizon = horizon
+        self.backend = resolve_backend(backend)
+        self.chunk = DEFAULT_CHUNK if chunk is None else int(chunk)
+        self.schedule = schedule
+        self._order: List[Node] = graph.nodes()
+        self._index: Dict[Node, int] = {p: i for i, p in enumerate(self._order)}
+        # one re-iterable stream shared by every pass, so the cyclic fast
+        # path materialises its cycle once, not once per query; also
+        # validates horizon/chunk eagerly
+        self._source = TraceStream(
+            schedule, graph, horizon, chunk=self.chunk, backend=self.backend
+        )
+        self._stats: Optional[List[_NodeStreamStats]] = None
+        self._collisions: Optional[Dict[Tuple[Node, Node], List[int]]] = None
+        self._unknown: Optional[List[Tuple[int, Node]]] = None
+
+    def _stream(self) -> TraceStream:
+        return self._source
+
+    # -- the shared summary pass ---------------------------------------------------
+    def _block_positions(self, start: int, block: TraceMatrix, row: int) -> List[int]:
+        """Ascending *global* appearance holidays of one row within a block."""
+        if self.backend == "numpy":
+            return (start + _np.flatnonzero(block._matrix[row])).tolist()
+        return _bit_positions(block._bits[row], offset=start)
+
+    def _scan(self) -> None:
+        if self._stats is not None:
+            return
+        stats = [_NodeStreamStats() for _ in self._order]
+        edges = self.graph.edges()
+        edge_rows = [(self._index[u], self._index[v]) for u, v in edges]
+        collisions: List[List[int]] = [[] for _ in edges]
+        unknown: List[Tuple[int, Node]] = []
+        for start, block in self._stream():
+            for t, p in block.unknown:
+                unknown.append((start + t - 1, p))
+            if self.backend == "numpy":
+                matrix = block._matrix
+                for i, node_stats in enumerate(stats):
+                    idx = _np.flatnonzero(matrix[i])
+                    if idx.size == 0:
+                        continue
+                    first = start + int(idx[0])
+                    if node_stats.count:
+                        boundary = first - node_stats.last
+                        node_stats.diffs.add(boundary)
+                        if boundary > node_stats.max_diff:
+                            node_stats.max_diff = boundary
+                    else:
+                        node_stats.first = first
+                    if idx.size > 1:
+                        diffs = _np.diff(idx)
+                        dmax = int(diffs.max())
+                        if dmax > node_stats.max_diff:
+                            node_stats.max_diff = dmax
+                        if dmax == int(diffs.min()):  # constant — the common periodic case
+                            node_stats.diffs.add(dmax)
+                        else:
+                            node_stats.diffs.update(_np.unique(diffs).tolist())
+                    node_stats.count += int(idx.size)
+                    node_stats.last = start + int(idx[-1])
+                for k, (i, j) in enumerate(edge_rows):
+                    both = matrix[i] & matrix[j]
+                    if both.any():
+                        collisions[k].extend((start + _np.flatnonzero(both)).tolist())
+            else:
+                for i, node_stats in enumerate(stats):
+                    node_stats.absorb(_bit_positions(block._bits[i], offset=start))
+                for k, (i, j) in enumerate(edge_rows):
+                    both = block._bits[i] & block._bits[j]
+                    if both:
+                        collisions[k].extend(_bit_positions(both, offset=start))
+        self._stats = stats
+        self._collisions = {edge: collisions[k] for k, edge in enumerate(edges)}
+        self._unknown = unknown
+
+    @property
+    def unknown(self) -> List[Tuple[int, Node]]:
+        """Global ``(holiday, node)`` pairs absent from the graph."""
+        self._scan()
+        return self._unknown
+
+    def _node_stats(self, node: Node) -> _NodeStreamStats:
+        self._scan()
+        return self._stats[self._index[node]]
+
+    # -- per-node queries (TraceMatrix-compatible) ---------------------------------
+    def row_index(self, node: Node) -> int:
+        """Row of ``node`` in the chunk matrices (KeyError for unknown nodes)."""
+        return self._index[node]
+
+    def count(self, node: Node) -> int:
+        """Number of holidays within the horizon at which ``node`` is happy."""
+        return self._node_stats(node).count
+
+    def mul(self, node: Node) -> int:
+        """Maximum unhappiness length of ``node`` within the horizon."""
+        stats = self._node_stats(node)
+        if stats.count == 0:
+            return self.horizon
+        internal = stats.max_diff - 1 if stats.max_diff else 0
+        return max(stats.first - 1, self.horizon - stats.last, internal)
+
+    def observed_period(self, node: Node) -> Optional[int]:
+        """The constant inter-appearance difference, or None."""
+        stats = self._node_stats(node)
+        if stats.count < 2 or len(stats.diffs) != 1:
+            return None
+        return next(iter(stats.diffs))
+
+    def happiness_rate(self, node: Node) -> float:
+        """Fraction of observed holidays at which ``node`` was happy."""
+        return self._node_stats(node).count / self.horizon
+
+    def distinct_appearance_diffs(self, node: Node) -> List[int]:
+        """Sorted distinct inter-appearance differences of ``node``."""
+        return sorted(self._node_stats(node).diffs)
+
+    def appearances(self, node: Node) -> List[int]:
+        """Sorted 1-indexed holidays at which ``node`` is happy (dedicated
+        streaming pass; the result itself is O(appearances))."""
+        row = self._index[node]
+        out: List[int] = []
+        for start, block in self._stream():
+            out.extend(self._block_positions(start, block, row))
+        return out
+
+    def appearance_diffs(self, node: Node) -> List[int]:
+        """Differences between consecutive appearances (empty if < 2)."""
+        times = self.appearances(node)
+        return [b - a for a, b in zip(times, times[1:])]
+
+    def gaps(self, node: Node) -> List[int]:
+        """Unhappiness interval lengths, same semantics as
+        :meth:`TraceMatrix.gaps`."""
+        times = self.appearances(node)
+        if not times:
+            return [self.horizon]
+        gaps = [times[0] - 1]
+        gaps.extend(b - a - 1 for a, b in zip(times, times[1:]))
+        gaps.append(self.horizon - times[-1])
+        return gaps
+
+    # -- bulk queries --------------------------------------------------------------
+    def muls(self) -> Dict[Node, int]:
+        """``{node: mul(node)}`` for every node, in graph order."""
+        return {p: self.mul(p) for p in self._order}
+
+    def observed_periods(self) -> Dict[Node, Optional[int]]:
+        """``{node: observed period or None}`` for every node."""
+        return {p: self.observed_period(p) for p in self._order}
+
+    def happiness_rates(self) -> Dict[Node, float]:
+        """``{node: happiness rate}`` for every node."""
+        return {p: self.happiness_rate(p) for p in self._order}
+
+    def all_gaps(self) -> Dict[Node, List[int]]:
+        """``{node: gap list}`` for every node, in one streaming pass."""
+        gaps: List[List[int]] = [[] for _ in self._order]
+        prev = [0] * len(self._order)
+        for start, block in self._stream():
+            for i in range(len(self._order)):
+                acc, before = gaps[i], prev[i]
+                for t in self._block_positions(start, block, i):
+                    acc.append(t - before - 1)
+                    before = t
+                prev[i] = before
+        for i in range(len(self._order)):
+            gaps[i].append(self.horizon - prev[i])
+        return {p: gaps[i] for i, p in enumerate(self._order)}
+
+    # -- column / edge queries -----------------------------------------------------
+    def happy_set(self, holiday: int) -> FrozenSet[Node]:
+        """The recorded happy set at ``holiday`` — builds only the one chunk
+        containing it."""
+        if not (1 <= holiday <= self.horizon):
+            raise ValueError(f"holiday {holiday} outside recorded horizon 1..{self.horizon}")
+        start = holiday - (holiday - 1) % self.chunk
+        width = min(self.chunk, self.horizon - start + 1)
+        block = self._stream().block(start, width)
+        return block.happy_set(holiday - start + 1)
+
+    def edge_collisions(self, u: Node, v: Node) -> List[int]:
+        """Holidays at which ``u`` and ``v`` are simultaneously happy.
+
+        Pairs that are edges of the trace's own graph come from the cached
+        summary pass; any other pair gets a dedicated per-chunk row-AND scan.
+        """
+        self._scan()
+        for key in ((u, v), (v, u)):
+            if key in self._collisions:
+                return list(self._collisions[key])
+        i, j = self._index[u], self._index[v]
+        out: List[int] = []
+        for start, block in self._stream():
+            if self.backend == "numpy":
+                both = block._matrix[i] & block._matrix[j]
+                if both.any():
+                    out.extend((start + _np.flatnonzero(both)).tolist())
+            else:
+                both = block._bits[i] & block._bits[j]
+                if both:
+                    out.extend(_bit_positions(both, offset=start))
+        return out
+
+    def conflicting_holidays(self) -> Dict[int, List[Tuple[Node, Node]]]:
+        """``{holiday: [(u, v), ...]}`` over all graph edges with collisions."""
+        out: Dict[int, List[Tuple[Node, Node]]] = {}
+        for u, v in self.graph.edges():
+            for t in self.edge_collisions(u, v):
+                out.setdefault(t, []).append((u, v))
+        return out
+
+    def legality_scan(
+        self, graph: ConflictGraph, fail_fast: bool = False
+    ) -> Tuple[Dict[int, List[Node]], Dict[int, List[Tuple[Node, Node]]]]:
+        """Per-chunk legality evidence against ``graph``'s edges.
+
+        Returns ``(unknown_by_holiday, collisions_by_holiday)`` with global
+        holidays.  With ``fail_fast`` the stream stops after the first chunk
+        containing any violation — later chunks are never built, which is
+        the early-exit the streaming validator advertises.  Without
+        ``fail_fast``, edges matching the trace's own graph reuse the cached
+        summary pass instead of streaming again.
+        """
+        edges = graph.edges()
+        if not fail_fast and edges == self.graph.edges():
+            self._scan()
+            unknown_by_holiday: Dict[int, List[Node]] = {}
+            for t, p in self._unknown:
+                unknown_by_holiday.setdefault(t, []).append(p)
+            collisions: Dict[int, List[Tuple[Node, Node]]] = {}
+            for u, v in edges:
+                for t in self._collisions[(u, v)]:
+                    collisions.setdefault(t, []).append((u, v))
+            return unknown_by_holiday, collisions
+        edge_rows = [(self._index[u], self._index[v]) for u, v in edges]
+        unknown_by_holiday = {}
+        collisions = {}
+        for start, block in self._stream():
+            for t, p in block.unknown:
+                unknown_by_holiday.setdefault(start + t - 1, []).append(p)
+            for (u, v), (i, j) in zip(edges, edge_rows):
+                if self.backend == "numpy":
+                    both = block._matrix[i] & block._matrix[j]
+                    hits = (start + _np.flatnonzero(both)).tolist() if both.any() else []
+                else:
+                    both = block._bits[i] & block._bits[j]
+                    hits = _bit_positions(both, offset=start) if both else []
+                for t in hits:
+                    collisions.setdefault(t, []).append((u, v))
+            if fail_fast and (unknown_by_holiday or collisions):
+                break
+        return unknown_by_holiday, collisions
+
+
 def _scatter_columns(matrix, columns, index, on_unknown) -> None:
     """Fill ``matrix[row_of(p), col] = True`` for every ``(col, happy_set)``.
 
@@ -469,15 +988,18 @@ def _bit_positions(mask: int, offset: int = 0) -> List[int]:
     return out
 
 
-def _periodic_bitmask(period: int, phase: int, horizon: int) -> int:
-    """Bitmask with bit ``t - 1`` set for every ``1 <= t <= horizon`` with
-    ``t % period == phase`` — built by doubling so the cost is
-    ``O(log(horizon/period))`` big-int operations, not one per appearance."""
-    first = phase if phase >= 1 else period
-    if first > horizon:
+def _periodic_bitmask_window(period: int, phase: int, start: int, width: int) -> int:
+    """Bitmask with bit ``t - start`` set for every holiday ``start <= t <
+    start + width`` with ``t % period == phase`` — built by doubling so the
+    cost is ``O(log(width/period))`` big-int operations, not one per
+    appearance.  ``start=1`` is the dense full-horizon case; other starts are
+    the streaming chunks."""
+    first = start + ((phase - start) % period)
+    last = start + width - 1
+    if first > last:
         return 0
-    reps = (horizon - first) // period + 1
-    return _repeat_bitmask(1, period, reps) << (first - 1)
+    reps = (last - first) // period + 1
+    return _repeat_bitmask(1, period, reps) << (first - start)
 
 
 def _repeat_bitmask(pattern: int, width: int, reps: int) -> int:

@@ -19,6 +19,12 @@ adjacency-masked column test per edge (an elementwise AND of two rows) and
 bound/periodicity certification reuses the matrix's run-length queries, or
 the ``backend="sets"`` frozenset reference that walks every holiday.  A
 pre-built ``trace=`` can be shared across checks and with the metric suite.
+
+Every check also honours the horizon representation (``mode="dense"`` /
+``"stream"`` / ``"auto"``): on a :class:`~repro.core.trace.StreamedTrace`
+the legality test becomes per-chunk edge row-ANDs with boundary state, and
+``fail_fast=True`` stops the stream at the first chunk containing a
+violation — later chunks are never materialised.
 """
 
 from __future__ import annotations
@@ -26,10 +32,10 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 
-from repro.core.metrics import HappinessTrace, ScheduleLike, build_trace, materialize
+from repro.core.metrics import HappinessTrace, ScheduleLike, TraceLike, build_trace, materialize
 from repro.core.problem import ConflictGraph, Node
 from repro.core.schedule import Schedule
-from repro.core.trace import TraceMatrix
+from repro.core.trace import StreamedTrace, TraceMatrix
 
 __all__ = [
     "Violation",
@@ -94,17 +100,23 @@ def check_independent_sets(
     graph: ConflictGraph,
     horizon: int,
     backend: str = "auto",
-    trace: Optional[TraceMatrix] = None,
+    trace: Optional[TraceLike] = None,
+    mode: str = "auto",
+    chunk: Optional[int] = None,
+    fail_fast: bool = False,
 ) -> ValidationReport:
     """Verify that every holiday in the prefix schedules an independent set.
 
     On the trace engine this is one adjacency-masked column test per edge —
     ``row(u) & row(v)`` flags every holiday at which two in-laws host
-    simultaneously — instead of a per-holiday membership scan.
+    simultaneously — instead of a per-holiday membership scan; on the
+    streaming engine the row-ANDs run chunk by chunk.  With ``fail_fast``
+    the report stops at the first offending holiday (identically on every
+    engine), and a streaming scan stops building chunks there too.
     """
-    matrix = build_trace(schedule, graph, horizon, backend, trace)
+    matrix = build_trace(schedule, graph, horizon, backend, trace, mode, chunk)
     if matrix is not None:
-        return _check_independent_sets_trace(matrix, graph, horizon)
+        return _check_independent_sets_trace(matrix, graph, horizon, fail_fast=fail_fast)
     sets = materialize(schedule, graph, horizon)
     report = ValidationReport(checked_holidays=horizon)
     node_set = set(graph.nodes())
@@ -125,11 +137,13 @@ def check_independent_sets(
                     f"adjacent nodes scheduled together: {offending!r}",
                 )
             )
+        if fail_fast and report.violations:
+            break
     return report
 
 
 def _check_independent_sets_trace(
-    matrix: TraceMatrix, graph: ConflictGraph, horizon: int
+    matrix: TraceLike, graph: ConflictGraph, horizon: int, fail_fast: bool = False
 ) -> ValidationReport:
     """Trace-engine legality check, emitting the same violation kinds per
     holiday (unknown nodes first, then one not-independent record) as the
@@ -138,15 +152,18 @@ def _check_independent_sets_trace(
     iteration order, so the first colliding edge (in graph edge order) is
     named as the witness."""
     report = ValidationReport(checked_holidays=horizon)
-    unknown_by_holiday: Dict[int, List[Node]] = {}
-    for t, p in matrix.unknown:
-        unknown_by_holiday.setdefault(t, []).append(p)
     # Collisions are computed against the *passed* graph's edge set — a
     # shared trace only guarantees node agreement, not edge agreement.
-    collisions: Dict[int, List[Tuple[Node, Node]]] = {}
-    for u, v in graph.edges():
-        for t in matrix.edge_collisions(u, v):
-            collisions.setdefault(t, []).append((u, v))
+    if isinstance(matrix, StreamedTrace):
+        unknown_by_holiday, collisions = matrix.legality_scan(graph, fail_fast=fail_fast)
+    else:
+        unknown_by_holiday = {}
+        for t, p in matrix.unknown:
+            unknown_by_holiday.setdefault(t, []).append(p)
+        collisions: Dict[int, List[Tuple[Node, Node]]] = {}
+        for u, v in graph.edges():
+            for t in matrix.edge_collisions(u, v):
+                collisions.setdefault(t, []).append((u, v))
     for t in sorted(set(unknown_by_holiday) | set(collisions)):
         for p in unknown_by_holiday.get(t, ()):
             report.violations.append(
@@ -162,6 +179,8 @@ def _check_independent_sets_trace(
                     f"adjacent nodes scheduled together: {offending!r}",
                 )
             )
+        if fail_fast and report.violations:
+            break
     return report
 
 
@@ -182,7 +201,9 @@ def certify_local_bound(
     bound_name: str = "bound",
     skip_isolated: bool = False,
     backend: str = "auto",
-    trace: Optional[TraceMatrix] = None,
+    trace: Optional[TraceLike] = None,
+    mode: str = "auto",
+    chunk: Optional[int] = None,
 ) -> ValidationReport:
     """Check ``mul(p) <= bound(p)`` for every node over the given horizon.
 
@@ -192,7 +213,7 @@ def certify_local_bound(
     holiday without coordination; the paper's guarantees are stated for
     nodes that actually have in-laws).
     """
-    matrix = build_trace(schedule, graph, horizon, backend, trace)
+    matrix = build_trace(schedule, graph, horizon, backend, trace, mode, chunk)
     reference = None if matrix is not None else HappinessTrace.from_schedule(schedule, graph, horizon)
     report = ValidationReport(checked_holidays=horizon)
     for p in graph.nodes():
@@ -217,7 +238,9 @@ def certify_periodicity(
     horizon: int,
     require_advertised: bool = True,
     backend: str = "auto",
-    trace: Optional[TraceMatrix] = None,
+    trace: Optional[TraceLike] = None,
+    mode: str = "auto",
+    chunk: Optional[int] = None,
 ) -> ValidationReport:
     """Check that a schedule claiming periodicity really is perfectly periodic.
 
@@ -225,31 +248,38 @@ def certify_periodicity(
     inter-appearance gap must be constant; when ``require_advertised`` and
     the schedule advertises :meth:`~repro.core.schedule.Schedule.node_period`,
     the observed period must also equal the advertised one.
+
+    On the trace engines only the *distinct* inter-appearance differences
+    are consulted (:meth:`~repro.core.trace.TraceMatrix.distinct_appearance_diffs`),
+    which is what lets the streaming engine certify a 10⁸-holiday horizon
+    without ever holding the full diff list.
     """
     graph = schedule.graph
-    matrix = build_trace(schedule, graph, horizon, backend, trace)
+    matrix = build_trace(schedule, graph, horizon, backend, trace, mode, chunk)
     reference = None if matrix is not None else HappinessTrace.from_schedule(schedule, graph, horizon)
     report = ValidationReport(checked_holidays=horizon)
     for p in graph.nodes():
-        diffs = (
-            matrix.appearance_diffs(p) if matrix is not None else reference.inter_appearance_gaps(p)
+        distinct = (
+            matrix.distinct_appearance_diffs(p)
+            if matrix is not None
+            else sorted(set(reference.inter_appearance_gaps(p)))
         )
-        if not diffs:
+        if not distinct:
             continue
-        if len(set(diffs)) != 1:
+        if len(distinct) != 1:
             report.violations.append(
-                Violation("aperiodic", p, None, f"inter-appearance gaps vary: {sorted(set(diffs))}")
+                Violation("aperiodic", p, None, f"inter-appearance gaps vary: {distinct}")
             )
             continue
         if require_advertised and schedule.is_periodic():
             advertised = schedule.node_period(p)
-            if advertised is not None and diffs[0] != advertised:
+            if advertised is not None and distinct[0] != advertised:
                 report.violations.append(
                     Violation(
                         "period-mismatch",
                         p,
                         None,
-                        f"observed period {diffs[0]} != advertised {advertised}",
+                        f"observed period {distinct[0]} != advertised {advertised}",
                     )
                 )
     return report
@@ -264,16 +294,23 @@ def validate_schedule(
     check_periodic: bool = False,
     skip_isolated: bool = False,
     backend: str = "auto",
-    trace: Optional[TraceMatrix] = None,
+    trace: Optional[TraceLike] = None,
+    mode: str = "auto",
+    chunk: Optional[int] = None,
+    fail_fast: bool = False,
 ) -> ValidationReport:
     """Run legality + optional bound + optional periodicity checks in one call.
 
-    On a non-``"sets"`` backend the occupancy matrix is built at most once
-    and shared by all three checks (or taken from ``trace=`` when the caller
-    already built it for the metric suite).
+    On a non-``"sets"`` backend the occupancy trace (dense matrix or
+    streaming engine, per ``mode``) is built at most once and shared by all
+    three checks (or taken from ``trace=`` when the caller already built it
+    for the metric suite).  ``fail_fast`` applies to the legality check only
+    — bound and periodicity certification always cover every node.
     """
-    matrix = build_trace(schedule, graph, horizon, backend, trace)
-    report = check_independent_sets(schedule, graph, horizon, backend=backend, trace=matrix)
+    matrix = build_trace(schedule, graph, horizon, backend, trace, mode, chunk)
+    report = check_independent_sets(
+        schedule, graph, horizon, backend=backend, trace=matrix, fail_fast=fail_fast
+    )
     if bound is not None:
         report = report.merge(
             certify_local_bound(
@@ -294,7 +331,12 @@ def validate_schedule(
         shareable = matrix is not None and matrix.graph.nodes() == schedule.graph.nodes()
         report = report.merge(
             certify_periodicity(
-                schedule, horizon, backend=backend, trace=matrix if shareable else None
+                schedule,
+                horizon,
+                backend=backend,
+                trace=matrix if shareable else None,
+                mode=mode,
+                chunk=chunk,
             )
         )
     return report

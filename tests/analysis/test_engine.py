@@ -381,6 +381,62 @@ def _grid_runner(n):
     ]
 
 
+class TestHorizonMode:
+    def test_spec_round_trips_horizon_mode(self, tmp_path):
+        spec = tiny_spec(horizon_mode="stream", chunk=128)
+        path = tmp_path / "spec.json"
+        spec.to_json(path)
+        assert ExperimentSpec.from_json(path) == spec
+
+    def test_invalid_horizon_mode_rejected(self):
+        with pytest.raises(ValueError, match="horizon_mode"):
+            tiny_spec(horizon_mode="chunked")
+        with pytest.raises(ValueError, match="chunk"):
+            tiny_spec(chunk=0)
+        with pytest.raises(ValueError, match="no streaming"):
+            tiny_spec(backend="sets", horizon_mode="stream")
+
+    def test_default_mode_keeps_pre_streaming_cell_ids(self):
+        """horizon_mode='auto'/chunk=None are hashed only when they deviate
+        from the defaults, so sinks recorded before streaming existed still
+        resume; explicit streaming knobs change the id."""
+        base = tiny_spec().cells()[0]
+        assert tiny_spec(horizon_mode="auto", chunk=None).cells()[0].cell_id() == base.cell_id()
+        assert tiny_spec(horizon_mode="stream").cells()[0].cell_id() != base.cell_id()
+        assert tiny_spec(chunk=64).cells()[0].cell_id() != base.cell_id()
+
+    def test_stream_records_match_dense_modulo_mode_stamp(self):
+        from repro.io.results import record_to_json_line
+
+        dense = ExperimentEngine(jobs=1).run(tiny_spec(horizon_mode="dense"))
+        stream = ExperimentEngine(jobs=1).run(tiny_spec(horizon_mode="stream", chunk=7))
+
+        def stripped(records):
+            out = []
+            for r in records:
+                metrics = {k: v for k, v in r.metrics.items() if k not in TIMING_METRICS}
+                params = {
+                    k: v for k, v in r.params.items()
+                    if k not in ("horizon_mode", "cell_id")
+                }
+                out.append(record_to_json_line(
+                    ExperimentRecord(r.experiment, r.workload, r.algorithm, metrics, params)
+                ))
+            return out
+
+        assert stripped(dense) == stripped(stream)
+        assert all(r.params["horizon_mode"] == "dense" for r in dense)
+        assert all(r.params["horizon_mode"] == "stream" for r in stream)
+
+    def test_auto_mode_stays_dense_at_small_horizons(self):
+        results = ExperimentEngine(jobs=1).run(tiny_spec())
+        assert all(r.params["horizon_mode"] == "dense" for r in results)
+
+    def test_horizon_mode_is_reserved_grid_key(self):
+        with pytest.raises(ValueError, match="reserved"):
+            tiny_spec(grid={"horizon_mode": ["dense", "stream"]})
+
+
 class TestRunGrid:
     def test_serial_matches_parallel(self):
         serial = run_grid({"n": [2, 4, 8]}, _grid_runner, jobs=1)

@@ -1,0 +1,378 @@
+"""Differential tests for the streaming chunked trace engine.
+
+The contract of :class:`repro.core.trace.StreamedTrace` is *exact* agreement
+with the dense :class:`~repro.core.trace.TraceMatrix` engine (and therefore,
+transitively, with the frozenset reference) on every metric, every validation
+report and every registered scheduler — for every chunk width, including the
+degenerate ones: chunk 1, chunks that do not divide the horizon, chunk equal
+to the horizon, and chunk larger than the horizon.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.algorithms.registry import available_schedulers, get_scheduler
+from repro.core.metrics import (
+    build_trace,
+    evaluate_schedule,
+    happiness_rates,
+    max_unhappiness_lengths,
+    observed_periods,
+    unhappiness_gaps,
+)
+from repro.core.problem import ConflictGraph
+from repro.core.schedule import (
+    ExplicitSchedule,
+    GeneratorSchedule,
+    PeriodicSchedule,
+    SlotAssignment,
+)
+from repro.core.trace import (
+    AUTO_STREAM_BYTES,
+    DEFAULT_CHUNK,
+    StreamedTrace,
+    TraceMatrix,
+    TraceStream,
+    dense_trace_bytes,
+    numpy_available,
+    resolve_horizon_mode,
+)
+from repro.core.validation import check_independent_sets, validate_schedule
+from repro.graphs.random_graphs import erdos_renyi
+
+BACKENDS = (["numpy"] if numpy_available() else []) + ["bitmask"]
+
+HORIZON = 96
+#: chunk 1 (degenerate), 7 (does not divide 96), 16 (divides 96),
+#: 96 (== horizon) and 200 (> horizon — a single partial chunk).
+CHUNKS = (1, 7, 16, HORIZON, 200)
+
+
+def report_tuples(report):
+    return [(v.kind, v.node, v.holiday, v.detail) for v in report.violations]
+
+
+# ---------------------------------------------------------------------------
+# mode resolution and plumbing
+# ---------------------------------------------------------------------------
+
+class TestHorizonModeResolution:
+    def test_auto_is_dense_below_threshold_and_stream_above(self):
+        assert resolve_horizon_mode("auto", 60, 10_000, "numpy") == "dense"
+        assert resolve_horizon_mode("auto", 60, 10**8, "numpy") == "stream"
+        # the bitmask representation is 8x smaller, so it flips later
+        flip = AUTO_STREAM_BYTES // 60 + 1
+        assert resolve_horizon_mode("auto", 60, flip, "numpy") == "stream"
+        assert resolve_horizon_mode("auto", 60, flip, "bitmask") == "dense"
+
+    def test_explicit_modes_pass_through(self):
+        assert resolve_horizon_mode("dense", 60, 10**9, "numpy") == "dense"
+        assert resolve_horizon_mode("stream", 1, 1, "bitmask") == "stream"
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(ValueError, match="horizon mode"):
+            resolve_horizon_mode("chunked", 1, 1, "numpy")
+
+    def test_dense_trace_bytes(self):
+        assert dense_trace_bytes(60, 10**6, "numpy") == 60 * 10**6
+        assert dense_trace_bytes(60, 10**6, "bitmask") == 60 * 10**6 // 8
+
+    def test_build_trace_mode_selects_engine(self):
+        graph = ConflictGraph.from_edges([(0, 1)], name="p2")
+        schedule = get_scheduler("degree-periodic").build(graph, seed=0)
+        assert isinstance(build_trace(schedule, graph, 32, mode="dense"), TraceMatrix)
+        streamed = build_trace(schedule, graph, 32, mode="stream", chunk=8)
+        assert isinstance(streamed, StreamedTrace) and streamed.chunk == 8
+        assert isinstance(build_trace(schedule, graph, 32, mode="auto"), TraceMatrix)
+
+    def test_sets_backend_has_no_stream_mode(self):
+        graph = ConflictGraph.from_edges([(0, 1)], name="p2")
+        schedule = get_scheduler("degree-periodic").build(graph, seed=0)
+        with pytest.raises(ValueError, match="no streaming"):
+            build_trace(schedule, graph, 32, backend="sets", mode="stream")
+
+    def test_invalid_chunk_rejected(self):
+        graph = ConflictGraph.from_edges([(0, 1)], name="p2")
+        schedule = get_scheduler("degree-periodic").build(graph, seed=0)
+        with pytest.raises(ValueError, match="chunk"):
+            StreamedTrace(schedule, graph, 32, chunk=0)
+
+
+# ---------------------------------------------------------------------------
+# TraceStream blocks tile exactly onto the dense matrix
+# ---------------------------------------------------------------------------
+
+@pytest.mark.parametrize("backend", BACKENDS)
+class TestTraceStreamBlocks:
+    def assert_blocks_match_dense(self, schedule, graph, horizon, chunk, backend):
+        dense = TraceMatrix.from_schedule(schedule, graph, horizon, backend=backend)
+        stream = TraceStream(schedule, graph, horizon, chunk=chunk, backend=backend)
+        seen = 0
+        for start, block in stream:
+            for local in range(1, block.horizon + 1):
+                assert block.happy_set(local) == dense.happy_set(start + local - 1)
+            assert [(start + t - 1, p) for t, p in block.unknown] == [
+                (t, p) for t, p in dense.unknown if start <= t < start + block.horizon
+            ]
+            seen += block.horizon
+        assert seen == horizon
+        assert stream.num_chunks() == -(-horizon // chunk)
+
+    def test_periodic_fast_path_blocks(self, backend):
+        graph = ConflictGraph.from_edges([(0, 1), (1, 2)], name="p3")
+        schedule = PeriodicSchedule(
+            graph,
+            {0: SlotAssignment(2, 1), 1: SlotAssignment(4, 0), 2: SlotAssignment(2, 1)},
+        )
+        for chunk in (1, 3, 5, 23, 50):
+            self.assert_blocks_match_dense(schedule, graph, 23, chunk, backend)
+
+    def test_cyclic_tiling_blocks(self, backend):
+        graph = ConflictGraph.from_edges([(0, 1), (1, 2)], name="p3")
+        schedule = ExplicitSchedule(graph, [[0, 2], [1], []], cyclic=True)
+        for chunk in (1, 2, 7, 17, 40):  # cycle length 3 vs every alignment
+            self.assert_blocks_match_dense(schedule, graph, 17, chunk, backend)
+
+    def test_cyclic_blocks_carry_unknown_nodes(self, backend):
+        loose = ConflictGraph(edges=[(0, 1)], nodes=[], name="loose")
+        schedule = ExplicitSchedule(
+            ConflictGraph(edges=[(0, 1)], nodes=[9], name="rich"),
+            [[0], [9], [1]],
+            cyclic=True,
+        )
+        self.assert_blocks_match_dense(schedule, loose, 11, 4, backend)
+
+    def test_generic_blocks(self, backend):
+        graph = erdos_renyi(9, 0.3, seed=2, name="gnp-9")
+        schedule = get_scheduler("phased-greedy").build(graph, seed=1)
+        self.assert_blocks_match_dense(schedule, graph, 40, 11, backend)
+
+    def test_raw_sequence_too_short_rejected(self, backend):
+        graph = ConflictGraph.from_edges([(0, 1)], name="p2")
+        with pytest.raises(ValueError, match="only 2 holidays"):
+            TraceStream([[0], [1]], graph, 5, chunk=2, backend=backend)
+
+
+# ---------------------------------------------------------------------------
+# the differential sweep: all schedulers × backends × chunk widths
+# ---------------------------------------------------------------------------
+
+@pytest.mark.parametrize("backend", BACKENDS)
+@pytest.mark.parametrize("chunk", CHUNKS)
+def test_all_schedulers_reports_match_dense(backend, chunk):
+    """Metric reports and validation reports must be identical between the
+    dense and streaming representations for every registered scheduler."""
+    for seed in (3, 11):
+        graph = erdos_renyi(5 + seed, 0.25, seed=seed, name=f"gnp-{seed}")
+        for name in available_schedulers():
+            schedule = get_scheduler(name).build(graph, seed=seed)
+            dense = evaluate_schedule(
+                schedule, graph, HORIZON, name=name, backend=backend, mode="dense"
+            )
+            stream = evaluate_schedule(
+                schedule, graph, HORIZON, name=name, backend=backend,
+                mode="stream", chunk=chunk,
+            )
+            assert stream.muls == dense.muls, (name, graph.name, chunk)
+            assert stream.periods == dense.periods, (name, graph.name, chunk)
+            assert stream.rates == dense.rates, (name, graph.name, chunk)
+            assert stream.summary() == dense.summary(), (name, graph.name, chunk)
+
+            dense_val = validate_schedule(
+                schedule, graph, HORIZON, check_periodic=True,
+                backend=backend, mode="dense",
+            )
+            stream_val = validate_schedule(
+                schedule, graph, HORIZON, check_periodic=True,
+                backend=backend, mode="stream", chunk=chunk,
+            )
+            assert stream_val.ok == dense_val.ok, (name, graph.name, chunk)
+            assert report_tuples(stream_val) == report_tuples(dense_val), (name, chunk)
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_metric_helpers_match_dense(backend):
+    graph = erdos_renyi(14, 0.3, seed=5, name="gnp-14")
+    schedule = get_scheduler("degree-periodic").build(graph, seed=0)
+    for chunk in (1, 13, HORIZON, 500):
+        kwargs = dict(backend=backend, mode="stream", chunk=chunk)
+        assert max_unhappiness_lengths(schedule, graph, HORIZON, **kwargs) == \
+            max_unhappiness_lengths(schedule, graph, HORIZON, backend=backend)
+        assert unhappiness_gaps(schedule, graph, HORIZON, **kwargs) == \
+            unhappiness_gaps(schedule, graph, HORIZON, backend=backend)
+        assert observed_periods(schedule, graph, HORIZON, **kwargs) == \
+            observed_periods(schedule, graph, HORIZON, backend=backend)
+        assert happiness_rates(schedule, graph, HORIZON, **kwargs) == \
+            happiness_rates(schedule, graph, HORIZON, backend=backend)
+
+
+# ---------------------------------------------------------------------------
+# StreamedTrace query parity beyond the metric suite
+# ---------------------------------------------------------------------------
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_streamed_trace_query_parity(backend):
+    graph = erdos_renyi(10, 0.35, seed=7, name="gnp-10")
+    schedule = get_scheduler("round-robin-color").build(graph, seed=0)
+    dense = TraceMatrix.from_schedule(schedule, graph, 50, backend=backend)
+    stream = StreamedTrace(schedule, graph, 50, backend=backend, chunk=7)
+    for p in graph.nodes():
+        assert stream.appearances(p) == dense.appearances(p)
+        assert stream.appearance_diffs(p) == dense.appearance_diffs(p)
+        assert stream.distinct_appearance_diffs(p) == dense.distinct_appearance_diffs(p)
+        assert stream.gaps(p) == dense.gaps(p)
+        assert stream.count(p) == dense.count(p)
+        assert stream.mul(p) == dense.mul(p)
+    assert stream.all_gaps() == dense.all_gaps()
+    for t in (1, 7, 8, 49, 50):
+        assert stream.happy_set(t) == dense.happy_set(t)
+    with pytest.raises(ValueError):
+        stream.happy_set(51)
+    for u, v in graph.edges():
+        assert stream.edge_collisions(u, v) == dense.edge_collisions(u, v)
+    assert stream.conflicting_holidays() == dense.conflicting_holidays()
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_streamed_edge_collisions_for_non_edges(backend):
+    """Pairs that are not edges of the trace's graph go through the
+    dedicated per-chunk scan and must agree with the dense engine."""
+    graph = ConflictGraph.from_edges([(0, 1)], name="p2-plus")
+    sets = [[0], [0, 1], [], [1], [0, 1]]
+    dense = TraceMatrix.from_schedule(sets, graph, 5, backend=backend)
+    stream = StreamedTrace(sets, graph, 5, backend=backend, chunk=2)
+    assert stream.edge_collisions(0, 1) == dense.edge_collisions(0, 1) == [2, 5]
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_streamed_unknown_nodes_and_mismatched_graphs(backend):
+    graph = ConflictGraph.from_edges([(0, 1)], name="p2")
+    stream = StreamedTrace([[0], [99], [1]], graph, 3, backend=backend, chunk=1)
+    assert stream.unknown == [(2, 99)]
+
+    base = ConflictGraph.from_edges([(0, 1), (1, 2)], name="p3")
+    schedule = PeriodicSchedule(
+        base,
+        {0: SlotAssignment(2, 1), 1: SlotAssignment(2, 0), 2: SlotAssignment(2, 1)},
+    )
+    bigger = ConflictGraph.from_edges([(0, 1), (1, 2), (2, 3)], name="p4")
+    fast = max_unhappiness_lengths(schedule, bigger, 6, backend=backend, mode="stream", chunk=2)
+    assert fast == max_unhappiness_lengths(schedule, bigger, 6, backend="sets")
+    smaller = ConflictGraph.from_edges([(0, 1)], name="p2")
+    stream_report = check_independent_sets(
+        schedule, smaller, 4, backend=backend, mode="stream", chunk=3
+    )
+    reference = check_independent_sets(schedule, smaller, 4, backend="sets")
+    assert [(v.kind, v.holiday) for v in stream_report.violations] == \
+        [(v.kind, v.holiday) for v in reference.violations]
+
+
+# ---------------------------------------------------------------------------
+# legality: illegal traces, fail-fast parity and chunk-level early exit
+# ---------------------------------------------------------------------------
+
+@pytest.mark.parametrize("backend", BACKENDS)
+@pytest.mark.parametrize("chunk", (1, 2, 3, 10))
+def test_illegal_sequence_flagged_identically(backend, chunk):
+    graph = ConflictGraph.from_edges([(0, 1), (1, 2)], name="p3")
+    bad = [[0, 1], [2], [0, 99], [1, 2]]  # conflicts at 1 and 4, unknown at 3
+    stream = check_independent_sets(bad, graph, 4, backend=backend, mode="stream", chunk=chunk)
+    dense = check_independent_sets(bad, graph, 4, backend=backend, mode="dense")
+    reference = check_independent_sets(bad, graph, 4, backend="sets")
+    assert [(v.kind, v.holiday) for v in stream.violations] == \
+        [(v.kind, v.holiday) for v in dense.violations] == \
+        [(v.kind, v.holiday) for v in reference.violations]
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_fail_fast_truncates_identically_on_every_engine(backend):
+    graph = ConflictGraph.from_edges([(0, 1), (1, 2)], name="p3")
+    bad = [[2], [0, 99], [0, 1], [1, 2]]  # unknown at 2, conflicts at 3 and 4
+    kwargs = dict(fail_fast=True)
+    stream = check_independent_sets(bad, graph, 4, backend=backend, mode="stream", chunk=2, **kwargs)
+    dense = check_independent_sets(bad, graph, 4, backend=backend, mode="dense", **kwargs)
+    reference = check_independent_sets(bad, graph, 4, backend="sets", **kwargs)
+    # everything stops after holiday 2 (the first offending holiday)
+    assert [(v.kind, v.holiday) for v in stream.violations] == \
+        [(v.kind, v.holiday) for v in dense.violations] == \
+        [(v.kind, v.holiday) for v in reference.violations] == [("unknown-node", 2)]
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_fail_fast_stops_building_chunks(backend):
+    """With fail_fast, chunks after the first violation are never
+    materialised: the generator below would raise past holiday 4."""
+    graph = ConflictGraph.from_edges([(0, 1)], name="p2")
+    generated = []
+
+    def step(t):
+        if t > 4:
+            raise AssertionError(f"holiday {t} should never be generated")
+        generated.append(t)
+        return [0, 1] if t == 2 else [0]
+
+    schedule = GeneratorSchedule(graph, step, validate=False)
+    report = check_independent_sets(
+        schedule, graph, 1000, backend=backend, mode="stream", chunk=3, fail_fast=True
+    )
+    assert [(v.kind, v.holiday) for v in report.violations] == [("not-independent", 2)]
+    assert max(generated) <= 3  # only the first chunk was built
+
+
+# ---------------------------------------------------------------------------
+# shared-trace plumbing and the runner
+# ---------------------------------------------------------------------------
+
+def test_shared_streamed_trace_is_reused():
+    graph = ConflictGraph.from_edges([(0, 1), (1, 2)], name="p3")
+    schedule = get_scheduler("degree-periodic").build(graph, seed=0)
+    streamed = StreamedTrace(schedule, graph, 32, chunk=5)
+    report = evaluate_schedule(schedule, graph, 32, trace=streamed)
+    validation = validate_schedule(schedule, graph, 32, check_periodic=True, trace=streamed)
+    assert report.summary() == evaluate_schedule(schedule, graph, 32, backend="sets").summary()
+    assert validation.ok
+
+
+def test_shared_streamed_trace_horizon_mismatch_rejected():
+    graph = ConflictGraph.from_edges([(0, 1)], name="p2")
+    schedule = get_scheduler("degree-periodic").build(graph, seed=0)
+    streamed = StreamedTrace(schedule, graph, 32, chunk=5)
+    with pytest.raises(ValueError, match="horizon"):
+        evaluate_schedule(schedule, graph, 16, trace=streamed)
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_run_scheduler_stream_matches_dense(backend):
+    from repro.analysis.runner import run_scheduler
+
+    graph = erdos_renyi(12, 0.3, seed=9, name="gnp-12")
+    for name in ("degree-periodic", "phased-greedy"):
+        scheduler = get_scheduler(name)
+        dense = run_scheduler(
+            scheduler, graph, horizon=80, seed=1, backend=backend, horizon_mode="dense"
+        )
+        stream = run_scheduler(
+            scheduler, graph, horizon=80, seed=1, backend=backend,
+            horizon_mode="stream", chunk=9,
+        )
+        assert dense.horizon_mode == "dense" and stream.horizon_mode == "stream"
+        assert stream.report.summary() == dense.report.summary(), name
+        assert stream.validation.ok == dense.validation.ok
+        assert stream.bound_satisfied == dense.bound_satisfied
+
+
+def test_run_scheduler_sets_backend_reports_sets_mode():
+    from repro.analysis.runner import run_scheduler
+
+    graph = ConflictGraph.from_edges([(0, 1)], name="p2")
+    outcome = run_scheduler(
+        get_scheduler("degree-periodic"), graph, horizon=16, backend="sets"
+    )
+    assert outcome.horizon_mode == "sets"
+
+
+def test_default_chunk_is_sane():
+    # the default chunk keeps a 60-node numpy block well under the auto
+    # threshold — streaming must never page in a dense-sized block
+    assert dense_trace_bytes(60, DEFAULT_CHUNK, "numpy") < AUTO_STREAM_BYTES // 8

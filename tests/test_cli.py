@@ -126,6 +126,22 @@ class TestSchedule:
         with pytest.raises(SystemExit):
             main(["schedule", graph_file, "--backend", "cuda"])
 
+    def test_schedule_horizon_modes_are_observation_equivalent(self, graph_file, capsys):
+        outputs = {}
+        for mode_flags in (["--horizon-mode", "dense"], ["--horizon-mode", "stream", "--chunk", "13"]):
+            code = main(["schedule", graph_file, "--horizon", "64", "--calendar-years", "4"] + mode_flags)
+            assert code == 0
+            outputs[mode_flags[1]] = capsys.readouterr().out
+        assert outputs["dense"] == outputs["stream"]
+
+    def test_schedule_rejects_stream_with_sets_backend(self, graph_file):
+        with pytest.raises(SystemExit, match="no streaming mode"):
+            main(["schedule", graph_file, "--backend", "sets", "--horizon-mode", "stream"])
+
+    def test_schedule_rejects_bad_chunk(self, graph_file):
+        with pytest.raises(SystemExit, match="--chunk"):
+            main(["schedule", graph_file, "--horizon-mode", "stream", "--chunk", "0"])
+
 
 class TestCompareBoundsSatisfaction:
     def test_compare_default_set(self, graph_file, capsys):
@@ -260,6 +276,34 @@ class TestExperiment:
         printed = capsys.readouterr().out
         assert "registered workloads" in printed and "registered algorithms" in printed
         assert "small/path" in printed and "degree-periodic" in printed
+
+    def test_list_mode_includes_bench_suite(self, capsys):
+        """From a source checkout the E-suite listing is part of --list, so a
+        new bench_e*.py stays discoverable (it must be registered in
+        benchmarks.common.BENCH_SUITE)."""
+        pytest.importorskip("benchmarks.common")
+        assert main(["experiment", "--list"]) == 0
+        printed = capsys.readouterr().out
+        assert "benchmark suite" in printed and "bench_e14_streaming" in printed
+
+    def test_experiment_stream_mode(self, tmp_path, capsys):
+        out = tmp_path / "results.jsonl"
+        code = main(
+            [
+                "experiment",
+                "--workloads", "small/path",
+                "--algorithms", "degree-periodic",
+                "--horizon", "64",
+                "--horizon-mode", "stream",
+                "--chunk", "16",
+                "--output", str(out),
+            ]
+        )
+        assert code == 0
+        from repro.analysis.records import ResultSet
+
+        records = ResultSet.from_jsonl(out)
+        assert [r.params["horizon_mode"] for r in records] == ["stream"]
 
     def test_errors(self, tmp_path):
         with pytest.raises(SystemExit, match="--workloads"):
