@@ -17,20 +17,32 @@ This benchmark demonstrates exactly that claim and turns it into assertions:
    60-node society workload at horizon 10⁸ (``--quick``: 2·10⁶) under
    ``tracemalloc``, asserting the peak traced allocation stays within a
    small multiple of one chunk — versus the ~6 GB a dense matrix would need.
+3. **Parallel streaming** — the same run with ``jobs`` worker processes
+   (``StreamedTrace`` block fan-out) must produce an *identical* report —
+   that is the ``jobs=1 ≡ jobs=N`` determinism contract — and its wall time
+   is recorded next to the serial stage so the speedup trajectory is
+   tracked across PRs.  (On a single-core container expect ≈0.9×: pool
+   overhead with no parallel hardware, same caveat as E5 ``--jobs``.)
+4. **Windowed generator** — an *aperiodic*, generator-backed scheduler
+   (Phased Greedy with a sliding-window memo cache) streams a horizon far
+   beyond its window under ``tracemalloc``, asserting the peak is bounded
+   by the *eviction window*, not the horizon — closing the historical
+   caveat that streaming bounded the trace but not the generator's cache.
 
 Results land in ``BENCH_stream.json`` (see ``docs/bench_schema.md``).
 
 Run as a script::
 
     python benchmarks/bench_e14_streaming.py [--quick] [--horizon H]
-        [--chunk W] [--backend B] [--algorithm NAME]
+        [--chunk W] [--backend B] [--algorithm NAME] [--jobs N]
+        [--generator-horizon H] [--window W]
 
 Notes: the default scheduler is perfectly periodic (``degree-periodic``), so
 no schedule prefix is ever materialised — that is the fast path the 10⁸
-claim rests on.  Aperiodic generator-backed schedulers stream too, but their
-own memoisation grows with the horizon (see the ``repro.core.trace`` module
-notes), and the pure-Python ``bitmask`` backend walks appearances bit by
-bit, so the full horizon is a numpy-backend benchmark.
+claim rests on.  The generator stage runs Phased Greedy, whose per-holiday
+cost is inherently Python-loop-bound, so its horizon is set in the millions
+rather than 10⁸; the pure-Python ``bitmask`` backend walks appearances bit
+by bit, so the full horizon is a numpy-backend benchmark.
 """
 
 from __future__ import annotations
@@ -41,6 +53,7 @@ import time
 import tracemalloc
 
 from benchmarks.common import BENCH_SEED, bench_record, print_table, write_bench_json
+from repro.algorithms.phased_greedy import PhasedGreedyScheduler
 from repro.algorithms.registry import get_scheduler
 from repro.analysis.runner import run_scheduler
 from repro.core.trace import DEFAULT_CHUNK, dense_trace_bytes, resolve_backend
@@ -50,6 +63,18 @@ FULL_HORIZON = 100_000_000
 QUICK_HORIZON = 2_000_000
 #: horizon of the dense-vs-stream equivalence stage (dense-feasible).
 EQUIVALENCE_HORIZON = 200_000
+
+#: the windowed-generator stage: an aperiodic Phased Greedy schedule
+#: streamed far past its sliding window (full / --quick horizons).  Sized
+#: in the 10⁵ range, not 10⁸: each Phased Greedy holiday costs ~100 µs of
+#: inherent Python recoloring, so the stage demonstrates window-bounded
+#: memory, not throughput.
+GENERATOR_HORIZON = 400_000
+QUICK_GENERATOR_HORIZON = 80_000
+#: sliding-window width for the generator memo cache (holidays retained);
+#: --quick shrinks it with the horizon so the horizon still dwarfs it.
+GENERATOR_WINDOW = 1 << 14
+QUICK_GENERATOR_WINDOW = 1 << 13
 
 MIB = 1 << 20
 
@@ -95,16 +120,101 @@ def equivalence_check(graph, algorithm: str, backend: str, chunk: int):
     return horizon
 
 
-def streaming_run(graph, algorithm: str, horizon: int, chunk: int, backend: str):
-    """The headline run: evaluate + validate at ``horizon`` under tracemalloc.
+def streaming_run(graph, algorithm: str, horizon: int, chunk: int, backend: str, jobs: int = 1):
+    """One streamed run: evaluate + validate at ``horizon`` under tracemalloc.
 
-    Returns one ``BENCH_stream.json`` record.  Raises when the run is not
-    actually streamed, is illegal, misses its bound, or exceeds the
-    chunk-derived memory budget.
+    Returns ``(record, outcome)``.  Raises when the run is not actually
+    streamed, is illegal, misses its bound, or — for the serial stage —
+    exceeds the chunk-derived memory budget.  With ``jobs > 1`` the chunk
+    scan fans out over worker processes (the record metric becomes
+    ``parallel_stream_stage``) and **no memory assertion is made**:
+    ``tracemalloc`` is per-process, so the parent's peak never sees the
+    chunks the workers build; the parent-side number is recorded as
+    ``parent_peak_traced_bytes`` (it bounds the merge, not the run) and the
+    serial stage remains the memory receipt.
     """
     scheduler = get_scheduler(algorithm)
     budget = memory_budget(graph.num_nodes(), chunk, backend)
     dense_bytes = dense_trace_bytes(graph.num_nodes(), horizon, backend)
+
+    tracemalloc.start()
+    start = time.perf_counter()
+    outcome = run_scheduler(
+        scheduler, graph, horizon=horizon, seed=1,
+        backend=backend, horizon_mode="stream", chunk=chunk, jobs=jobs,
+    )
+    seconds = time.perf_counter() - start
+    _, peak = tracemalloc.get_traced_memory()
+    tracemalloc.stop()
+
+    assert outcome.horizon_mode == "stream"
+    assert outcome.validation.ok, "streamed validation found violations"
+    assert outcome.bound_satisfied, "streamed run misses the scheduler's bound"
+    if jobs == 1:
+        if peak > budget:
+            raise AssertionError(
+                f"peak traced memory {peak / MIB:.1f} MiB exceeds the chunk budget "
+                f"{budget / MIB:.1f} MiB (chunk={chunk}, n={graph.num_nodes()})"
+            )
+        if horizon >= 10_000_000 and peak * 4 > dense_bytes:
+            raise AssertionError(
+                f"streaming saved less than 4x over dense ({peak} vs {dense_bytes} bytes)"
+            )
+    record = bench_record(
+        "stream_measure_stage" if jobs == 1 else "parallel_stream_stage",
+        horizon,
+        seconds,
+        backend,
+        workload=graph.name,
+        scheduler=algorithm,
+        horizon_mode="stream",
+        chunk=chunk,
+        jobs=jobs,
+        num_chunks=-(-horizon // chunk),
+        max_mul=int(outcome.report.max_mul),
+        legal=1.0,
+        bound_satisfied=1.0,
+        build_seconds=outcome.build_seconds,
+        measure_seconds=outcome.measure_seconds,
+    )
+    if jobs == 1:
+        record.update(
+            peak_traced_bytes=int(peak),
+            budget_bytes=int(budget),
+            dense_estimate_bytes=int(dense_bytes),
+            dense_to_peak_ratio=round(dense_bytes / peak, 2) if peak else None,
+        )
+    else:
+        record["parent_peak_traced_bytes"] = int(peak)
+    return record, outcome
+
+
+def generator_memory_budget(window: int, chunk: int, num_nodes: int, backend: str) -> int:
+    """The peak-allocation bound of the windowed-generator stage.
+
+    A function of the *window* and the *chunk* only — never the horizon:
+    the sliding memo cache retains at most ``2·window`` happy sets (a
+    generous 2 KiB each covers the frozensets plus list slots), one chunk
+    of sets plus one chunk matrix are live while a block is built, and the
+    usual interpreter floor.  An unwindowed Phased Greedy cache would grow
+    linearly with the horizon instead.
+    """
+    return 2 * window * 2048 + 10 * dense_trace_bytes(num_nodes, chunk, backend) + 48 * MIB
+
+
+def generator_streaming_run(graph, horizon: int, window: int, chunk: int, backend: str):
+    """The windowed-generator stage: aperiodic Phased Greedy at ``horizon``.
+
+    The scheduler's :class:`~repro.core.schedule.GeneratorSchedule` keeps a
+    sliding window of ``window`` holidays, so the whole evaluate + validate
+    pipeline (which shares one streaming summary pass) runs at memory
+    bounded by ``window``/``chunk`` — asserted under ``tracemalloc``
+    against :func:`generator_memory_budget`.
+    """
+    assert window >= chunk, "the window must cover at least one chunk"
+    assert horizon >= 8 * window, "horizon must dwarf the window for the claim to mean anything"
+    scheduler = PhasedGreedyScheduler(initial_coloring="greedy", window=window)
+    budget = generator_memory_budget(window, chunk, graph.num_nodes(), backend)
 
     tracemalloc.start()
     start = time.perf_counter()
@@ -117,31 +227,28 @@ def streaming_run(graph, algorithm: str, horizon: int, chunk: int, backend: str)
     tracemalloc.stop()
 
     assert outcome.horizon_mode == "stream"
-    assert outcome.validation.ok, "streamed validation found violations"
-    assert outcome.bound_satisfied, "streamed run misses the scheduler's bound"
+    assert outcome.validation.ok, "windowed generator validation found violations"
+    assert outcome.bound_satisfied, "windowed generator misses the deg+1 bound"
+    schedule = outcome.schedule
+    assert schedule.evicted_below >= horizon - 2 * window, "the window never evicted"
     if peak > budget:
         raise AssertionError(
-            f"peak traced memory {peak / MIB:.1f} MiB exceeds the chunk budget "
-            f"{budget / MIB:.1f} MiB (chunk={chunk}, n={graph.num_nodes()})"
-        )
-    if horizon >= 10_000_000 and peak * 4 > dense_bytes:
-        raise AssertionError(
-            f"streaming saved less than 4x over dense ({peak} vs {dense_bytes} bytes)"
+            f"windowed-generator peak {peak / MIB:.1f} MiB exceeds the window budget "
+            f"{budget / MIB:.1f} MiB (window={window}, chunk={chunk}) — the memo "
+            "cache is scaling with the horizon again"
         )
     return bench_record(
-        "stream_measure_stage",
+        "generator_stream_stage",
         horizon,
         seconds,
         backend,
         workload=graph.name,
-        scheduler=algorithm,
+        scheduler="phased-greedy",
         horizon_mode="stream",
         chunk=chunk,
-        num_chunks=-(-horizon // chunk),
+        window=window,
         peak_traced_bytes=int(peak),
         budget_bytes=int(budget),
-        dense_estimate_bytes=int(dense_bytes),
-        dense_to_peak_ratio=round(dense_bytes / peak, 2) if peak else None,
         max_mul=int(outcome.report.max_mul),
         legal=1.0,
         bound_satisfied=1.0,
@@ -161,6 +268,13 @@ def main(argv=None) -> int:
     parser.add_argument("--backend", default="auto", choices=["auto", "numpy", "bitmask"])
     parser.add_argument("--algorithm", default="degree-periodic",
                         help="registered scheduler (default: degree-periodic, perfectly periodic)")
+    parser.add_argument("--jobs", type=int, default=2,
+                        help="worker processes for the parallel-stream stage (default 2)")
+    parser.add_argument("--generator-horizon", type=int, default=None,
+                        help="override the windowed-generator stage horizon")
+    parser.add_argument("--window", type=int, default=None,
+                        help=f"generator sliding-window width (default {GENERATOR_WINDOW}, "
+                             f"--quick {QUICK_GENERATOR_WINDOW})")
     args = parser.parse_args(argv)
 
     backend = resolve_backend(args.backend)
@@ -176,25 +290,53 @@ def main(argv=None) -> int:
     eq_horizon = equivalence_check(graph, args.algorithm, backend, args.chunk)
     print(f"dense == stream at horizon {eq_horizon:,}: reports identical")
 
-    record = streaming_run(graph, args.algorithm, horizon, args.chunk, backend)
+    serial, serial_outcome = streaming_run(graph, args.algorithm, horizon, args.chunk, backend)
+    records = [serial]
+    if args.jobs > 1:
+        parallel, parallel_outcome = streaming_run(
+            graph, args.algorithm, horizon, args.chunk, backend, jobs=args.jobs
+        )
+        if parallel_outcome.report.summary() != serial_outcome.report.summary():
+            raise AssertionError(
+                f"jobs={args.jobs} diverges from the serial stream: "
+                f"{parallel_outcome.report.summary()} != {serial_outcome.report.summary()}"
+            )
+        assert parallel_outcome.report.muls == serial_outcome.report.muls
+        assert parallel_outcome.validation.ok == serial_outcome.validation.ok
+        parallel["parallel_speedup"] = round(serial["seconds"] / parallel["seconds"], 3)
+        records.append(parallel)
+        print(f"jobs={args.jobs} == jobs=1: reports identical "
+              f"(speedup {parallel['parallel_speedup']}x)")
+
+    gen_horizon = args.generator_horizon or (
+        QUICK_GENERATOR_HORIZON if args.quick else GENERATOR_HORIZON
+    )
+    window = args.window or (QUICK_GENERATOR_WINDOW if args.quick else GENERATOR_WINDOW)
+    # the chunk scan is not the bottleneck here (the generator is); a chunk
+    # a quarter of the window keeps window >= chunk with headroom
+    records.append(
+        generator_streaming_run(graph, gen_horizon, window, max(1024, window // 4), backend)
+    )
+
     print_table(
-        f"E14 streaming trace (backend {backend}, {graph.name} × {args.algorithm})",
-        ["horizon", "chunk", "chunks", "seconds", "peak MiB", "budget MiB", "dense MiB", "saving"],
+        f"E14 streaming trace (backend {backend}, {graph.name})",
+        ["stage", "scheduler", "horizon", "chunk", "jobs/window",
+         "seconds", "peak MiB", "budget MiB"],
         [[
-            f"{record['horizon']:,}",
-            record["chunk"],
-            record["num_chunks"],
-            round(record["seconds"], 2),
-            round(record["peak_traced_bytes"] / MIB, 1),
-            round(record["budget_bytes"] / MIB, 1),
-            round(record["dense_estimate_bytes"] / MIB, 1),
-            f"{record['dense_to_peak_ratio']}x",
-        ]],
+            r["metric"].replace("_stage", ""),
+            r["scheduler"],
+            f"{r['horizon']:,}",
+            r["chunk"],
+            r.get("jobs") or r.get("window", "-"),
+            round(r["seconds"], 2),
+            round(r["peak_traced_bytes"] / MIB, 1) if "peak_traced_bytes" in r else "(workers)",
+            round(r["budget_bytes"] / MIB, 1) if "budget_bytes" in r else "-",
+        ] for r in records],
     )
 
     path = write_bench_json(
         "stream",
-        [record],
+        records,
         meta={
             "quick": args.quick,
             "equivalence_horizon": eq_horizon,
@@ -215,8 +357,28 @@ def test_e14_stream_bounded_memory():
     backend = resolve_backend("auto")
     chunk = 1 << 16
     equivalence_check(graph, "degree-periodic", backend, chunk)
-    record = streaming_run(graph, "degree-periodic", 500_000, chunk, backend)
+    record, _ = streaming_run(graph, "degree-periodic", 500_000, chunk, backend)
     assert record["peak_traced_bytes"] <= record["budget_bytes"]
+
+
+def test_e14_parallel_stream_matches_serial():
+    graph = society_workload()
+    backend = resolve_backend("auto")
+    chunk = 1 << 15
+    serial, serial_outcome = streaming_run(graph, "degree-periodic", 300_000, chunk, backend)
+    parallel, parallel_outcome = streaming_run(
+        graph, "degree-periodic", 300_000, chunk, backend, jobs=2
+    )
+    assert parallel_outcome.report.summary() == serial_outcome.report.summary()
+    assert parallel["metric"] == "parallel_stream_stage" and parallel["jobs"] == 2
+
+
+def test_e14_generator_window_bounds_memory():
+    graph = society_workload()
+    backend = resolve_backend("auto")
+    record = generator_streaming_run(graph, 40_000, window=4096, chunk=2048, backend=backend)
+    assert record["peak_traced_bytes"] <= record["budget_bytes"]
+    assert record["window"] == 4096
 
 
 if __name__ == "__main__":

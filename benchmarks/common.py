@@ -23,7 +23,7 @@ import os
 import platform
 import time
 from pathlib import Path
-from typing import Callable, Dict, List, Mapping, Optional, Sequence
+from typing import Callable, Dict, List, Mapping, NamedTuple, Optional, Sequence
 
 from repro.analysis.engine import HorizonPolicy
 from repro.analysis.records import ResultSet
@@ -33,27 +33,58 @@ from repro.graphs.suites import get_workload
 
 BENCH_SEED = 20160711  # SPAA'16 started on 2016-07-11
 
+class BenchEntry(NamedTuple):
+    """One E-suite listing: what the experiment shows, over which horizon,
+    in which horizon representation.  ``horizon`` is a human-readable label
+    (the policy decides exact values per workload); ``mode`` is the horizon
+    representation the script runs under (``dense`` / ``stream`` /
+    ``dense+stream`` for the equivalence stages)."""
+
+    description: str
+    horizon: str
+    mode: str
+
+
 #: The E-suite: every experiment module under ``benchmarks/``, with a
-#: one-line description.  This is the canonical listing — the CLI's
-#: ``experiment --list`` renders it (when run from a source checkout), and
-#: a new ``bench_e*.py`` is not discoverable until it is registered here.
-#: Each module runs as ``python benchmarks/<name>.py`` (many accept
-#: ``--quick`` for a CI-sized grid).
-BENCH_SUITE: Mapping[str, str] = {
-    "bench_e1_phased_greedy": "Theorem 3.1: Phased Greedy achieves mul(p) <= deg(p)+1",
-    "bench_e2_lower_bound": "Theorem 4.1: the sum 1/f(c) <= 1 feasibility frontier",
-    "bench_e3_elias_schedule": "Theorem 4.2: the Elias-omega color-bound schedule",
-    "bench_e4_degree_periodic": "Theorem 5.3: the degree-bound perfectly periodic schedule",
-    "bench_e5_comparison": "cross-algorithm comparison + trace-engine speedup (BENCH_trace.json)",
-    "bench_e6_distributed_cost": "distributed construction costs (rounds, messages, bits)",
-    "bench_e7_dynamic": "Section 6 dynamic setting: marriages/divorces into a live schedule",
-    "bench_e8_satisfaction": "Appendix A: happiness vs satisfaction as one-shot problems",
-    "bench_e9_radio": "radio application: collision-free TDMA with per-node periods",
-    "bench_e10_fcfg": "first-come-first-grab baseline vs the fair-share landmark",
-    "bench_e11_periodicity_gap": "the Section 6 open problem: how much periodicity costs",
-    "bench_e12_shapley": "Appendix A.2: the hardness of being fair (Shapley values)",
-    "bench_e13_coloring_ablation": "initial-coloring ablation for the Section 4 scheduler",
-    "bench_e14_streaming": "streaming chunked trace: horizon 10^8 at bounded memory (BENCH_stream.json)",
+#: one-line description plus the horizon and horizon mode it runs at, so
+#: the listing is self-describing.  This is the canonical registry — the
+#: CLI's ``experiment --list`` renders it (when run from a source
+#: checkout), and a new ``bench_e*.py`` is not discoverable until it is
+#: registered here.  Each module runs as ``python benchmarks/<name>.py``
+#: (many accept ``--quick`` for a CI-sized grid).
+BENCH_SUITE: Mapping[str, BenchEntry] = {
+    "bench_e1_phased_greedy": BenchEntry(
+        "Theorem 3.1: Phased Greedy achieves mul(p) <= deg(p)+1", "policy <= 8192", "dense"),
+    "bench_e2_lower_bound": BenchEntry(
+        "Theorem 4.1: the sum 1/f(c) <= 1 feasibility frontier", "analytic (no trace)", "-"),
+    "bench_e3_elias_schedule": BenchEntry(
+        "Theorem 4.2: the Elias-omega color-bound schedule", "policy <= 8192", "dense"),
+    "bench_e4_degree_periodic": BenchEntry(
+        "Theorem 5.3: the degree-bound perfectly periodic schedule", "policy <= 8192", "dense"),
+    "bench_e5_comparison": BenchEntry(
+        "cross-algorithm comparison + trace-engine speedup (BENCH_trace.json)",
+        "10^4 (sweep to 10^6)", "dense"),
+    "bench_e6_distributed_cost": BenchEntry(
+        "distributed construction costs (rounds, messages, bits)", "construction only", "-"),
+    "bench_e7_dynamic": BenchEntry(
+        "Section 6 dynamic setting: marriages/divorces into a live schedule",
+        "per-event windows", "dense"),
+    "bench_e8_satisfaction": BenchEntry(
+        "Appendix A: happiness vs satisfaction as one-shot problems", "one-shot", "-"),
+    "bench_e9_radio": BenchEntry(
+        "radio application: collision-free TDMA with per-node periods", "policy <= 8192", "dense"),
+    "bench_e10_fcfg": BenchEntry(
+        "first-come-first-grab baseline vs the fair-share landmark", "policy <= 8192", "dense"),
+    "bench_e11_periodicity_gap": BenchEntry(
+        "the Section 6 open problem: how much periodicity costs", "policy <= 8192", "dense"),
+    "bench_e12_shapley": BenchEntry(
+        "Appendix A.2: the hardness of being fair (Shapley values)", "one-shot", "-"),
+    "bench_e13_coloring_ablation": BenchEntry(
+        "initial-coloring ablation for the Section 4 scheduler", "policy <= 8192", "dense"),
+    "bench_e14_streaming": BenchEntry(
+        "streaming chunked trace: horizon 10^8 at bounded memory, serial + "
+        "parallel + windowed generator (BENCH_stream.json)",
+        "10^8 (quick 2*10^6)", "dense+stream"),
 }
 
 #: display name -> workload-registry name, for the standard benchmark set.

@@ -82,13 +82,22 @@ class PhasedGreedyScheduler(Scheduler):
             ``"greedy"`` uses the sequential greedy coloring (same guarantee,
             cheaper to construct — useful for large benchmark instances);
             alternatively a callable ``graph -> Coloring`` may be supplied.
+        window: forwarded to the produced
+            :class:`~repro.core.schedule.GeneratorSchedule`: ``None``
+            (default) memoises the whole generated prefix, an integer turns
+            the memo into a sliding window of that many holidays so a
+            streamed evaluation runs at memory bounded by the window, not
+            the horizon.  Windowed schedules support a single forward pass
+            — see the ``GeneratorSchedule`` notes before opting in.
     """
 
     def __init__(
         self,
         initial_coloring: str | Callable[[ConflictGraph], Coloring] = "distributed",
+        window: Optional[int] = None,
     ) -> None:
         self._initial_coloring = initial_coloring
+        self._window = window
         self.last_state: Optional[PhasedGreedyState] = None
         self.init_rounds: Optional[int] = None
         self.init_messages: Optional[int] = None
@@ -131,7 +140,9 @@ class PhasedGreedyScheduler(Scheduler):
                 )
             return state.step()
 
-        return GeneratorSchedule(graph, step, validate=False, name=self.info.name)
+        return GeneratorSchedule(
+            graph, step, validate=False, name=self.info.name, window=self._window
+        )
 
     def bound_function(self, graph: ConflictGraph) -> Callable[[Node], float]:
         """Theorem 3.1 bound ``deg(p) + 1``."""

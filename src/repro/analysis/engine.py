@@ -199,6 +199,11 @@ class ExperimentSpec:
     horizon_mode: str = "auto"
     #: streaming chunk width (None = repro.core.trace.DEFAULT_CHUNK).
     chunk: Optional[int] = None
+    #: worker processes for the chunk scan *inside* each streamed cell —
+    #: the per-cell counterpart of the engine's ``jobs`` (which fans out
+    #: across cells).  Purely a wall-clock knob: records are identical for
+    #: every value, so it is hashed into cell ids only when non-default.
+    stream_jobs: int = 1
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "workloads", tuple(self.workloads))
@@ -235,6 +240,8 @@ class ExperimentSpec:
             )
         if self.chunk is not None and int(self.chunk) < 1:
             raise ValueError(f"chunk width must be >= 1, got {self.chunk!r}")
+        if int(self.stream_jobs) < 1:
+            raise ValueError(f"stream_jobs must be >= 1, got {self.stream_jobs!r}")
 
     def resolved_workloads(self, extra: Sequence[str] = ()) -> List[str]:
         """Workload names with glob patterns expanded."""
@@ -261,6 +268,7 @@ class ExperimentSpec:
                                 workload_params=dict(self.workload_params),
                                 horizon_mode=self.horizon_mode,
                                 chunk=self.chunk,
+                                stream_jobs=self.stream_jobs,
                             )
                         )
         return out
@@ -281,6 +289,7 @@ class ExperimentSpec:
             "workload_params": dict(self.workload_params),
             "horizon_mode": self.horizon_mode,
             "chunk": self.chunk,
+            "stream_jobs": self.stream_jobs,
         }
 
     @classmethod
@@ -340,6 +349,8 @@ class ExperimentCell:
     workload_params: Mapping[str, object] = field(default_factory=dict)
     horizon_mode: str = "auto"
     chunk: Optional[int] = None
+    #: per-cell streamed-scan workers (see ExperimentSpec.stream_jobs).
+    stream_jobs: int = 1
     #: content hash of an ad-hoc (non-registry) graph; None for registry
     #: workloads, whose content is already determined by name + params.
     graph_key: Optional[str] = None
@@ -386,6 +397,8 @@ class ExperimentCell:
             identity["horizon_mode"] = self.horizon_mode
         if self.chunk is not None:
             identity["chunk"] = self.chunk
+        if self.stream_jobs != 1:
+            identity["stream_jobs"] = self.stream_jobs
         payload = json.dumps(identity, sort_keys=True)
         return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:16]
 
@@ -436,6 +449,7 @@ def execute_cell(
         policy=cell.policy,
         horizon_mode=cell.horizon_mode,
         chunk=cell.chunk,
+        jobs=cell.stream_jobs,
     )
     params: Dict[str, object] = dict(cell.params)
     params.update(

@@ -56,6 +56,9 @@ class RunOutcome:
     #: horizon representation actually used: "dense", "stream" or "sets"
     #: (the frozenset reference has no streaming mode).
     horizon_mode: str = "dense"
+    #: worker processes the streamed summary pass was allowed to fan out
+    #: over (1 = serial; never affects any measured number, only wall time).
+    jobs: int = 1
 
     def metrics(self) -> Dict[str, float]:
         """Flat metric dictionary (report summary + construction cost + validity)."""
@@ -97,6 +100,7 @@ def run_scheduler(
     policy: Optional[HorizonPolicy] = None,
     horizon_mode: str = "auto",
     chunk: Optional[int] = None,
+    jobs: int = 1,
 ) -> RunOutcome:
     """Build, evaluate and validate one scheduler on one graph.
 
@@ -106,7 +110,10 @@ def run_scheduler(
     ``horizon_mode`` selects the horizon representation (``"dense"`` one
     n × horizon matrix, ``"stream"`` fixed-width chunks of ``chunk``
     holidays at ``O(n × chunk)`` memory, ``"auto"`` dense until the matrix
-    would exceed :data:`repro.core.trace.AUTO_STREAM_BYTES`).  When
+    would exceed :data:`repro.core.trace.AUTO_STREAM_BYTES`); ``jobs`` lets
+    a streamed run fan its chunk scan out over worker processes — a pure
+    wall-clock knob whose results are identical to ``jobs=1`` by the
+    :class:`~repro.core.trace.StreamedTrace` determinism contract.  When
     ``horizon`` is ``None`` the observation window comes from ``policy``
     (default :class:`~repro.analysis.engine.HorizonPolicy`), extended so
     any claimed per-node bound can be witnessed.
@@ -120,7 +127,9 @@ def run_scheduler(
         horizon = (policy or HorizonPolicy()).resolve(graph, bound_fn)
 
     start = time.perf_counter()
-    trace = build_trace(schedule, graph, horizon, backend=backend, mode=horizon_mode, chunk=chunk)
+    trace = build_trace(
+        schedule, graph, horizon, backend=backend, mode=horizon_mode, chunk=chunk, jobs=jobs
+    )
     report = evaluate_schedule(schedule, graph, horizon, name=scheduler.name, backend=backend, trace=trace)
     validation = validate_schedule(
         schedule,
@@ -150,6 +159,7 @@ def run_scheduler(
         backend=backend,
         measure_seconds=measure_seconds,
         horizon_mode=getattr(trace, "mode", "sets"),
+        jobs=jobs,
     )
 
 
@@ -164,6 +174,7 @@ def compare_schedulers(
     horizon_mode: str = "auto",
     chunk: Optional[int] = None,
     jobs: int = 1,
+    stream_jobs: int = 1,
     sink: Optional[Union[str, Path]] = None,
     resume: bool = False,
 ) -> ResultSet:
@@ -172,8 +183,12 @@ def compare_schedulers(
     A thin wrapper over the declarative engine: the workload dictionary is
     turned into an :class:`~repro.analysis.engine.ExperimentSpec` whose
     workload names shadow the registry with the given graphs.  ``jobs``
-    selects parallel execution, ``sink``/``resume`` stream the records to a
-    JSONL file and skip already-completed cells.
+    selects parallel execution *across cells*; ``stream_jobs`` parallelises
+    the chunk scan *within* each streamed cell (the two compose, but on a
+    fixed core budget prefer ``jobs`` when there are many cells and
+    ``stream_jobs`` when one long-horizon cell dominates).  ``sink``/
+    ``resume`` stream the records to a JSONL file and skip already-completed
+    cells.
 
     Seed semantics: ``seed`` is the *root* seed; each cell's scheduler runs
     with a seed derived from ``(workload, algorithm, params, seed)`` (the
@@ -192,6 +207,7 @@ def compare_schedulers(
         certify_bound=certify_bound,
         horizon_mode=horizon_mode,
         chunk=chunk,
+        stream_jobs=stream_jobs,
     )
     engine = ExperimentEngine(jobs=jobs, sink=sink, resume=resume)
     return engine.run(spec, workloads=workloads)

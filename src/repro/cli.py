@@ -102,8 +102,8 @@ def _check_backend(backend: str) -> str:
     return backend
 
 
-def _check_horizon_mode(backend: str, mode: str, chunk: Optional[int]) -> str:
-    """Validate the --horizon-mode/--chunk combination up front."""
+def _check_horizon_mode(backend: str, mode: str, chunk: Optional[int], jobs: int = 1) -> str:
+    """Validate the --horizon-mode/--chunk/--jobs combination up front."""
     if backend == "sets" and mode == "stream":
         raise SystemExit(
             "error: --backend sets (the frozenset reference) has no streaming mode; "
@@ -111,6 +111,8 @@ def _check_horizon_mode(backend: str, mode: str, chunk: Optional[int]) -> str:
         )
     if chunk is not None and chunk < 1:
         raise SystemExit(f"error: --chunk must be >= 1, got {chunk}")
+    if jobs < 1:
+        raise SystemExit(f"error: --jobs must be >= 1, got {jobs}")
     return mode
 
 
@@ -131,6 +133,22 @@ def _add_horizon_mode_flags(parser: argparse.ArgumentParser, default: Optional[s
         default=None,
         metavar="W",
         help="streaming chunk width in holidays (default: 262144)",
+    )
+
+
+def _add_stream_jobs_flag(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help=(
+            "worker processes for the streamed chunk scan of this one run "
+            "(takes effect only when the horizon actually streams — explicit "
+            "--horizon-mode stream, or auto past ~256 MiB; results are "
+            "identical for every value, see docs/streaming.md).  For "
+            "parallelism *across* runs use 'experiment --jobs' instead"
+        ),
     )
 
 
@@ -175,8 +193,9 @@ def cmd_schedule(args: argparse.Namespace) -> int:
         horizon=args.horizon,
         seed=args.seed,
         backend=_check_backend(args.backend),
-        horizon_mode=_check_horizon_mode(args.backend, args.horizon_mode, args.chunk),
+        horizon_mode=_check_horizon_mode(args.backend, args.horizon_mode, args.chunk, args.jobs),
         chunk=args.chunk,
+        jobs=args.jobs,
     )
     schedule = outcome.schedule
 
@@ -232,8 +251,9 @@ def cmd_compare(args: argparse.Namespace) -> int:
         horizon=args.horizon,
         seed=args.seed,
         backend=_check_backend(args.backend),
-        horizon_mode=_check_horizon_mode(args.backend, args.horizon_mode, args.chunk),
+        horizon_mode=_check_horizon_mode(args.backend, args.horizon_mode, args.chunk, args.jobs),
         chunk=args.chunk,
+        stream_jobs=args.jobs,
     )
     metrics = ["max_mul", "mean_mul", "max_norm_gap", "mean_norm_gap", "fairness"]
     rows = [[r.algorithm] + [r.metrics.get(m) for m in metrics] for r in results]
@@ -320,8 +340,11 @@ def cmd_experiment(args: argparse.Namespace) -> int:
             print()
             print(
                 render_table(
-                    ["benchmark", "description"],
-                    [[name, desc] for name, desc in BENCH_SUITE.items()],
+                    ["benchmark", "horizon", "mode", "description"],
+                    [
+                        [name, entry.horizon, entry.mode, entry.description]
+                        for name, entry in BENCH_SUITE.items()
+                    ],
                     title="benchmark suite (python benchmarks/<name>.py)",
                 )
             )
@@ -350,6 +373,8 @@ def cmd_experiment(args: argparse.Namespace) -> int:
             overrides["horizon_mode"] = args.horizon_mode
         if args.chunk is not None:
             overrides["chunk"] = args.chunk
+        if args.stream_jobs is not None:
+            overrides["stream_jobs"] = args.stream_jobs
         if args.grid:
             overrides["grid"] = _parse_grid(args.grid)
         if overrides:
@@ -371,6 +396,7 @@ def cmd_experiment(args: argparse.Namespace) -> int:
                 backend=_check_backend(args.backend or "auto"),
                 horizon_mode=args.horizon_mode or "auto",
                 chunk=args.chunk,
+                stream_jobs=args.stream_jobs if args.stream_jobs is not None else 1,
             )
         except ValueError as exc:
             raise SystemExit(f"error: {exc}")
@@ -449,6 +475,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="trace engine: bit-parallel matrix (numpy/bitmask, auto-selected) or the frozenset reference",
     )
     _add_horizon_mode_flags(sch)
+    _add_stream_jobs_flag(sch)
     sch.add_argument("--calendar-years", type=int, default=12, help="years printed to the terminal")
     sch.add_argument("--calendar-csv", help="write the full calendar to this CSV file")
     sch.add_argument("--save-schedule", help="write the periodic schedule JSON to this file")
@@ -466,6 +493,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="trace engine: bit-parallel matrix (numpy/bitmask, auto-selected) or the frozenset reference",
     )
     _add_horizon_mode_flags(cmp_)
+    _add_stream_jobs_flag(cmp_)
     cmp_.add_argument("--seed", type=int, default=0)
     cmp_.set_defaults(func=cmd_compare)
 
@@ -509,7 +537,18 @@ def build_parser() -> argparse.ArgumentParser:
         help="trace engine backend (default: auto)",
     )
     _add_horizon_mode_flags(exp, default=None)  # None = "not given", overridable by --spec
-    exp.add_argument("--jobs", type=int, default=1, help="worker processes (default: 1, serial)")
+    exp.add_argument(
+        "--jobs", type=int, default=1,
+        help="worker processes fanning out across cells (default: 1, serial)",
+    )
+    exp.add_argument(
+        "--stream-jobs", type=int, default=None, metavar="N",
+        help=(
+            "worker processes for the chunk scan inside each streamed cell "
+            "(default: 1; hashed into cell ids only when set, so it never "
+            "invalidates an existing --resume sink)"
+        ),
+    )
     exp.add_argument("--output", help="stream records to this JSONL file as cells complete")
     exp.add_argument(
         "--resume",

@@ -85,6 +85,7 @@ def build_trace(
     trace: Optional[TraceLike] = None,
     mode: str = "auto",
     chunk: Optional[int] = None,
+    jobs: int = 1,
 ) -> Optional[TraceLike]:
     """Resolve the evaluation engine for one metric call.
 
@@ -93,7 +94,10 @@ def build_trace(
     already built it, a fresh one otherwise), or ``None`` when
     ``backend="sets"`` selects the frozenset reference path.  ``mode`` picks
     the representation (``"dense"``/``"stream"``/``"auto"`` by estimated
-    memory); ``chunk`` overrides the streaming chunk width.
+    memory); ``chunk`` overrides the streaming chunk width; ``jobs`` fans a
+    streamed summary pass out over that many worker processes (never
+    changing any result — see the ``StreamedTrace`` determinism contract).
+    Both knobs are ignored when the resolved representation is dense.
     """
     if trace is not None:
         if backend == "sets":
@@ -120,7 +124,7 @@ def build_trace(
         return None
     resolved = resolve_backend(backend)
     if resolve_horizon_mode(mode, graph.num_nodes(), horizon, resolved) == "stream":
-        return StreamedTrace(schedule, graph, horizon, backend=resolved, chunk=chunk)
+        return StreamedTrace(schedule, graph, horizon, backend=resolved, chunk=chunk, jobs=jobs)
     return TraceMatrix.from_schedule(schedule, graph, horizon, backend=backend)
 
 
@@ -214,9 +218,10 @@ def max_unhappiness_lengths(
     trace: Optional[TraceLike] = None,
     mode: str = "auto",
     chunk: Optional[int] = None,
+    jobs: int = 1,
 ) -> Dict[Node, int]:
     """``{node: mul(node)}`` over the first ``horizon`` holidays."""
-    matrix = build_trace(schedule, graph, horizon, backend, trace, mode, chunk)
+    matrix = build_trace(schedule, graph, horizon, backend, trace, mode, chunk, jobs)
     if matrix is not None:
         return matrix.muls()
     reference = HappinessTrace.from_schedule(schedule, graph, horizon)
@@ -231,9 +236,10 @@ def unhappiness_gaps(
     trace: Optional[TraceLike] = None,
     mode: str = "auto",
     chunk: Optional[int] = None,
+    jobs: int = 1,
 ) -> Dict[Node, List[int]]:
     """``{node: list of unhappiness interval lengths}``."""
-    matrix = build_trace(schedule, graph, horizon, backend, trace, mode, chunk)
+    matrix = build_trace(schedule, graph, horizon, backend, trace, mode, chunk, jobs)
     if matrix is not None:
         return matrix.all_gaps()
     reference = HappinessTrace.from_schedule(schedule, graph, horizon)
@@ -248,9 +254,10 @@ def observed_periods(
     trace: Optional[TraceLike] = None,
     mode: str = "auto",
     chunk: Optional[int] = None,
+    jobs: int = 1,
 ) -> Dict[Node, Optional[int]]:
     """``{node: empirically observed period or None}``."""
-    matrix = build_trace(schedule, graph, horizon, backend, trace, mode, chunk)
+    matrix = build_trace(schedule, graph, horizon, backend, trace, mode, chunk, jobs)
     if matrix is not None:
         return matrix.observed_periods()
     reference = HappinessTrace.from_schedule(schedule, graph, horizon)
@@ -265,9 +272,10 @@ def happiness_rates(
     trace: Optional[TraceLike] = None,
     mode: str = "auto",
     chunk: Optional[int] = None,
+    jobs: int = 1,
 ) -> Dict[Node, float]:
     """``{node: fraction of holidays hosted}``."""
-    matrix = build_trace(schedule, graph, horizon, backend, trace, mode, chunk)
+    matrix = build_trace(schedule, graph, horizon, backend, trace, mode, chunk, jobs)
     if matrix is not None:
         return matrix.happiness_rates()
     reference = HappinessTrace.from_schedule(schedule, graph, horizon)
@@ -387,6 +395,7 @@ def evaluate_schedule(
     trace: Optional[TraceLike] = None,
     mode: str = "auto",
     chunk: Optional[int] = None,
+    jobs: int = 1,
 ) -> ScheduleReport:
     """Run the full metric suite over a schedule prefix and return a report.
 
@@ -399,7 +408,7 @@ def evaluate_schedule(
     the differential tests in ``tests/core/test_trace.py`` and
     ``tests/core/test_stream.py``.
     """
-    matrix = build_trace(schedule, graph, horizon, backend, trace, mode, chunk)
+    matrix = build_trace(schedule, graph, horizon, backend, trace, mode, chunk, jobs)
     if matrix is not None:
         muls = matrix.muls()
         periods = matrix.observed_periods()

@@ -277,6 +277,23 @@ class GeneratorSchedule(Schedule):
     the already-generated prefix) are cheap.  This is how the Section 3
     Phased Greedy scheduler — which must be run forward — is exposed through
     the common interface.
+
+    By default the memo cache grows with the highest holiday ever queried,
+    which is what historically kept aperiodic schedulers from streaming at
+    bounded memory.  Passing ``window=W`` turns the cache into a **sliding
+    window**: at least the last ``W`` generated holidays stay retrievable,
+    and everything far enough behind the generation frontier is evicted
+    once the cache crosses its high-water mark of ``2·W`` entries (batched
+    eviction keeps ``happy_set`` amortised O(1); resident sets never exceed
+    ``2·W``).  The trade-off is that a windowed schedule supports a single
+    forward pass: reading a holiday at or below :attr:`evicted_below`
+    raises :class:`ValueError`.  That is exactly the access pattern of the
+    streaming trace engine's one summary pass
+    (:class:`repro.core.trace.StreamedTrace`), so ``window= a few chunks``
+    lets generator-backed schedulers evaluate arbitrary horizons in
+    ``O(window + chunk)`` memory — but per-appearance queries that stream a
+    second pass (``appearances``/``all_gaps``), and any other re-read of
+    evicted history, are off the table.
     """
 
     def __init__(
@@ -285,23 +302,48 @@ class GeneratorSchedule(Schedule):
         step: Callable[[int], Iterable[Node]],
         validate: bool = True,
         name: str = "generator",
+        window: Optional[int] = None,
     ) -> None:
         super().__init__(graph)
+        if window is not None and window < 1:
+            raise ValueError(f"window must be >= 1, got {window!r}")
         self._step = step
         self._cache: List[FrozenSet[Node]] = []
         self.validate = validate
         self.name = name
+        self.window = window
+        self._evicted = 0  # number of leading holidays dropped from the cache
+
+    @property
+    def evicted_below(self) -> int:
+        """Holidays ``1..evicted_below`` are no longer retrievable (0 when
+        nothing has been evicted; always 0 for unwindowed schedules)."""
+        return self._evicted
 
     def happy_set(self, holiday: int) -> FrozenSet[Node]:
         if holiday < 1:
             raise ValueError(f"holidays are numbered from 1, got {holiday!r}")
-        while len(self._cache) < holiday:
-            t = len(self._cache) + 1
+        if holiday <= self._evicted:
+            raise ValueError(
+                f"holiday {holiday} was evicted from the generator's sliding window "
+                f"(window={self.window}, retained from holiday {self._evicted + 1}); "
+                "windowed generator schedules support a single forward pass"
+            )
+        while self._evicted + len(self._cache) < holiday:
+            t = self._evicted + len(self._cache) + 1
             happy = frozenset(self._step(t))
             if self.validate and not self.graph.is_independent_set(happy):
                 raise ValueError(f"holiday {t} produced a non-independent set: {sorted(map(repr, happy))}")
             self._cache.append(happy)
-        return self._cache[holiday - 1]
+            # batched low-water eviction: trim back to `window` entries only
+            # after crossing 2×window, so the amortised cost per holiday is
+            # O(1) while the guaranteed lookback stays >= window.
+            if self.window is not None and len(self._cache) > 2 * self.window:
+                drop = len(self._cache) - self.window
+                del self._cache[:drop]
+                self._evicted += drop
+        return self._cache[holiday - self._evicted - 1]
 
     def describe(self) -> str:
-        return f"{type(self).__name__}({self.name})"
+        suffix = "" if self.window is None else f", window={self.window}"
+        return f"{type(self).__name__}({self.name}{suffix})"

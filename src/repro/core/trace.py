@@ -58,14 +58,31 @@ Construction fast paths (see :meth:`TraceMatrix.from_schedule`):
 The streaming fast paths mirror these: periodic and cyclic schedules tile
 straight into each chunk from the assignment table / one materialised cycle
 (no prefix is ever built), while generic schedules materialise one chunk of
-happy sets at a time.  Caveat: :class:`~repro.core.schedule.GeneratorSchedule`
-memoises every holiday it has produced (its future depends on its past), so
-streaming bounds the *trace* memory but not a generator-backed schedule's own
-cache — the unbounded-horizon fast paths are the periodic/cyclic ones.
+happy sets at a time.  :class:`~repro.core.schedule.GeneratorSchedule`
+memoises what it has produced (its future depends on its past); constructed
+with a ``window=`` it evicts holidays far behind the generation frontier, so
+aperiodic generator-backed schedulers also stream at bounded memory (at the
+price of supporting a single forward pass — see the class notes).
+
+Parallel streaming (``jobs=``): :meth:`StreamedTrace._scan` folds chunks
+through an *associative* accumulator (:meth:`_NodeStreamStats.absorb` per
+chunk, :meth:`_NodeStreamStats.merge` across chunk ranges), so the summary
+pass can be split into contiguous blocks of chunks evaluated on worker
+processes and merged in order.  Because the periodic and cyclic fast paths
+are offset-aware, a worker needs only ``(schedule, chunk range)`` — no
+schedule prefix is ever shipped; raw happy-set sequences ship just the slice
+a worker's block covers.  Generator-backed schedules must be run forward in
+one process and quietly fall back to the serial scan, which keeps the
+determinism contract trivially intact: ``jobs=1`` and ``jobs=N`` produce
+*identical* summaries, collisions and validation reports for every schedule
+kind (asserted by ``tests/core/test_stream_parallel.py``).  The legality
+scan parallelises the same way, and with ``fail_fast`` the parent cancels
+every outstanding block past the first violating chunk.
 """
 
 from __future__ import annotations
 
+from concurrent.futures import ProcessPoolExecutor
 from itertools import repeat
 from typing import Dict, FrozenSet, Iterable, Iterator, List, Optional, Sequence, Tuple, Union
 
@@ -112,6 +129,12 @@ DEFAULT_CHUNK = 1 << 18
 #: its own stays far below it, so default runs never change representation.
 AUTO_STREAM_BYTES = 1 << 28
 
+#: Parallel streaming splits the chunk sequence into up to ``jobs`` × this
+#: many contiguous blocks: more blocks than workers keeps the pool busy when
+#: block costs are uneven and lets a ``fail_fast`` legality scan cancel
+#: outstanding blocks at a finer granularity than one block per worker.
+BLOCKS_PER_JOB = 4
+
 ScheduleOrSets = Union[Schedule, Sequence[Iterable[Node]]]
 
 
@@ -125,7 +148,14 @@ def dense_trace_bytes(num_nodes: int, horizon: int, backend: str) -> int:
 def resolve_horizon_mode(mode: str, num_nodes: int, horizon: int, backend: str) -> str:
     """Normalise a horizon mode, resolving ``"auto"`` by estimated memory.
 
-    ``backend`` must already be resolved (``"numpy"`` or ``"bitmask"``).
+    ``"dense"`` and ``"stream"`` pass through unchanged; ``"auto"`` picks
+    ``"stream"`` exactly when the dense matrix
+    (:func:`dense_trace_bytes`, which depends on the backend's cell width)
+    would exceed :data:`AUTO_STREAM_BYTES`, so every horizon a default
+    policy can choose stays dense and pre-streaming numbers never move.
+    ``backend`` must already be resolved (``"numpy"`` or ``"bitmask"``);
+    this is the one place the ``mode`` string is validated, shared by the
+    metric, validation and runner entry points.
     """
     if mode not in HORIZON_MODES:
         raise ValueError(f"unknown horizon mode {mode!r}; expected one of {HORIZON_MODES}")
@@ -610,7 +640,17 @@ class TraceStream:
 
 
 class _NodeStreamStats:
-    """Per-node run-length state carried across chunk boundaries."""
+    """Per-node run-length state carried across chunk boundaries.
+
+    The state is an *associative* summary of an ascending appearance
+    sequence: :meth:`absorb` folds one chunk's positions in at the right
+    edge, and :meth:`merge` combines two summaries of adjacent holiday
+    ranges — which is what lets a parallel scan evaluate contiguous blocks
+    of chunks in worker processes and combine the partial summaries in spec
+    order, yielding exactly the state a serial left-to-right pass builds.
+    Instances are plain ``__slots__`` objects and pickle across process
+    boundaries as-is.
+    """
 
     __slots__ = ("count", "first", "last", "max_diff", "diffs")
 
@@ -640,6 +680,179 @@ class _NodeStreamStats:
         self.count += len(positions)
         self.last = positions[-1]
 
+    def merge(self, later: "_NodeStreamStats") -> None:
+        """Fold in the summary of the holiday range immediately after ours.
+
+        Equivalent to having absorbed ``later``'s positions directly: the
+        only information spanning the boundary is the gap between our last
+        appearance and ``later``'s first, which becomes one more observed
+        inter-appearance difference.
+        """
+        if later.count == 0:
+            return
+        if self.count:
+            boundary = later.first - self.last
+            self.diffs.add(boundary)
+            if boundary > self.max_diff:
+                self.max_diff = boundary
+        else:
+            self.first = later.first
+        self.diffs.update(later.diffs)
+        if later.max_diff > self.max_diff:
+            self.max_diff = later.max_diff
+        self.count += later.count
+        self.last = later.last
+
+
+def _fold_summary_block(
+    start: int,
+    block: TraceMatrix,
+    backend: str,
+    stats: List[_NodeStreamStats],
+    edge_rows: Sequence[Tuple[int, int]],
+    collisions: List[List[int]],
+    unknown: List[Tuple[int, Node]],
+) -> None:
+    """Fold one ``(global start, block)`` pair into summary accumulators.
+
+    This is the per-chunk body shared verbatim by the serial summary pass
+    and the parallel block workers, so both produce identical state by
+    construction.  The numpy arm inlines :meth:`_NodeStreamStats.absorb`
+    over index arrays instead of Python position lists.
+    """
+    for t, p in block.unknown:
+        unknown.append((start + t - 1, p))
+    if backend == "numpy":
+        matrix = block._matrix
+        for i, node_stats in enumerate(stats):
+            idx = _np.flatnonzero(matrix[i])
+            if idx.size == 0:
+                continue
+            first = start + int(idx[0])
+            if node_stats.count:
+                boundary = first - node_stats.last
+                node_stats.diffs.add(boundary)
+                if boundary > node_stats.max_diff:
+                    node_stats.max_diff = boundary
+            else:
+                node_stats.first = first
+            if idx.size > 1:
+                diffs = _np.diff(idx)
+                dmax = int(diffs.max())
+                if dmax > node_stats.max_diff:
+                    node_stats.max_diff = dmax
+                if dmax == int(diffs.min()):  # constant — the common periodic case
+                    node_stats.diffs.add(dmax)
+                else:
+                    node_stats.diffs.update(_np.unique(diffs).tolist())
+            node_stats.count += int(idx.size)
+            node_stats.last = start + int(idx[-1])
+        for k, (i, j) in enumerate(edge_rows):
+            both = matrix[i] & matrix[j]
+            if both.any():
+                collisions[k].extend((start + _np.flatnonzero(both)).tolist())
+    else:
+        for i, node_stats in enumerate(stats):
+            node_stats.absorb(_bit_positions(block._bits[i], offset=start))
+        for k, (i, j) in enumerate(edge_rows):
+            both = block._bits[i] & block._bits[j]
+            if both:
+                collisions[k].extend(_bit_positions(both, offset=start))
+
+
+def _fold_legality_block(
+    start: int,
+    block: TraceMatrix,
+    backend: str,
+    edges: Sequence[Tuple[Node, Node]],
+    edge_rows: Sequence[Tuple[int, int]],
+    unknown_by_holiday: Dict[int, List[Node]],
+    collisions: Dict[int, List[Tuple[Node, Node]]],
+) -> None:
+    """Fold one block's legality evidence (against an arbitrary edge list)
+    into the per-holiday dictionaries — shared by the serial legality scan
+    and the parallel legality block workers."""
+    for t, p in block.unknown:
+        unknown_by_holiday.setdefault(start + t - 1, []).append(p)
+    for (u, v), (i, j) in zip(edges, edge_rows):
+        if backend == "numpy":
+            both = block._matrix[i] & block._matrix[j]
+            hits = (start + _np.flatnonzero(both)).tolist() if both.any() else []
+        else:
+            both = block._bits[i] & block._bits[j]
+            hits = _bit_positions(both, offset=start) if both else []
+        for t in hits:
+            collisions.setdefault(t, []).append((u, v))
+
+
+def _chunk_blocks(num_chunks: int, parts: int) -> List[Tuple[int, int]]:
+    """Split chunk indices ``0..num_chunks-1`` into at most ``parts``
+    contiguous ``(first_chunk, chunk_count)`` blocks of near-equal size."""
+    parts = max(1, min(parts, num_chunks))
+    base, extra = divmod(num_chunks, parts)
+    blocks: List[Tuple[int, int]] = []
+    first = 0
+    for b in range(parts):
+        count = base + (1 if b < extra else 0)
+        blocks.append((first, count))
+        first += count
+    return blocks
+
+
+def _summary_block_worker(payload) -> Tuple[List[_NodeStreamStats], List[List[int]], List[Tuple[int, Node]]]:
+    """Process-pool entry point: build and scan one contiguous chunk block.
+
+    ``payload`` is ``(schedule, graph, horizon, chunk, backend, first_chunk,
+    chunk_count, offset)`` where ``schedule`` is either the full schedule
+    (periodic/cyclic/explicit — the offset-aware fast paths rebuild any
+    chunk from it directly) or, for raw happy-set sequences, just the slice
+    covering this block with ``offset`` holding the global holiday shift.
+    Returns the block's partial summary: per-node stats, per-edge collision
+    holidays (edge order = ``graph.edges()``), and global unknown pairs.
+    """
+    schedule, graph, horizon, chunk, backend, first_chunk, chunk_count, offset = payload
+    stream = TraceStream(schedule, graph, horizon, chunk=chunk, backend=backend)
+    order = graph.nodes()
+    index = {p: i for i, p in enumerate(order)}
+    edges = graph.edges()
+    edge_rows = [(index[u], index[v]) for u, v in edges]
+    stats = [_NodeStreamStats() for _ in order]
+    collisions: List[List[int]] = [[] for _ in edges]
+    unknown: List[Tuple[int, Node]] = []
+    for k in range(first_chunk, first_chunk + chunk_count):
+        start = k * chunk + 1
+        width = min(chunk, horizon - start + 1)
+        block = stream.block(start, width)
+        _fold_summary_block(offset + start, block, backend, stats, edge_rows, collisions, unknown)
+    return stats, collisions, unknown
+
+
+def _legality_block_worker(payload) -> Tuple[Dict[int, List[Node]], Dict[int, List[Tuple[Node, Node]]]]:
+    """Process-pool entry point: legality-scan one contiguous chunk block.
+
+    Same payload convention as :func:`_summary_block_worker` plus the edge
+    list to test (which may differ from the trace graph's own edges), its
+    precomputed row pairs, and the ``fail_fast`` flag.  With ``fail_fast``
+    the worker stops after the first chunk *in its block* containing any
+    violation, so the returned dictionaries hold exactly that chunk's
+    evidence — the same truncation a serial scan applies.
+    """
+    (schedule, graph, horizon, chunk, backend, first_chunk, chunk_count, offset,
+     edges, edge_rows, fail_fast) = payload
+    stream = TraceStream(schedule, graph, horizon, chunk=chunk, backend=backend)
+    unknown_by_holiday: Dict[int, List[Node]] = {}
+    collisions: Dict[int, List[Tuple[Node, Node]]] = {}
+    for k in range(first_chunk, first_chunk + chunk_count):
+        start = k * chunk + 1
+        width = min(chunk, horizon - start + 1)
+        block = stream.block(start, width)
+        _fold_legality_block(
+            offset + start, block, backend, edges, edge_rows, unknown_by_holiday, collisions
+        )
+        if fail_fast and (unknown_by_holiday or collisions):
+            break
+    return unknown_by_holiday, collisions
+
 
 class StreamedTrace:
     """Streaming counterpart of :class:`TraceMatrix`: same query API, chunked
@@ -658,6 +871,19 @@ class StreamedTrace:
     output — inherent to the question, not to the engine.  Differential
     tests (``tests/core/test_stream.py``) assert exact agreement with the
     dense engine on every query, backend and chunk width.
+
+    Parallelism: with ``jobs > 1`` the summary pass (and the legality scan)
+    splits the chunk sequence into contiguous blocks evaluated on worker
+    processes and merged in order — possible because the accumulator is
+    associative and the periodic/cyclic fast paths can build any chunk from
+    ``(schedule, chunk range)`` alone.  Raw happy-set sequences ship each
+    worker only its block's slice; generator-backed schedules (which must
+    run forward) fall back to the serial scan.  Determinism contract:
+    ``jobs`` never changes any result — ``jobs=1`` and ``jobs=N`` produce
+    identical summaries, reports and violation lists, so ``jobs`` is purely
+    a wall-clock knob (asserted by ``tests/core/test_stream_parallel.py``).
+    The dedicated per-appearance passes stay serial: they are bounded by
+    their output size, not by scan throughput.
     """
 
     #: representation tag, mirroring :attr:`TraceMatrix.mode`.
@@ -670,11 +896,15 @@ class StreamedTrace:
         horizon: int,
         backend: str = "auto",
         chunk: Optional[int] = None,
+        jobs: int = 1,
     ) -> None:
         self.graph = graph
         self.horizon = horizon
         self.backend = resolve_backend(backend)
         self.chunk = DEFAULT_CHUNK if chunk is None else int(chunk)
+        self.jobs = int(jobs)
+        if self.jobs < 1:
+            raise ValueError(f"jobs must be >= 1, got {jobs!r}")
         self.schedule = schedule
         self._order: List[Node] = graph.nodes()
         self._index: Dict[Node, int] = {p: i for i, p in enumerate(self._order)}
@@ -698,8 +928,49 @@ class StreamedTrace:
             return (start + _np.flatnonzero(block._matrix[row])).tolist()
         return _bit_positions(block._bits[row], offset=start)
 
+    def _parallel_source(self) -> Optional[ScheduleOrSets]:
+        """What a worker process can rebuild blocks from, or None when the
+        scan cannot be split.
+
+        Periodic and cyclic schedules are picklable and random-access, so
+        workers receive the schedule itself and rebuild any chunk through
+        the offset-aware fast paths; raw happy-set sequences — and
+        non-cyclic explicit prefixes, which are just a validated list —
+        are sliceable, so each worker receives only its block's slice
+        instead of ``O(blocks)`` copies of the whole prefix.  Everything
+        else — notably :class:`~repro.core.schedule.GeneratorSchedule`,
+        whose future depends on its past — must be run forward in one
+        process.
+        """
+        if isinstance(self.schedule, ExplicitSchedule):
+            if self.schedule.is_periodic():
+                return self.schedule  # one small cycle; workers tile it
+            if len(self.schedule) >= self.horizon:
+                return self.schedule._sets  # validated frozensets; slice per block
+            return None  # too-short prefix: fail serially, as dense would
+        if isinstance(self.schedule, PeriodicSchedule):
+            return self.schedule
+        if not isinstance(self.schedule, Schedule):
+            return self.schedule  # raw sequence: workers get their slice
+        return None
+
+    def _block_payload(self, source: ScheduleOrSets, first_chunk: int, chunk_count: int) -> Tuple:
+        """The ``(schedule, graph, horizon, chunk, backend, first, count,
+        offset)`` tuple one worker needs to rebuild and scan its block."""
+        if isinstance(source, Schedule):
+            return (source, self.graph, self.horizon, self.chunk, self.backend,
+                    first_chunk, chunk_count, 0)
+        lo = first_chunk * self.chunk
+        hi = min(self.horizon, (first_chunk + chunk_count) * self.chunk)
+        return (list(source[lo:hi]), self.graph, hi - lo, self.chunk, self.backend,
+                0, chunk_count, lo)
+
     def _scan(self) -> None:
         if self._stats is not None:
+            return
+        source = self._parallel_source() if self.jobs > 1 else None
+        if source is not None and self._source.num_chunks() > 1:
+            self._scan_parallel(source)
             return
         stats = [_NodeStreamStats() for _ in self._order]
         edges = self.graph.edges()
@@ -707,44 +978,37 @@ class StreamedTrace:
         collisions: List[List[int]] = [[] for _ in edges]
         unknown: List[Tuple[int, Node]] = []
         for start, block in self._stream():
-            for t, p in block.unknown:
-                unknown.append((start + t - 1, p))
-            if self.backend == "numpy":
-                matrix = block._matrix
-                for i, node_stats in enumerate(stats):
-                    idx = _np.flatnonzero(matrix[i])
-                    if idx.size == 0:
-                        continue
-                    first = start + int(idx[0])
-                    if node_stats.count:
-                        boundary = first - node_stats.last
-                        node_stats.diffs.add(boundary)
-                        if boundary > node_stats.max_diff:
-                            node_stats.max_diff = boundary
-                    else:
-                        node_stats.first = first
-                    if idx.size > 1:
-                        diffs = _np.diff(idx)
-                        dmax = int(diffs.max())
-                        if dmax > node_stats.max_diff:
-                            node_stats.max_diff = dmax
-                        if dmax == int(diffs.min()):  # constant — the common periodic case
-                            node_stats.diffs.add(dmax)
-                        else:
-                            node_stats.diffs.update(_np.unique(diffs).tolist())
-                    node_stats.count += int(idx.size)
-                    node_stats.last = start + int(idx[-1])
-                for k, (i, j) in enumerate(edge_rows):
-                    both = matrix[i] & matrix[j]
-                    if both.any():
-                        collisions[k].extend((start + _np.flatnonzero(both)).tolist())
-            else:
-                for i, node_stats in enumerate(stats):
-                    node_stats.absorb(_bit_positions(block._bits[i], offset=start))
-                for k, (i, j) in enumerate(edge_rows):
-                    both = block._bits[i] & block._bits[j]
-                    if both:
-                        collisions[k].extend(_bit_positions(both, offset=start))
+            _fold_summary_block(start, block, self.backend, stats, edge_rows, collisions, unknown)
+        self._stats = stats
+        self._collisions = {edge: collisions[k] for k, edge in enumerate(edges)}
+        self._unknown = unknown
+
+    def _scan_parallel(self, source: ScheduleOrSets) -> None:
+        """The summary pass, fanned out over contiguous blocks of chunks.
+
+        Each worker returns its block's partial per-node stats, per-edge
+        collision fragments and unknown pairs; the parent folds them back
+        together **in block order** via the associative
+        :meth:`_NodeStreamStats.merge`, which reproduces the serial
+        left-to-right state exactly.
+        """
+        blocks = _chunk_blocks(self._source.num_chunks(), self.jobs * BLOCKS_PER_JOB)
+        with ProcessPoolExecutor(max_workers=min(self.jobs, len(blocks))) as pool:
+            futures = [
+                pool.submit(_summary_block_worker, self._block_payload(source, first, count))
+                for first, count in blocks
+            ]
+            partials = [future.result() for future in futures]
+        stats = [_NodeStreamStats() for _ in self._order]
+        edges = self.graph.edges()
+        collisions: List[List[int]] = [[] for _ in edges]
+        unknown: List[Tuple[int, Node]] = []
+        for part_stats, part_collisions, part_unknown in partials:
+            for acc, part in zip(stats, part_stats):
+                acc.merge(part)
+            for acc_list, part_list in zip(collisions, part_collisions):
+                acc_list.extend(part_list)
+            unknown.extend(part_unknown)
         self._stats = stats
         self._collisions = {edge: collisions[k] for k, edge in enumerate(edges)}
         self._unknown = unknown
@@ -896,7 +1160,10 @@ class StreamedTrace:
         containing any violation — later chunks are never built, which is
         the early-exit the streaming validator advertises.  Without
         ``fail_fast``, edges matching the trace's own graph reuse the cached
-        summary pass instead of streaming again.
+        summary pass instead of streaming again.  With ``jobs > 1`` the scan
+        fans chunk blocks out to worker processes; under ``fail_fast`` the
+        parent merges block results in order and cancels every outstanding
+        block past the first violating chunk.
         """
         edges = graph.edges()
         if not fail_fast and edges == self.graph.edges():
@@ -910,22 +1177,60 @@ class StreamedTrace:
                     collisions.setdefault(t, []).append((u, v))
             return unknown_by_holiday, collisions
         edge_rows = [(self._index[u], self._index[v]) for u, v in edges]
+        source = self._parallel_source() if self.jobs > 1 else None
+        if source is not None and self._source.num_chunks() > 1:
+            return self._legality_scan_parallel(source, edges, edge_rows, fail_fast)
         unknown_by_holiday = {}
         collisions = {}
         for start, block in self._stream():
-            for t, p in block.unknown:
-                unknown_by_holiday.setdefault(start + t - 1, []).append(p)
-            for (u, v), (i, j) in zip(edges, edge_rows):
-                if self.backend == "numpy":
-                    both = block._matrix[i] & block._matrix[j]
-                    hits = (start + _np.flatnonzero(both)).tolist() if both.any() else []
-                else:
-                    both = block._bits[i] & block._bits[j]
-                    hits = _bit_positions(both, offset=start) if both else []
-                for t in hits:
-                    collisions.setdefault(t, []).append((u, v))
+            _fold_legality_block(
+                start, block, self.backend, edges, edge_rows, unknown_by_holiday, collisions
+            )
             if fail_fast and (unknown_by_holiday or collisions):
                 break
+        return unknown_by_holiday, collisions
+
+    def _legality_scan_parallel(
+        self,
+        source: ScheduleOrSets,
+        edges: Sequence[Tuple[Node, Node]],
+        edge_rows: Sequence[Tuple[int, int]],
+        fail_fast: bool,
+    ) -> Tuple[Dict[int, List[Node]], Dict[int, List[Tuple[Node, Node]]]]:
+        """Per-chunk legality evidence, fanned out over chunk blocks.
+
+        Block results are merged strictly in block order so the per-holiday
+        dictionaries come out identical to a serial scan.  Under
+        ``fail_fast`` each worker already truncates at its block's first
+        violating chunk, and the parent stops merging (and cancels all
+        outstanding futures) at the first block that reports a violation —
+        exactly the first violating chunk overall, since earlier blocks are
+        merged first and came back clean.
+        """
+        blocks = _chunk_blocks(self._source.num_chunks(), self.jobs * BLOCKS_PER_JOB)
+        unknown_by_holiday: Dict[int, List[Node]] = {}
+        collisions: Dict[int, List[Tuple[Node, Node]]] = {}
+        with ProcessPoolExecutor(max_workers=min(self.jobs, len(blocks))) as pool:
+            futures = [
+                pool.submit(
+                    _legality_block_worker,
+                    self._block_payload(source, first, count)
+                    + (list(edges), list(edge_rows), fail_fast),
+                )
+                for first, count in blocks
+            ]
+            try:
+                for future in futures:
+                    block_unknown, block_collisions = future.result()
+                    for t, nodes in block_unknown.items():
+                        unknown_by_holiday.setdefault(t, []).extend(nodes)
+                    for t, pairs in block_collisions.items():
+                        collisions.setdefault(t, []).extend(pairs)
+                    if fail_fast and (unknown_by_holiday or collisions):
+                        break
+            finally:
+                for future in futures:  # no-op on completed futures
+                    future.cancel()
         return unknown_by_holiday, collisions
 
 

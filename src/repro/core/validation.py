@@ -103,6 +103,7 @@ def check_independent_sets(
     trace: Optional[TraceLike] = None,
     mode: str = "auto",
     chunk: Optional[int] = None,
+    jobs: int = 1,
     fail_fast: bool = False,
 ) -> ValidationReport:
     """Verify that every holiday in the prefix schedules an independent set.
@@ -110,11 +111,14 @@ def check_independent_sets(
     On the trace engine this is one adjacency-masked column test per edge —
     ``row(u) & row(v)`` flags every holiday at which two in-laws host
     simultaneously — instead of a per-holiday membership scan; on the
-    streaming engine the row-ANDs run chunk by chunk.  With ``fail_fast``
-    the report stops at the first offending holiday (identically on every
-    engine), and a streaming scan stops building chunks there too.
+    streaming engine the row-ANDs run chunk by chunk (fanned out over
+    ``jobs`` worker processes when the schedule kind allows it — the result
+    never depends on ``jobs``).  With ``fail_fast`` the report stops at the
+    first offending holiday (identically on every engine), a streaming scan
+    stops building chunks there, and a parallel streaming scan cancels
+    every outstanding chunk block.
     """
-    matrix = build_trace(schedule, graph, horizon, backend, trace, mode, chunk)
+    matrix = build_trace(schedule, graph, horizon, backend, trace, mode, chunk, jobs)
     if matrix is not None:
         return _check_independent_sets_trace(matrix, graph, horizon, fail_fast=fail_fast)
     sets = materialize(schedule, graph, horizon)
@@ -204,6 +208,7 @@ def certify_local_bound(
     trace: Optional[TraceLike] = None,
     mode: str = "auto",
     chunk: Optional[int] = None,
+    jobs: int = 1,
 ) -> ValidationReport:
     """Check ``mul(p) <= bound(p)`` for every node over the given horizon.
 
@@ -213,7 +218,7 @@ def certify_local_bound(
     holiday without coordination; the paper's guarantees are stated for
     nodes that actually have in-laws).
     """
-    matrix = build_trace(schedule, graph, horizon, backend, trace, mode, chunk)
+    matrix = build_trace(schedule, graph, horizon, backend, trace, mode, chunk, jobs)
     reference = None if matrix is not None else HappinessTrace.from_schedule(schedule, graph, horizon)
     report = ValidationReport(checked_holidays=horizon)
     for p in graph.nodes():
@@ -241,6 +246,7 @@ def certify_periodicity(
     trace: Optional[TraceLike] = None,
     mode: str = "auto",
     chunk: Optional[int] = None,
+    jobs: int = 1,
 ) -> ValidationReport:
     """Check that a schedule claiming periodicity really is perfectly periodic.
 
@@ -255,7 +261,7 @@ def certify_periodicity(
     without ever holding the full diff list.
     """
     graph = schedule.graph
-    matrix = build_trace(schedule, graph, horizon, backend, trace, mode, chunk)
+    matrix = build_trace(schedule, graph, horizon, backend, trace, mode, chunk, jobs)
     reference = None if matrix is not None else HappinessTrace.from_schedule(schedule, graph, horizon)
     report = ValidationReport(checked_holidays=horizon)
     for p in graph.nodes():
@@ -297,6 +303,7 @@ def validate_schedule(
     trace: Optional[TraceLike] = None,
     mode: str = "auto",
     chunk: Optional[int] = None,
+    jobs: int = 1,
     fail_fast: bool = False,
 ) -> ValidationReport:
     """Run legality + optional bound + optional periodicity checks in one call.
@@ -307,7 +314,7 @@ def validate_schedule(
     for the metric suite).  ``fail_fast`` applies to the legality check only
     — bound and periodicity certification always cover every node.
     """
-    matrix = build_trace(schedule, graph, horizon, backend, trace, mode, chunk)
+    matrix = build_trace(schedule, graph, horizon, backend, trace, mode, chunk, jobs)
     report = check_independent_sets(
         schedule, graph, horizon, backend=backend, trace=matrix, fail_fast=fail_fast
     )
@@ -337,6 +344,7 @@ def validate_schedule(
                 trace=matrix if shareable else None,
                 mode=mode,
                 chunk=chunk,
+                jobs=jobs,
             )
         )
     return report

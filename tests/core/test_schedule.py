@@ -172,3 +172,74 @@ class TestGeneratorSchedule:
         pairs = list(schedule.iter_holidays(4))
         assert [t for t, _ in pairs] == [1, 2, 3, 4]
         assert pairs[0][1] == frozenset({0})
+
+
+class TestGeneratorWindow:
+    """The sliding-window memo cache (``window=``): bounded retention,
+    single-forward-pass semantics, and exact agreement with the unbounded
+    cache over the retained range."""
+
+    @staticmethod
+    def make(graph, window):
+        return GeneratorSchedule(
+            graph, lambda t: [t % 4], validate=False, window=window
+        )
+
+    def test_windowed_matches_unwindowed_sequentially(self, square_with_diagonal):
+        plain = self.make(square_with_diagonal, None)
+        windowed = self.make(square_with_diagonal, 8)
+        for t in range(1, 101):
+            assert windowed.happy_set(t) == plain.happy_set(t)
+
+    def test_retention_is_bounded_by_twice_the_window(self, square_with_diagonal):
+        windowed = self.make(square_with_diagonal, 8)
+        for t in range(1, 201):
+            windowed.happy_set(t)
+            assert len(windowed._cache) <= 16
+        # eviction actually happened and the guaranteed lookback held
+        assert windowed.evicted_below >= 200 - 16
+        assert windowed.evicted_below <= 200 - 8
+
+    def test_reading_evicted_holiday_raises(self, square_with_diagonal):
+        windowed = self.make(square_with_diagonal, 4)
+        windowed.happy_set(50)
+        with pytest.raises(ValueError, match="evicted"):
+            windowed.happy_set(1)
+        # within the guaranteed window everything is still readable
+        assert windowed.happy_set(50) == frozenset({2})
+        assert windowed.happy_set(47) == frozenset({3})
+
+    def test_unwindowed_never_evicts(self, square_with_diagonal):
+        plain = self.make(square_with_diagonal, None)
+        plain.happy_set(500)
+        assert plain.evicted_below == 0
+        assert plain.happy_set(1) == frozenset({1})
+
+    def test_invalid_window_rejected(self, square_with_diagonal):
+        with pytest.raises(ValueError, match="window"):
+            self.make(square_with_diagonal, 0)
+
+    def test_describe_mentions_window(self, square_with_diagonal):
+        assert "window=4" in self.make(square_with_diagonal, 4).describe()
+        assert "window" not in self.make(square_with_diagonal, None).describe()
+
+    def test_streamed_run_matches_unwindowed(self, square_with_diagonal):
+        """A windowed generator supports exactly the streaming engine's one
+        summary pass: the full evaluate+validate pipeline agrees with the
+        unwindowed schedule (fresh instances — one pass each)."""
+        from repro.analysis.runner import run_scheduler
+        from repro.algorithms.phased_greedy import PhasedGreedyScheduler
+
+        graph = square_with_diagonal
+        plain = run_scheduler(
+            PhasedGreedyScheduler("greedy"), graph, horizon=600, seed=3,
+            horizon_mode="stream", chunk=32,
+        )
+        windowed = run_scheduler(
+            PhasedGreedyScheduler("greedy", window=64), graph, horizon=600, seed=3,
+            horizon_mode="stream", chunk=32,
+        )
+        assert windowed.report.summary() == plain.report.summary()
+        assert windowed.validation.ok == plain.validation.ok
+        assert windowed.bound_satisfied == plain.bound_satisfied
+        assert windowed.schedule.evicted_below > 0

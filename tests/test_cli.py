@@ -142,6 +142,23 @@ class TestSchedule:
         with pytest.raises(SystemExit, match="--chunk"):
             main(["schedule", graph_file, "--horizon-mode", "stream", "--chunk", "0"])
 
+    def test_schedule_stream_jobs_are_observation_equivalent(self, graph_file, capsys):
+        """--jobs fans the streamed chunk scan over worker processes without
+        changing a single printed character (the determinism contract)."""
+        outputs = {}
+        for jobs in ("1", "2"):
+            code = main([
+                "schedule", graph_file, "--horizon", "128", "--calendar-years", "4",
+                "--horizon-mode", "stream", "--chunk", "16", "--jobs", jobs,
+            ])
+            assert code == 0
+            outputs[jobs] = capsys.readouterr().out
+        assert outputs["1"] == outputs["2"]
+
+    def test_schedule_rejects_bad_jobs(self, graph_file):
+        with pytest.raises(SystemExit, match="--jobs"):
+            main(["schedule", graph_file, "--horizon-mode", "stream", "--jobs", "0"])
+
 
 class TestCompareBoundsSatisfaction:
     def test_compare_default_set(self, graph_file, capsys):
@@ -286,6 +303,14 @@ class TestExperiment:
         printed = capsys.readouterr().out
         assert "benchmark suite" in printed and "bench_e14_streaming" in printed
 
+    def test_list_bench_suite_is_self_describing(self, capsys):
+        """Every E-suite row carries its horizon and horizon mode."""
+        pytest.importorskip("benchmarks.common")
+        assert main(["experiment", "--list"]) == 0
+        printed = capsys.readouterr().out
+        assert "horizon" in printed and "mode" in printed
+        assert "10^8 (quick 2*10^6)" in printed and "dense+stream" in printed
+
     def test_experiment_stream_mode(self, tmp_path, capsys):
         out = tmp_path / "results.jsonl"
         code = main(
@@ -304,6 +329,23 @@ class TestExperiment:
 
         records = ResultSet.from_jsonl(out)
         assert [r.params["horizon_mode"] for r in records] == ["stream"]
+
+    def test_experiment_stream_jobs_flag(self, tmp_path, capsys):
+        """--stream-jobs runs the chunk scan of each streamed cell on worker
+        processes; metrics equal the serial run (ids differ by design)."""
+        serial, parallel = tmp_path / "serial.jsonl", tmp_path / "parallel.jsonl"
+        base = [
+            "experiment", "--workloads", "small/path",
+            "--algorithms", "degree-periodic",
+            "--horizon", "64", "--horizon-mode", "stream", "--chunk", "8",
+        ]
+        assert main(base + ["--output", str(serial)]) == 0
+        assert main(base + ["--stream-jobs", "2", "--output", str(parallel)]) == 0
+        from repro.analysis.records import ResultSet
+
+        a, b = ResultSet.from_jsonl(serial), ResultSet.from_jsonl(parallel)
+        assert [r.metrics["max_mul"] for r in a] == [r.metrics["max_mul"] for r in b]
+        assert [r.params["cell_id"] for r in a] != [r.params["cell_id"] for r in b]
 
     def test_errors(self, tmp_path):
         with pytest.raises(SystemExit, match="--workloads"):
