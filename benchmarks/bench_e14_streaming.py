@@ -56,6 +56,7 @@ from benchmarks.common import BENCH_SEED, bench_record, print_table, write_bench
 from repro.algorithms.phased_greedy import PhasedGreedyScheduler
 from repro.algorithms.registry import get_scheduler
 from repro.analysis.runner import run_scheduler
+from repro.core.config import EngineConfig
 from repro.core.trace import DEFAULT_CHUNK, dense_trace_bytes, resolve_backend
 from repro.graphs.suites import get_workload
 
@@ -101,11 +102,11 @@ def equivalence_check(graph, algorithm: str, backend: str, chunk: int):
     horizon = EQUIVALENCE_HORIZON
     dense = run_scheduler(
         get_scheduler(algorithm), graph, horizon=horizon, seed=1,
-        backend=backend, horizon_mode="dense",
+        config=EngineConfig(backend=backend, horizon_mode="dense"),
     )
     stream = run_scheduler(
         get_scheduler(algorithm), graph, horizon=horizon, seed=1,
-        backend=backend, horizon_mode="stream", chunk=chunk,
+        config=EngineConfig(backend=backend, horizon_mode="stream", chunk=chunk),
     )
     assert dense.horizon_mode == "dense" and stream.horizon_mode == "stream"
     if stream.report.summary() != dense.report.summary():
@@ -141,7 +142,9 @@ def streaming_run(graph, algorithm: str, horizon: int, chunk: int, backend: str,
     start = time.perf_counter()
     outcome = run_scheduler(
         scheduler, graph, horizon=horizon, seed=1,
-        backend=backend, horizon_mode="stream", chunk=chunk, jobs=jobs,
+        config=EngineConfig(
+            backend=backend, horizon_mode="stream", chunk=chunk, stream_jobs=jobs
+        ),
     )
     seconds = time.perf_counter() - start
     _, peak = tracemalloc.get_traced_memory()
@@ -220,7 +223,7 @@ def generator_streaming_run(graph, horizon: int, window: int, chunk: int, backen
     start = time.perf_counter()
     outcome = run_scheduler(
         scheduler, graph, horizon=horizon, seed=1,
-        backend=backend, horizon_mode="stream", chunk=chunk,
+        config=EngineConfig(backend=backend, horizon_mode="stream", chunk=chunk),
     )
     seconds = time.perf_counter() - start
     _, peak = tracemalloc.get_traced_memory()

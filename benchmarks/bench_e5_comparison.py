@@ -47,6 +47,7 @@ from benchmarks.common import (
 from repro.analysis.runner import compare_schedulers
 from repro.algorithms.registry import get_scheduler
 from repro.core.metrics import evaluate_schedule
+from repro.core.config import EngineConfig
 from repro.core.trace import resolve_backend
 
 WORKLOADS = experiment_workloads()
@@ -139,11 +140,11 @@ def trace_speedup_report(horizon: int, backend: str, quick: bool = False, grid=N
             schedule.prefix(horizon)
 
             start = time.perf_counter()
-            fast = evaluate_schedule(schedule, graph, horizon, backend=backend)
+            fast = evaluate_schedule(schedule, graph, horizon, config=EngineConfig(backend=backend))
             fast_seconds = time.perf_counter() - start
 
             start = time.perf_counter()
-            reference = evaluate_schedule(schedule, graph, horizon, backend="sets")
+            reference = evaluate_schedule(schedule, graph, horizon, config=EngineConfig(backend="sets"))
             sets_seconds = time.perf_counter() - start
 
             if fast.summary() != reference.summary():
@@ -187,8 +188,8 @@ def run_engine_comparison(workloads, schedulers, horizon, backend, jobs):
         experiment="E5",
         horizon=horizon,
         seed=1,
-        backend=backend,
         jobs=jobs,
+        config=EngineConfig(backend=backend),
     )
     return results, time.perf_counter() - start
 

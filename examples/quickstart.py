@@ -2,8 +2,10 @@
 """Quickstart: schedule holiday gatherings for a small extended family network.
 
 The scenario: seven families whose children intermarried.  We build the
-conflict graph, run the paper's three schedulers, print a 16-year calendar
-and verify each algorithm's per-node guarantee.
+conflict graph, open one :class:`repro.api.Session` over it, run the paper's
+three schedulers, print a 16-year calendar and verify each algorithm's
+per-node guarantee — the session builds each schedule's occupancy trace once
+and shares it between the metric suite and the validator.
 
 Run with::
 
@@ -16,9 +18,9 @@ from repro import (
     ColorPeriodicScheduler,
     ConflictGraph,
     DegreePeriodicScheduler,
+    EngineConfig,
     PhasedGreedyScheduler,
-    evaluate_schedule,
-    validate_schedule,
+    Session,
 )
 from repro.analysis.tables import render_table
 
@@ -51,6 +53,12 @@ def main() -> None:
     print(f"Conflict graph: {graph.num_nodes()} families, {graph.num_edges()} marriages")
     print(f"Degrees: { {p: graph.degree(p) for p in graph.nodes()} }\n")
 
+    # One session owns the engine configuration for every run below.  The
+    # default EngineConfig() is right for a graph this size; the same object
+    # scales to 10^8-holiday horizons by flipping knobs, e.g.
+    # EngineConfig(horizon_mode="stream", stream_jobs=4).
+    session = Session(graph, config=EngineConfig())
+
     schedulers = [
         ("Phased Greedy (§3, aperiodic, mul ≤ deg+1)", PhasedGreedyScheduler(initial_coloring="greedy")),
         ("Elias-omega color-bound (§4, periodic)", ColorPeriodicScheduler()),
@@ -63,10 +71,12 @@ def main() -> None:
         print_calendar(schedule, graph, years=16)
 
         horizon = 64
-        report = evaluate_schedule(schedule, graph, horizon, name=scheduler.name)
         bound = scheduler.bound_function(graph)
-        validation = validate_schedule(
-            schedule, graph, horizon, bound=bound, bound_name=scheduler.info.local_bound
+        # evaluate() and validate() share one occupancy trace per
+        # (schedule, horizon) — no manual trace= threading.
+        report = session.evaluate(schedule, horizon, name=scheduler.name)
+        validation = session.validate(
+            schedule, horizon, bound=bound, bound_name=scheduler.info.local_bound
         )
         rows = [
             [
@@ -94,9 +104,10 @@ def spec_driven_sweep() -> None:
     """The same comparison, declaratively: one spec, many scenarios.
 
     An :class:`ExperimentSpec` names registry workloads instead of building
-    graphs by hand; the engine runs the cartesian product (in parallel with
-    ``jobs=N``, resumably with ``sink=``/``resume=True``) and returns a
-    pivotable :class:`ResultSet`.
+    graphs by hand and carries one ``EngineConfig`` for every cell; the
+    engine runs the cartesian product (in parallel with ``jobs=N``,
+    resumably with ``sink=``/``resume=True``) and returns a pivotable
+    :class:`ResultSet`.
     """
     from repro.analysis.engine import ExperimentEngine, ExperimentSpec
 
@@ -105,6 +116,7 @@ def spec_driven_sweep() -> None:
         workloads=("small/star", "small/cycle", "small/gnp"),
         algorithms=("phased-greedy", "color-periodic-omega", "degree-periodic"),
         horizon=64,
+        config=EngineConfig(),  # backend/horizon_mode/chunk/stream_jobs/window
     )
     results = ExperimentEngine(jobs=1).run(spec)
     pivot = results.pivot("mean_norm_gap")

@@ -9,20 +9,23 @@ bound empirically.
 
 Quick start::
 
-    from repro import ConflictGraph, DegreePeriodicScheduler, evaluate_schedule
+    from repro import ConflictGraph, DegreePeriodicScheduler, Session
 
     graph = ConflictGraph.from_edges([(0, 1), (1, 2), (2, 3), (3, 0), (1, 3)])
+    session = Session(graph)                       # config=EngineConfig(...)
     schedule = DegreePeriodicScheduler().build(graph)
-    report = evaluate_schedule(schedule, graph, horizon=64)
-    print(report.muls)        # max unhappiness per family
-    print(report.periods)     # observed hosting period per family
+    report = session.evaluate(schedule, horizon=64)
+    print(report.muls)                  # max unhappiness per family
+    print(session.validate(schedule, horizon=64).ok)
 
 See ``examples/`` for end-to-end scenarios and ``benchmarks/`` for the
 experiment suite documented in EXPERIMENTS.md.
 """
 
+from repro.api import Session, SessionReport
 from repro.core import (
     ConflictGraph,
+    EngineConfig,
     ExplicitSchedule,
     Gathering,
     GeneratorSchedule,
@@ -79,6 +82,9 @@ __all__ = [
     "__version__",
     # core
     "ConflictGraph",
+    "EngineConfig",
+    "Session",
+    "SessionReport",
     "Gathering",
     "orientation_towards",
     "Schedule",

@@ -57,6 +57,18 @@ class Scheduler(ABC):
         """
         return None
 
+    def with_window(self, window: Optional[int]) -> "Scheduler":
+        """A scheduler variant whose schedules memoise a sliding window.
+
+        This is how :attr:`repro.core.config.EngineConfig.window` reaches a
+        scheduler: generator-backed schedulers that support the
+        :class:`~repro.core.schedule.GeneratorSchedule` window cache
+        override this to return a re-configured copy; everything else (in
+        particular perfectly periodic schedulers, which never materialise a
+        prefix at all) returns itself unchanged.
+        """
+        return self
+
     @property
     def name(self) -> str:
         """Shorthand for ``info.name``."""

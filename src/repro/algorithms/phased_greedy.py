@@ -102,6 +102,13 @@ class PhasedGreedyScheduler(Scheduler):
         self.init_rounds: Optional[int] = None
         self.init_messages: Optional[int] = None
 
+    def with_window(self, window: Optional[int]) -> "PhasedGreedyScheduler":
+        """A copy of this scheduler whose schedules keep a sliding window
+        of ``window`` holidays (see :class:`Scheduler.with_window`)."""
+        if window == self._window:
+            return self
+        return PhasedGreedyScheduler(self._initial_coloring, window=window)
+
     info = SchedulerInfo(
         name="phased-greedy",
         periodic=False,

@@ -3,9 +3,10 @@
 The layer between *one* scheduler×graph run (:mod:`repro.analysis.runner`)
 and a whole empirical campaign.  An :class:`ExperimentSpec` is pure data —
 named workloads (resolved through :mod:`repro.graphs.suites`), registered
-schedulers, a parameter grid, seeds, a :class:`HorizonPolicy`, a trace
-backend and a horizon representation (``horizon_mode``/``chunk``, see
-:mod:`repro.core.trace`) — and an :class:`ExperimentEngine` executes its
+schedulers, a parameter grid, seeds, a :class:`HorizonPolicy` and one
+:class:`~repro.core.config.EngineConfig` of trace-engine knobs (backend,
+horizon representation, chunk width, streamed-scan workers) — and an
+:class:`ExperimentEngine` executes its
 cartesian product of cells with pluggable executors:
 
 * ``jobs=1`` — in-process serial loop (no pool overhead);
@@ -32,7 +33,7 @@ import itertools
 import json
 import time
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
-from dataclasses import asdict, dataclass, field, replace
+from dataclasses import InitVar, asdict, dataclass, field, replace
 from pathlib import Path
 from typing import (
     Callable,
@@ -47,8 +48,8 @@ from typing import (
 )
 
 from repro.analysis.records import ExperimentRecord, ResultSet
+from repro.core.config import DEFAULT_CONFIG, EngineConfig, coerce_config
 from repro.core.problem import ConflictGraph
-from repro.core.trace import HORIZON_MODES
 from repro.graphs.suites import expand_workload_names, get_workload
 from repro.utils.logging import get_logger
 from repro.utils.rng import derive_seed
@@ -171,6 +172,33 @@ def expand_grid(param_lists: Mapping[str, Sequence[object]]) -> List[Dict[str, o
 # spec and cells
 # ---------------------------------------------------------------------------
 
+def _absorb_legacy_config(
+    obj: object,
+    caller: str,
+    backend: Optional[str],
+    horizon_mode: Optional[str],
+    chunk: Optional[int],
+    stream_jobs: Optional[int],
+) -> None:
+    """Fold the deprecated per-knob init keywords of a frozen spec/cell into
+    its ``config`` field (one DeprecationWarning, via ``coerce_config``); a
+    plain mapping passed as ``config`` is promoted to an EngineConfig."""
+    if not isinstance(obj.config, EngineConfig):
+        object.__setattr__(obj, "config", EngineConfig.from_dict(dict(obj.config)))
+    legacy = {
+        "backend": backend,
+        "horizon_mode": horizon_mode,
+        "chunk": chunk,
+        "stream_jobs": stream_jobs,
+    }
+    if any(v is not None for v in legacy.values()):
+        coerced = coerce_config(
+            None if obj.config == DEFAULT_CONFIG else obj.config,
+            legacy, caller=caller, stacklevel=5,
+        )
+        object.__setattr__(obj, "config", coerced)
+
+
 @dataclass(frozen=True)
 class ExperimentSpec:
     """A complete experiment as pure data.
@@ -191,21 +219,29 @@ class ExperimentSpec:
     seeds: Tuple[int, ...] = (0,)
     horizon: Optional[int] = None
     policy: HorizonPolicy = field(default_factory=HorizonPolicy)
-    backend: str = "auto"
     certify_bound: bool = True
     workload_params: Mapping[str, object] = field(default_factory=dict)
-    #: horizon representation for every cell: "dense" / "stream" / "auto"
-    #: (auto streams only past the repro.core.trace.AUTO_STREAM_BYTES line).
-    horizon_mode: str = "auto"
-    #: streaming chunk width (None = repro.core.trace.DEFAULT_CHUNK).
-    chunk: Optional[int] = None
-    #: worker processes for the chunk scan *inside* each streamed cell —
-    #: the per-cell counterpart of the engine's ``jobs`` (which fans out
-    #: across cells).  Purely a wall-clock knob: records are identical for
-    #: every value, so it is hashed into cell ids only when non-default.
-    stream_jobs: int = 1
+    #: every trace-engine execution knob for every cell — backend, horizon
+    #: representation, chunk width, per-cell streamed-scan workers, generator
+    #: window — on one EngineConfig.  Non-default knobs are hashed into cell
+    #: ids; defaults leave ids (and therefore resumable sinks) untouched.
+    config: EngineConfig = field(default_factory=EngineConfig)
+    #: deprecated init-only shim: the pre-config spellings of the engine
+    #: knobs.  Translated into ``config`` (with one DeprecationWarning);
+    #: read the values back from ``spec.config``.
+    backend: InitVar[Optional[str]] = None
+    horizon_mode: InitVar[Optional[str]] = None
+    chunk: InitVar[Optional[int]] = None
+    stream_jobs: InitVar[Optional[int]] = None
 
-    def __post_init__(self) -> None:
+    def __post_init__(
+        self,
+        backend: Optional[str],
+        horizon_mode: Optional[str],
+        chunk: Optional[int],
+        stream_jobs: Optional[int],
+    ) -> None:
+        _absorb_legacy_config(self, "ExperimentSpec", backend, horizon_mode, chunk, stream_jobs)
         object.__setattr__(self, "workloads", tuple(self.workloads))
         object.__setattr__(self, "algorithms", tuple(self.algorithms))
         object.__setattr__(self, "seeds", tuple(int(s) for s in self.seeds))
@@ -230,18 +266,6 @@ class ExperimentSpec:
             raise ValueError("spec needs at least one algorithm")
         if not self.seeds:
             raise ValueError("spec needs at least one seed")
-        if self.horizon_mode not in HORIZON_MODES:
-            raise ValueError(
-                f"unknown horizon_mode {self.horizon_mode!r}; expected one of {HORIZON_MODES}"
-            )
-        if self.backend == "sets" and self.horizon_mode == "stream":
-            raise ValueError(
-                "backend='sets' (the frozenset reference) has no streaming mode"
-            )
-        if self.chunk is not None and int(self.chunk) < 1:
-            raise ValueError(f"chunk width must be >= 1, got {self.chunk!r}")
-        if int(self.stream_jobs) < 1:
-            raise ValueError(f"stream_jobs must be >= 1, got {self.stream_jobs!r}")
 
     def resolved_workloads(self, extra: Sequence[str] = ()) -> List[str]:
         """Workload names with glob patterns expanded."""
@@ -263,12 +287,9 @@ class ExperimentSpec:
                                 seed=seed,
                                 horizon=self.horizon,
                                 policy=self.policy,
-                                backend=self.backend,
                                 certify_bound=self.certify_bound,
                                 workload_params=dict(self.workload_params),
-                                horizon_mode=self.horizon_mode,
-                                chunk=self.chunk,
-                                stream_jobs=self.stream_jobs,
+                                config=self.config,
                             )
                         )
         return out
@@ -284,20 +305,31 @@ class ExperimentSpec:
             "seeds": list(self.seeds),
             "horizon": self.horizon,
             "policy": self.policy.to_dict(),
-            "backend": self.backend,
             "certify_bound": self.certify_bound,
             "workload_params": dict(self.workload_params),
-            "horizon_mode": self.horizon_mode,
-            "chunk": self.chunk,
-            "stream_jobs": self.stream_jobs,
+            "config": self.config.to_dict(),
         }
 
     @classmethod
     def from_dict(cls, payload: Mapping[str, object]) -> "ExperimentSpec":
-        """Inverse of :meth:`to_dict`; unknown keys are rejected."""
+        """Inverse of :meth:`to_dict`; unknown keys are rejected.
+
+        Spec files written before the :class:`EngineConfig` consolidation
+        carried flat ``backend``/``horizon_mode``/``chunk``/``stream_jobs``
+        keys; they still load (translated into a config, silently — data
+        migration, not API misuse), so archived ``--spec`` files and resume
+        workflows keep working.
+        """
         data = dict(payload)
         policy = data.pop("policy", None)
+        config = data.pop("config", None)
+        legacy = {
+            key: data.pop(key)
+            for key in ("backend", "horizon_mode", "chunk", "stream_jobs")
+            if data.get(key) is not None
+        }
         known = {f for f in cls.__dataclass_fields__}
+        data.pop("chunk", None)  # a legacy null chunk is just the default
         unknown = set(data) - known
         if unknown:
             raise ValueError(f"unknown ExperimentSpec fields: {sorted(unknown)}")
@@ -305,6 +337,17 @@ class ExperimentSpec:
             data["policy"] = (
                 policy if isinstance(policy, HorizonPolicy) else HorizonPolicy.from_dict(policy)
             )
+        if config is not None:
+            if legacy:
+                raise ValueError(
+                    "spec payload mixes 'config' with the legacy keys "
+                    f"{sorted(legacy)}; use one or the other"
+                )
+            data["config"] = (
+                config if isinstance(config, EngineConfig) else EngineConfig.from_dict(config)
+            )
+        elif legacy:
+            data["config"] = EngineConfig(**legacy)
         return cls(**data)
 
     def to_json(self, path: Union[str, Path]) -> Path:
@@ -344,16 +387,27 @@ class ExperimentCell:
     seed: int
     horizon: Optional[int] = None
     policy: HorizonPolicy = field(default_factory=HorizonPolicy)
-    backend: str = "auto"
     certify_bound: bool = True
     workload_params: Mapping[str, object] = field(default_factory=dict)
-    horizon_mode: str = "auto"
-    chunk: Optional[int] = None
-    #: per-cell streamed-scan workers (see ExperimentSpec.stream_jobs).
-    stream_jobs: int = 1
+    #: the spec's EngineConfig, carried whole (see ExperimentSpec.config).
+    config: EngineConfig = field(default_factory=EngineConfig)
     #: content hash of an ad-hoc (non-registry) graph; None for registry
     #: workloads, whose content is already determined by name + params.
     graph_key: Optional[str] = None
+    #: deprecated init-only shim (see ExperimentSpec); read via ``config``.
+    backend: InitVar[Optional[str]] = None
+    horizon_mode: InitVar[Optional[str]] = None
+    chunk: InitVar[Optional[int]] = None
+    stream_jobs: InitVar[Optional[int]] = None
+
+    def __post_init__(
+        self,
+        backend: Optional[str],
+        horizon_mode: Optional[str],
+        chunk: Optional[int],
+        stream_jobs: Optional[int],
+    ) -> None:
+        _absorb_legacy_config(self, "ExperimentCell", backend, horizon_mode, chunk, stream_jobs)
 
     def param_key(self) -> str:
         """Canonical string form of the grid point (stable across processes)."""
@@ -375,10 +429,12 @@ class ExperimentCell:
         Hashes the cell identity *and* the execution knobs that change the
         measured numbers (horizon, policy, backend, certification), so a
         resumed run only skips cells that were produced by an equivalent
-        spec.  The horizon representation is hashed only when it deviates
-        from the defaults: dense and stream produce identical records, so
-        ``horizon_mode="auto"`` keeps the cell ids (and therefore resumable
-        sinks) of runs recorded before streaming existed.
+        spec.  The other :class:`EngineConfig` knobs are hashed only when
+        they deviate from the defaults: dense and stream produce identical
+        records and parallelism never changes one, so a default config keeps
+        the cell ids (and therefore resumable sinks) of runs recorded before
+        each knob existed — asserted against golden PR 4 ids in
+        ``tests/core/test_config.py``.
         """
         identity: Dict[str, object] = {
             "experiment": self.experiment,
@@ -388,17 +444,19 @@ class ExperimentCell:
             "seed": self.seed,
             "horizon": self.horizon,
             "policy": self.policy.to_dict(),
-            "backend": self.backend,
+            "backend": self.config.backend,
             "certify_bound": self.certify_bound,
             "workload_params": dict(self.workload_params),
             "graph_key": self.graph_key,
         }
-        if self.horizon_mode != "auto":
-            identity["horizon_mode"] = self.horizon_mode
-        if self.chunk is not None:
-            identity["chunk"] = self.chunk
-        if self.stream_jobs != 1:
-            identity["stream_jobs"] = self.stream_jobs
+        # Only non-default knobs mark the id (EngineConfig.non_default):
+        # the horizon representation and the parallelism knobs never change
+        # a record, so ids (and resumable sinks) recorded before each knob
+        # existed stay valid.  ``backend`` predates the config and is always
+        # hashed, exactly as it was pre-consolidation.
+        identity.update(
+            {k: v for k, v in self.config.non_default().items() if k != "backend"}
+        )
         payload = json.dumps(identity, sort_keys=True)
         return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:16]
 
@@ -445,18 +503,15 @@ def execute_cell(
         horizon=cell.horizon,
         seed=cell.cell_seed(),
         certify_bound=cell.certify_bound,
-        backend=cell.backend,
         policy=cell.policy,
-        horizon_mode=cell.horizon_mode,
-        chunk=cell.chunk,
-        jobs=cell.stream_jobs,
+        config=cell.config,
     )
     params: Dict[str, object] = dict(cell.params)
     params.update(
         {
             "horizon": outcome.horizon,
             "n": graph.num_nodes(),
-            "backend": cell.backend,
+            "backend": cell.config.backend,
             "seed": cell.seed,
             "cell_seed": cell.cell_seed(),
             "cell_id": cell.cell_id(),

@@ -5,12 +5,16 @@ The runner encapsulates the repetitive part of every experiment:
 1. pick an observation horizon long enough to witness several periods of the
    slowest node (``choose_horizon``),
 2. build the schedule and time the construction,
-3. build the occupancy trace **once** (:class:`repro.core.trace.TraceMatrix`,
-   unless ``backend="sets"`` selects the frozenset reference engine),
-4. evaluate the metric suite (:func:`repro.core.metrics.evaluate_schedule`),
-5. validate legality and, when the scheduler states a per-node bound,
-   certify it (:func:`repro.core.validation.validate_schedule`) — both steps
-   share the step-3 matrix instead of re-materializing the schedule twice.
+3. open a :class:`repro.api.Session` for the graph and the run's
+   :class:`~repro.core.config.EngineConfig`,
+4. evaluate the metric suite and validate legality (plus the scheduler's
+   claimed per-node bound) through the session — which builds the occupancy
+   trace **once** and shares it between both steps.
+
+Execution knobs (backend, horizon representation, chunk width, streamed-scan
+workers, generator window) arrive on one ``config=``; the historical
+``backend=``/``horizon_mode=``/``chunk=``/``jobs=`` keywords remain as a
+deprecated shim.
 
 ``compare_schedulers`` runs a list of registered scheduler names over a
 workload dictionary and returns a :class:`~repro.analysis.records.ResultSet`
@@ -22,17 +26,18 @@ where ``jobs``/``sink``/``resume`` come from.
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Union
+from typing import Dict, Mapping, Optional, Sequence, Union
 
 from repro.algorithms.base import Scheduler
 from repro.analysis.engine import ExperimentEngine, ExperimentSpec, HorizonPolicy
 from repro.analysis.records import ResultSet
-from repro.core.metrics import ScheduleReport, build_trace, evaluate_schedule
+from repro.core.config import DEFAULT_CONFIG, EngineConfig, coerce_config
+from repro.core.metrics import ScheduleReport
 from repro.core.problem import ConflictGraph
 from repro.core.schedule import Schedule
-from repro.core.validation import ValidationReport, validate_schedule
+from repro.core.validation import ValidationReport
 
 __all__ = ["RunOutcome", "choose_horizon", "run_scheduler", "compare_schedulers"]
 
@@ -59,6 +64,8 @@ class RunOutcome:
     #: worker processes the streamed summary pass was allowed to fan out
     #: over (1 = serial; never affects any measured number, only wall time).
     jobs: int = 1
+    #: the full execution configuration the run was measured under.
+    config: EngineConfig = field(default_factory=EngineConfig)
 
     def metrics(self) -> Dict[str, float]:
         """Flat metric dictionary (report summary + construction cost + validity)."""
@@ -96,28 +103,47 @@ def run_scheduler(
     seed: int = 0,
     certify_bound: bool = True,
     skip_isolated: bool = True,
-    backend: str = "auto",
+    backend: Optional[str] = None,
     policy: Optional[HorizonPolicy] = None,
-    horizon_mode: str = "auto",
+    horizon_mode: Optional[str] = None,
     chunk: Optional[int] = None,
-    jobs: int = 1,
+    jobs: Optional[int] = None,
+    *,
+    config: Optional[EngineConfig] = None,
 ) -> RunOutcome:
     """Build, evaluate and validate one scheduler on one graph.
 
-    ``backend`` selects the trace engine (``"auto"``/``"numpy"``/
-    ``"bitmask"``/``"sets"``); on the matrix engines the occupancy trace is
-    built exactly once and shared by the metric suite and the validator.
-    ``horizon_mode`` selects the horizon representation (``"dense"`` one
+    ``config`` carries the trace-engine knobs: ``backend`` (``"auto"``/
+    ``"numpy"``/``"bitmask"``/``"sets"``), ``horizon_mode`` (``"dense"`` one
     n × horizon matrix, ``"stream"`` fixed-width chunks of ``chunk``
     holidays at ``O(n × chunk)`` memory, ``"auto"`` dense until the matrix
-    would exceed :data:`repro.core.trace.AUTO_STREAM_BYTES`); ``jobs`` lets
-    a streamed run fan its chunk scan out over worker processes — a pure
-    wall-clock knob whose results are identical to ``jobs=1`` by the
-    :class:`~repro.core.trace.StreamedTrace` determinism contract.  When
-    ``horizon`` is ``None`` the observation window comes from ``policy``
-    (default :class:`~repro.analysis.engine.HorizonPolicy`), extended so
-    any claimed per-node bound can be witnessed.
+    would exceed :data:`repro.core.trace.AUTO_STREAM_BYTES`) and
+    ``stream_jobs`` (streamed-scan worker fan-out — a pure wall-clock knob
+    whose results are identical to serial by the
+    :class:`~repro.core.trace.StreamedTrace` determinism contract).
+    ``config.window`` re-configures schedulers that support a sliding
+    generator window (:meth:`~repro.algorithms.base.Scheduler.with_window`).
+    On the matrix engines the occupancy trace is built exactly once — the
+    run goes through :class:`repro.api.Session` — and shared by the metric
+    suite and the validator.  When ``horizon`` is ``None`` the observation
+    window comes from ``policy`` (default
+    :class:`~repro.analysis.engine.HorizonPolicy`), extended so any claimed
+    per-node bound can be witnessed.  The ``backend``/``horizon_mode``/
+    ``chunk``/``jobs`` keywords are the deprecated pre-config spelling.
     """
+    # Imported here, not at module level: repro.api sits above this module
+    # (Session.run delegates back to run_scheduler), so the runner->api edge
+    # must stay lazy to keep the import graph acyclic.
+    from repro.api import Session
+
+    config = coerce_config(
+        config,
+        {"backend": backend, "horizon_mode": horizon_mode, "chunk": chunk, "jobs": jobs},
+        caller="run_scheduler",
+    )
+    if config.window is not None:
+        scheduler = scheduler.with_window(config.window)
+
     start = time.perf_counter()
     schedule = scheduler.build(graph, seed=seed)
     build_seconds = time.perf_counter() - start
@@ -126,21 +152,16 @@ def run_scheduler(
     if horizon is None:
         horizon = (policy or HorizonPolicy()).resolve(graph, bound_fn)
 
+    session = Session(graph, config=config, policy=policy)
     start = time.perf_counter()
-    trace = build_trace(
-        schedule, graph, horizon, backend=backend, mode=horizon_mode, chunk=chunk, jobs=jobs
-    )
-    report = evaluate_schedule(schedule, graph, horizon, name=scheduler.name, backend=backend, trace=trace)
-    validation = validate_schedule(
+    report = session.evaluate(schedule, horizon, name=scheduler.name)
+    validation = session.validate(
         schedule,
-        graph,
         horizon,
         bound=bound_fn,
         bound_name=scheduler.info.local_bound,
         check_periodic=scheduler.info.periodic,
         skip_isolated=skip_isolated,
-        backend=backend,
-        trace=trace,
     )
     measure_seconds = time.perf_counter() - start
     bound_satisfied: Optional[bool] = None
@@ -156,10 +177,11 @@ def run_scheduler(
         validation=validation,
         build_seconds=build_seconds,
         bound_satisfied=bound_satisfied,
-        backend=backend,
+        backend=config.backend,
         measure_seconds=measure_seconds,
-        horizon_mode=getattr(trace, "mode", "sets"),
-        jobs=jobs,
+        horizon_mode=getattr(session.trace(schedule, horizon), "mode", "sets"),
+        jobs=config.stream_jobs,
+        config=config,
     )
 
 
@@ -170,25 +192,28 @@ def compare_schedulers(
     horizon: Optional[int] = None,
     seed: int = 0,
     certify_bound: bool = True,
-    backend: str = "auto",
-    horizon_mode: str = "auto",
+    backend: Optional[str] = None,
+    horizon_mode: Optional[str] = None,
     chunk: Optional[int] = None,
     jobs: int = 1,
-    stream_jobs: int = 1,
+    stream_jobs: Optional[int] = None,
     sink: Optional[Union[str, Path]] = None,
     resume: bool = False,
+    *,
+    config: Optional[EngineConfig] = None,
 ) -> ResultSet:
     """Run every named scheduler over every workload and collect the results.
 
     A thin wrapper over the declarative engine: the workload dictionary is
     turned into an :class:`~repro.analysis.engine.ExperimentSpec` whose
     workload names shadow the registry with the given graphs.  ``jobs``
-    selects parallel execution *across cells*; ``stream_jobs`` parallelises
-    the chunk scan *within* each streamed cell (the two compose, but on a
-    fixed core budget prefer ``jobs`` when there are many cells and
-    ``stream_jobs`` when one long-horizon cell dominates).  ``sink``/
-    ``resume`` stream the records to a JSONL file and skip already-completed
-    cells.
+    selects parallel execution *across cells*; ``config.stream_jobs``
+    parallelises the chunk scan *within* each streamed cell (the two
+    compose, but on a fixed core budget prefer ``jobs`` when there are many
+    cells and ``stream_jobs`` when one long-horizon cell dominates).
+    ``sink``/``resume`` stream the records to a JSONL file and skip
+    already-completed cells.  The ``backend``/``horizon_mode``/``chunk``/
+    ``stream_jobs`` keywords are the deprecated pre-config spelling.
 
     Seed semantics: ``seed`` is the *root* seed; each cell's scheduler runs
     with a seed derived from ``(workload, algorithm, params, seed)`` (the
@@ -197,17 +222,24 @@ def compare_schedulers(
     (e.g. ``first-come-first-grab``) draw different streams than the
     pre-engine serial loop, which passed the root seed straight through.
     """
+    config = coerce_config(
+        config,
+        {
+            "backend": backend,
+            "horizon_mode": horizon_mode,
+            "chunk": chunk,
+            "stream_jobs": stream_jobs,
+        },
+        caller="compare_schedulers",
+    )
     spec = ExperimentSpec(
         name=experiment,
         workloads=tuple(workloads),
         algorithms=tuple(scheduler_names),
         seeds=(seed,),
         horizon=horizon,
-        backend=backend,
         certify_bound=certify_bound,
-        horizon_mode=horizon_mode,
-        chunk=chunk,
-        stream_jobs=stream_jobs,
+        config=config,
     )
     engine = ExperimentEngine(jobs=jobs, sink=sink, resume=resume)
     return engine.run(spec, workloads=workloads)

@@ -12,10 +12,12 @@ which also provide multi-process execution (``jobs=N``).
 
 from __future__ import annotations
 
-from typing import Callable, Iterable, Mapping, Sequence
+import functools
+from typing import Callable, Iterable, Mapping, Optional, Sequence
 
 from repro.analysis.engine import expand_grid, run_grid
 from repro.analysis.records import ExperimentRecord, ResultSet
+from repro.core.config import EngineConfig
 
 __all__ = ["sweep", "expand_grid"]
 
@@ -24,6 +26,7 @@ def sweep(
     param_lists: Mapping[str, Sequence[object]],
     runner: Callable[..., Iterable[ExperimentRecord]],
     jobs: int = 1,
+    config: Optional[EngineConfig] = None,
 ) -> ResultSet:
     """Run ``runner(**params)`` for every parameter combination.
 
@@ -32,5 +35,13 @@ def sweep(
     merged into a single :class:`~repro.analysis.records.ResultSet`, in
     grid order.  With ``jobs > 1`` combinations execute in worker processes
     (the runner must then be picklable, i.e. a module-level function).
+    When ``config`` is given it is forwarded to every runner invocation as
+    ``runner(config=config, **params)`` — one
+    :class:`~repro.core.config.EngineConfig` for the whole sweep instead of
+    a knob baked into each grid point.  The binding is a
+    :func:`functools.partial`, which pickles like the runner it wraps, so
+    ``config`` composes with ``jobs > 1``.
     """
+    if config is not None:
+        runner = functools.partial(runner, config=config)
     return run_grid(param_lists, runner, jobs=jobs)

@@ -51,9 +51,9 @@ from repro.analysis.runner import compare_schedulers, run_scheduler
 from repro.analysis.tables import render_table
 from repro.coloring.greedy import greedy_coloring
 from repro.core.bounds import bound_table
+from repro.core.config import EngineConfig, config_with
 from repro.core.problem import ConflictGraph
 from repro.core.schedule import PeriodicSchedule
-from repro.core.trace import resolve_backend
 from repro.graphs.families import clique, star
 from repro.graphs.random_graphs import barabasi_albert, erdos_renyi
 from repro.graphs.society import random_society
@@ -92,34 +92,32 @@ def _write_graph(graph: ConflictGraph, path: str) -> None:
         save_edge_list(graph, path)
 
 
-def _check_backend(backend: str) -> str:
-    """Turn an unavailable trace backend into a clean CLI error."""
-    if backend != "sets":
-        try:
-            resolve_backend(backend)
-        except RuntimeError as exc:
-            raise SystemExit(f"error: {exc} (install the [fast] extra or use --backend bitmask)")
-    return backend
+def add_engine_args(
+    parser: argparse.ArgumentParser, stream_jobs_aliases: Sequence[str] = ()
+) -> None:
+    """Register the shared trace-engine flags on a subcommand.
 
-
-def _check_horizon_mode(backend: str, mode: str, chunk: Optional[int], jobs: int = 1) -> str:
-    """Validate the --horizon-mode/--chunk/--jobs combination up front."""
-    if backend == "sets" and mode == "stream":
-        raise SystemExit(
-            "error: --backend sets (the frozenset reference) has no streaming mode; "
-            "use --backend auto/numpy/bitmask with --horizon-mode stream"
-        )
-    if chunk is not None and chunk < 1:
-        raise SystemExit(f"error: --chunk must be >= 1, got {chunk}")
-    if jobs < 1:
-        raise SystemExit(f"error: --jobs must be >= 1, got {jobs}")
-    return mode
-
-
-def _add_horizon_mode_flags(parser: argparse.ArgumentParser, default: Optional[str] = "auto") -> None:
+    One registration shared by ``schedule``/``compare``/``experiment`` (it
+    used to be copied per subcommand): ``--backend``, ``--horizon-mode``,
+    ``--chunk`` and ``--stream-jobs``.  ``stream_jobs_aliases`` adds extra
+    spellings for the latter — ``schedule``/``compare`` alias their
+    historical ``--jobs`` to it (on ``experiment``, ``--jobs`` fans out
+    across cells and stays separate).  Every flag defaults to ``None`` =
+    "not given", so :func:`engine_overrides` can layer only the flags the
+    user typed over a spec's config.
+    """
+    parser.add_argument(
+        "--backend",
+        default=None,
+        choices=["auto", "numpy", "bitmask", "sets"],
+        help=(
+            "trace engine: bit-parallel matrix (numpy/bitmask, auto-selected) "
+            "or the frozenset reference (sets)"
+        ),
+    )
     parser.add_argument(
         "--horizon-mode",
-        default=default,
+        default=None,
         choices=["auto", "dense", "stream"],
         help=(
             "horizon representation: one dense n × horizon matrix, streamed "
@@ -134,22 +132,60 @@ def _add_horizon_mode_flags(parser: argparse.ArgumentParser, default: Optional[s
         metavar="W",
         help="streaming chunk width in holidays (default: 262144)",
     )
-
-
-def _add_stream_jobs_flag(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
-        "--jobs",
+        "--stream-jobs",
+        *stream_jobs_aliases,
+        dest="stream_jobs",
         type=int,
-        default=1,
+        default=None,
         metavar="N",
         help=(
-            "worker processes for the streamed chunk scan of this one run "
-            "(takes effect only when the horizon actually streams — explicit "
-            "--horizon-mode stream, or auto past ~256 MiB; results are "
+            "worker processes for the streamed chunk scan of one run (takes "
+            "effect only when the horizon actually streams; results are "
             "identical for every value, see docs/streaming.md).  For "
             "parallelism *across* runs use 'experiment --jobs' instead"
         ),
     )
+
+
+def engine_overrides(args: argparse.Namespace) -> dict:
+    """The :class:`EngineConfig` fields the user actually set via flags."""
+    overrides = {}
+    if args.backend is not None:
+        overrides["backend"] = args.backend
+    if args.horizon_mode is not None:
+        overrides["horizon_mode"] = args.horizon_mode
+    if args.chunk is not None:
+        if args.chunk < 1:
+            raise SystemExit(f"error: --chunk must be >= 1, got {args.chunk}")
+        overrides["chunk"] = args.chunk
+    if args.stream_jobs is not None:
+        if args.stream_jobs < 1:
+            raise SystemExit(
+                f"error: --jobs/--stream-jobs must be >= 1, got {args.stream_jobs}"
+            )
+        overrides["stream_jobs"] = args.stream_jobs
+    return overrides
+
+
+def config_from_args(
+    args: argparse.Namespace, base: Optional[EngineConfig] = None
+) -> EngineConfig:
+    """Build the run's :class:`EngineConfig` from the shared engine flags.
+
+    Flags the user typed override ``base`` (a spec's config, or the
+    defaults); the combination is validated up front — including backend
+    availability and the sets/stream conflict — so a bad flag dies with a
+    clean one-line error instead of a traceback in a worker process.
+    """
+    try:
+        config = config_with(base, **engine_overrides(args))
+        config.resolve()
+    except ValueError as exc:
+        raise SystemExit(f"error: {exc}")
+    except RuntimeError as exc:
+        raise SystemExit(f"error: {exc} (install the [fast] extra or use --backend bitmask)")
+    return config
 
 
 # ---------------------------------------------------------------------------
@@ -192,10 +228,7 @@ def cmd_schedule(args: argparse.Namespace) -> int:
         graph,
         horizon=args.horizon,
         seed=args.seed,
-        backend=_check_backend(args.backend),
-        horizon_mode=_check_horizon_mode(args.backend, args.horizon_mode, args.chunk, args.jobs),
-        chunk=args.chunk,
-        jobs=args.jobs,
+        config=config_from_args(args),
     )
     schedule = outcome.schedule
 
@@ -250,10 +283,7 @@ def cmd_compare(args: argparse.Namespace) -> int:
         algorithms,
         horizon=args.horizon,
         seed=args.seed,
-        backend=_check_backend(args.backend),
-        horizon_mode=_check_horizon_mode(args.backend, args.horizon_mode, args.chunk, args.jobs),
-        chunk=args.chunk,
-        stream_jobs=args.jobs,
+        config=config_from_args(args),
     )
     metrics = ["max_mul", "mean_mul", "max_norm_gap", "mean_norm_gap", "fairness"]
     rows = [[r.algorithm] + [r.metrics.get(m) for m in metrics] for r in results]
@@ -355,7 +385,9 @@ def cmd_experiment(args: argparse.Namespace) -> int:
             spec = ExperimentSpec.from_json(args.spec)
         except (OSError, ValueError, KeyError, TypeError) as exc:
             raise SystemExit(f"error: cannot load spec {args.spec!r}: {exc}")
-        # flags override the corresponding spec fields when given
+        # flags override the corresponding spec fields when given; engine
+        # flags layer over the spec's config field by field, so e.g.
+        # --backend numpy keeps a spec's chunk width
         overrides = {}
         if args.name is not None:
             overrides["name"] = args.name
@@ -367,16 +399,10 @@ def cmd_experiment(args: argparse.Namespace) -> int:
             overrides["seeds"] = tuple(args.seeds)
         if args.horizon is not None:
             overrides["horizon"] = args.horizon
-        if args.backend is not None:
-            overrides["backend"] = _check_backend(args.backend)
-        if args.horizon_mode is not None:
-            overrides["horizon_mode"] = args.horizon_mode
-        if args.chunk is not None:
-            overrides["chunk"] = args.chunk
-        if args.stream_jobs is not None:
-            overrides["stream_jobs"] = args.stream_jobs
         if args.grid:
             overrides["grid"] = _parse_grid(args.grid)
+        if engine_overrides(args):
+            overrides["config"] = config_from_args(args, base=spec.config)
         if overrides:
             try:
                 spec = replace(spec, **overrides)
@@ -393,10 +419,7 @@ def cmd_experiment(args: argparse.Namespace) -> int:
                 grid=_parse_grid(args.grid or []),
                 seeds=tuple(args.seeds if args.seeds is not None else [0]),
                 horizon=args.horizon,
-                backend=_check_backend(args.backend or "auto"),
-                horizon_mode=args.horizon_mode or "auto",
-                chunk=args.chunk,
-                stream_jobs=args.stream_jobs if args.stream_jobs is not None else 1,
+                config=config_from_args(args),
             )
         except ValueError as exc:
             raise SystemExit(f"error: {exc}")
@@ -468,14 +491,7 @@ def build_parser() -> argparse.ArgumentParser:
     sch.add_argument("graph", help="graph file (.json or edge list)")
     sch.add_argument("--algorithm", default="degree-periodic", choices=available_schedulers())
     sch.add_argument("--horizon", type=int, default=None, help="evaluation horizon (default: auto)")
-    sch.add_argument(
-        "--backend",
-        default="auto",
-        choices=["auto", "numpy", "bitmask", "sets"],
-        help="trace engine: bit-parallel matrix (numpy/bitmask, auto-selected) or the frozenset reference",
-    )
-    _add_horizon_mode_flags(sch)
-    _add_stream_jobs_flag(sch)
+    add_engine_args(sch, stream_jobs_aliases=("--jobs",))
     sch.add_argument("--calendar-years", type=int, default=12, help="years printed to the terminal")
     sch.add_argument("--calendar-csv", help="write the full calendar to this CSV file")
     sch.add_argument("--save-schedule", help="write the periodic schedule JSON to this file")
@@ -486,14 +502,7 @@ def build_parser() -> argparse.ArgumentParser:
     cmp_.add_argument("graph", help="graph file (.json or edge list)")
     cmp_.add_argument("--algorithms", nargs="*", help="algorithm names (default: a representative set)")
     cmp_.add_argument("--horizon", type=int, default=None)
-    cmp_.add_argument(
-        "--backend",
-        default="auto",
-        choices=["auto", "numpy", "bitmask", "sets"],
-        help="trace engine: bit-parallel matrix (numpy/bitmask, auto-selected) or the frozenset reference",
-    )
-    _add_horizon_mode_flags(cmp_)
-    _add_stream_jobs_flag(cmp_)
+    add_engine_args(cmp_, stream_jobs_aliases=("--jobs",))
     cmp_.add_argument("--seed", type=int, default=0)
     cmp_.set_defaults(func=cmd_compare)
 
@@ -530,24 +539,10 @@ def build_parser() -> argparse.ArgumentParser:
         help="parameter grid, e.g. --grid scale=1,2 — forwarded to workload factories",
     )
     exp.add_argument("--horizon", type=int, default=None, help="fixed evaluation horizon (default: policy)")
-    exp.add_argument(
-        "--backend",
-        default=None,
-        choices=["auto", "numpy", "bitmask", "sets"],
-        help="trace engine backend (default: auto)",
-    )
-    _add_horizon_mode_flags(exp, default=None)  # None = "not given", overridable by --spec
+    add_engine_args(exp)  # flags default to None = "not given", overridable by --spec
     exp.add_argument(
         "--jobs", type=int, default=1,
         help="worker processes fanning out across cells (default: 1, serial)",
-    )
-    exp.add_argument(
-        "--stream-jobs", type=int, default=None, metavar="N",
-        help=(
-            "worker processes for the chunk scan inside each streamed cell "
-            "(default: 1; hashed into cell ids only when set, so it never "
-            "invalidates an existing --resume sink)"
-        ),
     )
     exp.add_argument("--output", help="stream records to this JSONL file as cells complete")
     exp.add_argument(

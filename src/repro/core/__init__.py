@@ -14,6 +14,7 @@ from repro.core.schedule import (
     Schedule,
     SlotAssignment,
 )
+from repro.core.config import EngineConfig, ResolvedEngine
 from repro.core.trace import TraceMatrix, numpy_available, resolve_backend
 from repro.core.metrics import (
     HappinessTrace,
@@ -67,6 +68,8 @@ __all__ = [
     "GeneratorSchedule",
     "SlotAssignment",
     "TraceMatrix",
+    "EngineConfig",
+    "ResolvedEngine",
     "numpy_available",
     "resolve_backend",
     "build_trace",

@@ -1,0 +1,253 @@
+"""`EngineConfig` — the single carrier of trace-engine execution knobs.
+
+Four PRs of engine growth each threaded a new keyword through every layer:
+``evaluate_schedule`` / ``validate_schedule`` / ``run_scheduler`` grew five
+parallel execution parameters (``backend``, ``mode``, ``chunk``, ``jobs``,
+``trace``) that were copied verbatim through metrics, validation, the
+runner, the experiment engine and four CLI subcommands.  This module
+consolidates them the way :class:`~repro.analysis.engine.HorizonPolicy`
+consolidated the horizon rules: one frozen dataclass owns every knob, is
+validated in one place, serializes to JSON (for spec files), and resolves
+``"auto"`` values to concrete choices.
+
+The knobs:
+
+* ``backend`` — cell storage: ``"numpy"`` (dense bool matrix),
+  ``"bitmask"`` (pure-Python big ints), ``"sets"`` (the frozenset reference
+  engine), or ``"auto"`` (numpy when importable, bitmask otherwise).
+* ``horizon_mode`` — horizon representation: one ``"dense"`` n × horizon
+  matrix, ``"stream"``ed fixed-width chunks at O(n × chunk) memory, or
+  ``"auto"`` (dense until the matrix would exceed
+  :data:`repro.core.trace.AUTO_STREAM_BYTES`).
+* ``chunk`` — streaming chunk width (``None`` =
+  :data:`repro.core.trace.DEFAULT_CHUNK`).
+* ``stream_jobs`` — worker processes for the streamed chunk scan.  Purely a
+  wall-clock knob: results are identical for every value (the
+  :class:`~repro.core.trace.StreamedTrace` determinism contract).
+* ``window`` — sliding-window memo width for generator-backed schedules
+  (see :class:`~repro.core.schedule.GeneratorSchedule`).  Applied by
+  :func:`~repro.analysis.runner.run_scheduler` /
+  :meth:`repro.api.Session.run` to schedulers that support it
+  (:meth:`~repro.algorithms.base.Scheduler.with_window`); schedulers that
+  don't ignore it.
+
+Every entry point from :func:`repro.core.metrics.build_trace` up to the CLI
+accepts ``config: EngineConfig``; the historical per-call keywords survive
+as a deprecated shim, translated into a config in exactly one place
+(:func:`coerce_config`) with one :class:`DeprecationWarning` per call.
+"""
+
+from __future__ import annotations
+
+import json
+import warnings
+from dataclasses import dataclass, fields, replace
+from typing import Dict, Mapping, Optional
+
+from repro.core.trace import (
+    BACKENDS,
+    HORIZON_MODES,
+    resolve_backend,
+    resolve_horizon_mode,
+)
+
+__all__ = [
+    "EngineConfig",
+    "ResolvedEngine",
+    "DEFAULT_CONFIG",
+    "coerce_config",
+    "config_with",
+]
+
+#: backends EngineConfig accepts: the matrix backends plus the frozenset
+#: reference engine (which is handled above the TraceMatrix layer).
+CONFIG_BACKENDS = tuple(BACKENDS) + ("sets",)
+
+_SETS_STREAM_ERROR = (
+    "backend='sets' (the frozenset reference) has no streaming mode; "
+    "use backend='auto'/'numpy'/'bitmask' with horizon_mode='stream', "
+    "or horizon_mode='dense'/'auto' with backend='sets'"
+)
+
+
+@dataclass(frozen=True)
+class ResolvedEngine:
+    """The concrete engine choice an :class:`EngineConfig` resolves to.
+
+    ``backend`` is always concrete (``"numpy"``, ``"bitmask"`` or
+    ``"sets"``).  ``mode`` is ``"dense"`` or ``"stream"`` when the graph
+    size and horizon were supplied to :meth:`EngineConfig.resolve` (or the
+    mode was explicit), ``"auto"`` when they weren't, and ``"sets"`` for the
+    reference engine — matching the ``horizon_mode`` stamp
+    :class:`~repro.analysis.runner.RunOutcome` records.
+    """
+
+    backend: str
+    mode: str
+    chunk: Optional[int]
+    stream_jobs: int
+    window: Optional[int]
+
+    @property
+    def uses_matrix(self) -> bool:
+        """True when a TraceMatrix/StreamedTrace engine answers queries
+        (False for the frozenset reference)."""
+        return self.backend != "sets"
+
+
+@dataclass(frozen=True)
+class EngineConfig:
+    """One immutable object carrying every trace-engine execution knob.
+
+    Construction validates every field (including the ``sets`` + ``stream``
+    combination, which no engine supports), so an invalid configuration
+    fails where it is written, not deep inside a worker process.  Instances
+    are hashable and picklable; derive variants with
+    :func:`dataclasses.replace`.
+    """
+
+    backend: str = "auto"
+    horizon_mode: str = "auto"
+    chunk: Optional[int] = None
+    stream_jobs: int = 1
+    window: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.backend not in CONFIG_BACKENDS:
+            raise ValueError(
+                f"unknown trace backend {self.backend!r}; expected one of {CONFIG_BACKENDS}"
+            )
+        if self.horizon_mode not in HORIZON_MODES:
+            raise ValueError(
+                f"unknown horizon_mode {self.horizon_mode!r}; expected one of {HORIZON_MODES}"
+            )
+        if self.backend == "sets" and self.horizon_mode == "stream":
+            raise ValueError(_SETS_STREAM_ERROR)
+        if self.chunk is not None and int(self.chunk) < 1:
+            raise ValueError(f"chunk width must be >= 1, got {self.chunk!r}")
+        if int(self.stream_jobs) < 1:
+            raise ValueError(f"stream_jobs must be >= 1, got {self.stream_jobs!r}")
+        if self.window is not None and int(self.window) < 1:
+            raise ValueError(f"window must be >= 1, got {self.window!r}")
+
+    # -- resolution ----------------------------------------------------------
+    def resolve(
+        self, num_nodes: Optional[int] = None, horizon: Optional[int] = None
+    ) -> ResolvedEngine:
+        """Resolve ``"auto"`` values to the concrete engine for one run.
+
+        The backend always resolves (raising :class:`RuntimeError` when
+        ``"numpy"`` is requested but not installed); ``horizon_mode="auto"``
+        resolves by estimated dense-matrix size when ``num_nodes`` and
+        ``horizon`` are given and stays ``"auto"`` otherwise — so the CLI
+        can validate a config up front before any graph exists.
+        """
+        if self.backend == "sets":
+            return ResolvedEngine("sets", "sets", self.chunk, self.stream_jobs, self.window)
+        backend = resolve_backend(self.backend)
+        if self.horizon_mode == "auto" and num_nodes is not None and horizon is not None:
+            mode = resolve_horizon_mode("auto", num_nodes, horizon, backend)
+        else:
+            mode = self.horizon_mode
+        return ResolvedEngine(backend, mode, self.chunk, self.stream_jobs, self.window)
+
+    # -- serialization -------------------------------------------------------
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-serializable form (embedded in spec files and cell hashes)."""
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, object]) -> "EngineConfig":
+        """Inverse of :meth:`to_dict`; unknown keys are rejected."""
+        known = {f.name for f in fields(cls)}
+        unknown = set(payload) - known
+        if unknown:
+            raise ValueError(f"unknown EngineConfig fields: {sorted(unknown)}")
+        return cls(**payload)
+
+    def to_json(self) -> str:
+        """The config as a canonical JSON string."""
+        return json.dumps(self.to_dict(), sort_keys=True)
+
+    @classmethod
+    def from_json(cls, payload: str) -> "EngineConfig":
+        """Inverse of :meth:`to_json`."""
+        return cls.from_dict(json.loads(payload))
+
+    def non_default(self) -> Dict[str, object]:
+        """The fields that differ from the defaults.
+
+        This is what the experiment engine hashes into cell ids: default
+        knobs leave the id untouched, so results sinks recorded before a
+        knob existed keep resuming (dense and stream produce identical
+        records; parallelism never changes a result).
+        """
+        default = DEFAULT_CONFIG
+        return {
+            f.name: getattr(self, f.name)
+            for f in fields(self)
+            if getattr(self, f.name) != getattr(default, f.name)
+        }
+
+    def describe(self) -> str:
+        """Short human-readable form: only the non-default knobs."""
+        overrides = self.non_default()
+        if not overrides:
+            return "EngineConfig()"
+        return "EngineConfig(" + ", ".join(f"{k}={v!r}" for k, v in overrides.items()) + ")"
+
+
+#: The all-defaults config every entry point falls back to.
+DEFAULT_CONFIG = EngineConfig()
+
+#: deprecated per-call keyword -> EngineConfig field.  ``mode`` is the
+#: metrics-layer spelling and ``horizon_mode`` the runner/spec spelling of
+#: the same knob; likewise ``jobs`` / ``stream_jobs``.
+_LEGACY_FIELDS = {
+    "backend": "backend",
+    "mode": "horizon_mode",
+    "horizon_mode": "horizon_mode",
+    "chunk": "chunk",
+    "jobs": "stream_jobs",
+    "stream_jobs": "stream_jobs",
+    "window": "window",
+}
+
+
+def coerce_config(
+    config: Optional[EngineConfig],
+    legacy: Mapping[str, object],
+    *,
+    caller: str,
+    stacklevel: int = 3,
+) -> EngineConfig:
+    """Translate deprecated per-call knobs into an :class:`EngineConfig`.
+
+    The one place the back-compat shim lives: every entry point passes its
+    historical keyword values (``None`` = not given) through here.  When any
+    are set, one :class:`DeprecationWarning` is emitted for the whole call
+    and the values become a config; combining them with an explicit
+    ``config=`` is a :class:`TypeError` (there would be no way to tell which
+    side wins).  With no legacy values this is a pass-through.
+    """
+    given = {k: v for k, v in legacy.items() if v is not None}
+    if not given:
+        return config if config is not None else DEFAULT_CONFIG
+    if config is not None:
+        raise TypeError(
+            f"{caller}() got both config= and the deprecated keyword(s) "
+            f"{sorted(given)}; put everything on the EngineConfig"
+        )
+    warnings.warn(
+        f"{caller}(): the {', '.join(sorted(given))} keyword(s) are deprecated; "
+        "pass config=EngineConfig(...) instead (repro.core.config)",
+        DeprecationWarning,
+        stacklevel=stacklevel,
+    )
+    return EngineConfig(**{_LEGACY_FIELDS[k]: v for k, v in given.items()})
+
+
+def config_with(config: Optional[EngineConfig], **overrides: object) -> EngineConfig:
+    """A copy of ``config`` (default config when ``None``) with overrides
+    applied — convenience for callers layering flags over a spec config."""
+    return replace(config or DEFAULT_CONFIG, **overrides)

@@ -26,18 +26,20 @@ the architecture notes):
   run-length-encoding query over dense rows.  ``"auto"`` picks numpy when it
   is installed and the pure-Python bitmask otherwise.
 
-Every entry point also accepts a pre-built ``trace=`` so a caller (e.g. the
-experiment runner) can share a single matrix between metrics and validation.
+Execution knobs — backend, horizon representation (``dense`` one n × horizon
+matrix vs ``stream``ed fixed-width chunks at ``O(n × chunk)`` memory), chunk
+width and streamed-scan worker count — travel together on one
+:class:`~repro.core.config.EngineConfig` accepted by every entry point as
+``config=``.  Every entry point also accepts a pre-built ``trace=`` so a
+caller (e.g. :class:`repro.api.Session` or the experiment runner) can share
+a single matrix between metrics and validation.
 
-Orthogonal to the backend, ``mode`` selects the horizon *representation*:
-``"dense"`` materialises one n × horizon :class:`~repro.core.trace.TraceMatrix`,
-``"stream"`` evaluates fixed-width chunks through
-:class:`~repro.core.trace.StreamedTrace` (gap/run-length state carried across
-chunk boundaries, ``O(n × chunk)`` resident memory), and ``"auto"`` — the
-default — streams only when the dense matrix would exceed
-:data:`repro.core.trace.AUTO_STREAM_BYTES`, so small-horizon results are
-bit-identical to the historical dense path.  Both representations produce
-exactly equal metrics (asserted by ``tests/core/test_stream.py``).
+The historical per-call keywords (``backend=``, ``mode=``, ``chunk=``,
+``jobs=``) survive as a deprecated back-compat shim: passing any of them
+emits one :class:`DeprecationWarning` and translates them into a config via
+:func:`repro.core.config.coerce_config` — results are identical either way.
+Both horizon representations produce exactly equal metrics (asserted by
+``tests/core/test_stream.py``).
 """
 
 from __future__ import annotations
@@ -46,15 +48,10 @@ import math
 from dataclasses import dataclass, field
 from typing import Dict, FrozenSet, Iterable, List, Mapping, Optional, Sequence, Union
 
+from repro.core.config import EngineConfig, coerce_config
 from repro.core.problem import ConflictGraph, Node
 from repro.core.schedule import Schedule
-from repro.core.trace import (
-    StreamedTrace,
-    TraceMatrix,
-    materialize_prefix,
-    resolve_backend,
-    resolve_horizon_mode,
-)
+from repro.core.trace import StreamedTrace, TraceMatrix, materialize_prefix
 
 __all__ = [
     "HappinessTrace",
@@ -81,26 +78,33 @@ def build_trace(
     schedule: ScheduleLike,
     graph: ConflictGraph,
     horizon: int,
-    backend: str = "auto",
+    backend: Optional[str] = None,
     trace: Optional[TraceLike] = None,
-    mode: str = "auto",
+    mode: Optional[str] = None,
     chunk: Optional[int] = None,
-    jobs: int = 1,
+    jobs: Optional[int] = None,
+    *,
+    config: Optional[EngineConfig] = None,
 ) -> Optional[TraceLike]:
     """Resolve the evaluation engine for one metric call.
 
     Returns a :class:`~repro.core.trace.TraceMatrix` or
     :class:`~repro.core.trace.StreamedTrace` (the given one when the caller
     already built it, a fresh one otherwise), or ``None`` when
-    ``backend="sets"`` selects the frozenset reference path.  ``mode`` picks
-    the representation (``"dense"``/``"stream"``/``"auto"`` by estimated
-    memory); ``chunk`` overrides the streaming chunk width; ``jobs`` fans a
-    streamed summary pass out over that many worker processes (never
-    changing any result — see the ``StreamedTrace`` determinism contract).
-    Both knobs are ignored when the resolved representation is dense.
+    ``config.backend == "sets"`` selects the frozenset reference path.
+    ``config`` carries the representation choice (``horizon_mode`` resolved
+    by estimated memory when ``"auto"``), the streaming chunk width and the
+    streamed-scan worker count — the latter two are ignored when the
+    resolved representation is dense.  The positional ``backend``/``mode``/
+    ``chunk``/``jobs`` keywords are the deprecated pre-config spelling.
     """
+    config = coerce_config(
+        config, {"backend": backend, "mode": mode, "chunk": chunk, "jobs": jobs},
+        caller="build_trace",
+    )
+    engine = config.resolve(graph.num_nodes(), horizon)
     if trace is not None:
-        if backend == "sets":
+        if not engine.uses_matrix:
             raise ValueError(
                 "backend='sets' selects the frozenset reference engine and cannot "
                 "use a prebuilt trace; omit trace="
@@ -115,17 +119,14 @@ def build_trace(
                 f"differ from {graph.name!r}"
             )
         return trace
-    if backend == "sets":
-        if mode == "stream":
-            raise ValueError(
-                "backend='sets' selects the frozenset reference engine, which has "
-                "no streaming mode; use backend='auto'/'numpy'/'bitmask'"
-            )
+    if not engine.uses_matrix:
         return None
-    resolved = resolve_backend(backend)
-    if resolve_horizon_mode(mode, graph.num_nodes(), horizon, resolved) == "stream":
-        return StreamedTrace(schedule, graph, horizon, backend=resolved, chunk=chunk, jobs=jobs)
-    return TraceMatrix.from_schedule(schedule, graph, horizon, backend=backend)
+    if engine.mode == "stream":
+        return StreamedTrace(
+            schedule, graph, horizon,
+            backend=engine.backend, chunk=engine.chunk, jobs=engine.stream_jobs,
+        )
+    return TraceMatrix.from_schedule(schedule, graph, horizon, backend=engine.backend)
 
 
 def materialize(schedule: ScheduleLike, graph: ConflictGraph, horizon: int) -> List[FrozenSet[Node]]:
@@ -214,14 +215,20 @@ def max_unhappiness_lengths(
     schedule: ScheduleLike,
     graph: ConflictGraph,
     horizon: int,
-    backend: str = "auto",
+    backend: Optional[str] = None,
     trace: Optional[TraceLike] = None,
-    mode: str = "auto",
+    mode: Optional[str] = None,
     chunk: Optional[int] = None,
-    jobs: int = 1,
+    jobs: Optional[int] = None,
+    *,
+    config: Optional[EngineConfig] = None,
 ) -> Dict[Node, int]:
     """``{node: mul(node)}`` over the first ``horizon`` holidays."""
-    matrix = build_trace(schedule, graph, horizon, backend, trace, mode, chunk, jobs)
+    config = coerce_config(
+        config, {"backend": backend, "mode": mode, "chunk": chunk, "jobs": jobs},
+        caller="max_unhappiness_lengths",
+    )
+    matrix = build_trace(schedule, graph, horizon, trace=trace, config=config)
     if matrix is not None:
         return matrix.muls()
     reference = HappinessTrace.from_schedule(schedule, graph, horizon)
@@ -232,14 +239,20 @@ def unhappiness_gaps(
     schedule: ScheduleLike,
     graph: ConflictGraph,
     horizon: int,
-    backend: str = "auto",
+    backend: Optional[str] = None,
     trace: Optional[TraceLike] = None,
-    mode: str = "auto",
+    mode: Optional[str] = None,
     chunk: Optional[int] = None,
-    jobs: int = 1,
+    jobs: Optional[int] = None,
+    *,
+    config: Optional[EngineConfig] = None,
 ) -> Dict[Node, List[int]]:
     """``{node: list of unhappiness interval lengths}``."""
-    matrix = build_trace(schedule, graph, horizon, backend, trace, mode, chunk, jobs)
+    config = coerce_config(
+        config, {"backend": backend, "mode": mode, "chunk": chunk, "jobs": jobs},
+        caller="unhappiness_gaps",
+    )
+    matrix = build_trace(schedule, graph, horizon, trace=trace, config=config)
     if matrix is not None:
         return matrix.all_gaps()
     reference = HappinessTrace.from_schedule(schedule, graph, horizon)
@@ -250,14 +263,20 @@ def observed_periods(
     schedule: ScheduleLike,
     graph: ConflictGraph,
     horizon: int,
-    backend: str = "auto",
+    backend: Optional[str] = None,
     trace: Optional[TraceLike] = None,
-    mode: str = "auto",
+    mode: Optional[str] = None,
     chunk: Optional[int] = None,
-    jobs: int = 1,
+    jobs: Optional[int] = None,
+    *,
+    config: Optional[EngineConfig] = None,
 ) -> Dict[Node, Optional[int]]:
     """``{node: empirically observed period or None}``."""
-    matrix = build_trace(schedule, graph, horizon, backend, trace, mode, chunk, jobs)
+    config = coerce_config(
+        config, {"backend": backend, "mode": mode, "chunk": chunk, "jobs": jobs},
+        caller="observed_periods",
+    )
+    matrix = build_trace(schedule, graph, horizon, trace=trace, config=config)
     if matrix is not None:
         return matrix.observed_periods()
     reference = HappinessTrace.from_schedule(schedule, graph, horizon)
@@ -268,14 +287,20 @@ def happiness_rates(
     schedule: ScheduleLike,
     graph: ConflictGraph,
     horizon: int,
-    backend: str = "auto",
+    backend: Optional[str] = None,
     trace: Optional[TraceLike] = None,
-    mode: str = "auto",
+    mode: Optional[str] = None,
     chunk: Optional[int] = None,
-    jobs: int = 1,
+    jobs: Optional[int] = None,
+    *,
+    config: Optional[EngineConfig] = None,
 ) -> Dict[Node, float]:
     """``{node: fraction of holidays hosted}``."""
-    matrix = build_trace(schedule, graph, horizon, backend, trace, mode, chunk, jobs)
+    config = coerce_config(
+        config, {"backend": backend, "mode": mode, "chunk": chunk, "jobs": jobs},
+        caller="happiness_rates",
+    )
+    matrix = build_trace(schedule, graph, horizon, trace=trace, config=config)
     if matrix is not None:
         return matrix.happiness_rates()
     reference = HappinessTrace.from_schedule(schedule, graph, horizon)
@@ -391,24 +416,32 @@ def evaluate_schedule(
     graph: ConflictGraph,
     horizon: int,
     name: str = "schedule",
-    backend: str = "auto",
+    backend: Optional[str] = None,
     trace: Optional[TraceLike] = None,
-    mode: str = "auto",
+    mode: Optional[str] = None,
     chunk: Optional[int] = None,
-    jobs: int = 1,
+    jobs: Optional[int] = None,
+    *,
+    config: Optional[EngineConfig] = None,
 ) -> ScheduleReport:
     """Run the full metric suite over a schedule prefix and return a report.
 
-    ``backend`` selects the evaluation engine (``"auto"``/``"numpy"``/
-    ``"bitmask"`` for the bit-parallel trace, ``"sets"`` for the frozenset
-    reference) and ``mode`` the horizon representation (``"dense"``/
-    ``"stream"``/``"auto"``); passing a pre-built ``trace`` skips trace
-    construction entirely so the runner can share one engine with the
-    validator.  All engines produce identical reports — this is enforced by
+    ``config`` selects the evaluation engine: ``EngineConfig.backend``
+    (``"auto"``/``"numpy"``/``"bitmask"`` for the bit-parallel trace,
+    ``"sets"`` for the frozenset reference) and ``EngineConfig.horizon_mode``
+    (``"dense"``/``"stream"``/``"auto"``).  Passing a pre-built ``trace``
+    skips trace construction entirely so :class:`repro.api.Session` and the
+    runner can share one engine with the validator.  The ``backend``/
+    ``mode``/``chunk``/``jobs`` keywords are the deprecated pre-config
+    spelling.  All engines produce identical reports — this is enforced by
     the differential tests in ``tests/core/test_trace.py`` and
     ``tests/core/test_stream.py``.
     """
-    matrix = build_trace(schedule, graph, horizon, backend, trace, mode, chunk, jobs)
+    config = coerce_config(
+        config, {"backend": backend, "mode": mode, "chunk": chunk, "jobs": jobs},
+        caller="evaluate_schedule",
+    )
+    matrix = build_trace(schedule, graph, horizon, trace=trace, config=config)
     if matrix is not None:
         muls = matrix.muls()
         periods = matrix.observed_periods()

@@ -20,8 +20,12 @@ bound/periodicity certification reuses the matrix's run-length queries, or
 the ``backend="sets"`` frozenset reference that walks every holiday.  A
 pre-built ``trace=`` can be shared across checks and with the metric suite.
 
-Every check also honours the horizon representation (``mode="dense"`` /
-``"stream"`` / ``"auto"``): on a :class:`~repro.core.trace.StreamedTrace`
+Execution knobs travel on one :class:`~repro.core.config.EngineConfig`
+(``config=``); the historical ``backend=``/``mode=``/``chunk=``/``jobs=``
+keywords remain as a deprecated shim (one :class:`DeprecationWarning` per
+call).  Every check honours the horizon representation
+(``horizon_mode="dense"`` / ``"stream"`` / ``"auto"``): on a
+:class:`~repro.core.trace.StreamedTrace`
 the legality test becomes per-chunk edge row-ANDs with boundary state, and
 ``fail_fast=True`` stops the stream at the first chunk containing a
 violation — later chunks are never materialised.
@@ -32,6 +36,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 
+from repro.core.config import EngineConfig, coerce_config
 from repro.core.metrics import HappinessTrace, ScheduleLike, TraceLike, build_trace, materialize
 from repro.core.problem import ConflictGraph, Node
 from repro.core.schedule import Schedule
@@ -99,12 +104,14 @@ def check_independent_sets(
     schedule: ScheduleLike,
     graph: ConflictGraph,
     horizon: int,
-    backend: str = "auto",
+    backend: Optional[str] = None,
     trace: Optional[TraceLike] = None,
-    mode: str = "auto",
+    mode: Optional[str] = None,
     chunk: Optional[int] = None,
-    jobs: int = 1,
+    jobs: Optional[int] = None,
     fail_fast: bool = False,
+    *,
+    config: Optional[EngineConfig] = None,
 ) -> ValidationReport:
     """Verify that every holiday in the prefix schedules an independent set.
 
@@ -118,7 +125,11 @@ def check_independent_sets(
     stops building chunks there, and a parallel streaming scan cancels
     every outstanding chunk block.
     """
-    matrix = build_trace(schedule, graph, horizon, backend, trace, mode, chunk, jobs)
+    config = coerce_config(
+        config, {"backend": backend, "mode": mode, "chunk": chunk, "jobs": jobs},
+        caller="check_independent_sets",
+    )
+    matrix = build_trace(schedule, graph, horizon, trace=trace, config=config)
     if matrix is not None:
         return _check_independent_sets_trace(matrix, graph, horizon, fail_fast=fail_fast)
     sets = materialize(schedule, graph, horizon)
@@ -204,11 +215,13 @@ def certify_local_bound(
     bound: Callable[[Node], float] | Mapping[Node, float],
     bound_name: str = "bound",
     skip_isolated: bool = False,
-    backend: str = "auto",
+    backend: Optional[str] = None,
     trace: Optional[TraceLike] = None,
-    mode: str = "auto",
+    mode: Optional[str] = None,
     chunk: Optional[int] = None,
-    jobs: int = 1,
+    jobs: Optional[int] = None,
+    *,
+    config: Optional[EngineConfig] = None,
 ) -> ValidationReport:
     """Check ``mul(p) <= bound(p)`` for every node over the given horizon.
 
@@ -218,7 +231,11 @@ def certify_local_bound(
     holiday without coordination; the paper's guarantees are stated for
     nodes that actually have in-laws).
     """
-    matrix = build_trace(schedule, graph, horizon, backend, trace, mode, chunk, jobs)
+    config = coerce_config(
+        config, {"backend": backend, "mode": mode, "chunk": chunk, "jobs": jobs},
+        caller="certify_local_bound",
+    )
+    matrix = build_trace(schedule, graph, horizon, trace=trace, config=config)
     reference = None if matrix is not None else HappinessTrace.from_schedule(schedule, graph, horizon)
     report = ValidationReport(checked_holidays=horizon)
     for p in graph.nodes():
@@ -242,11 +259,13 @@ def certify_periodicity(
     schedule: Schedule,
     horizon: int,
     require_advertised: bool = True,
-    backend: str = "auto",
+    backend: Optional[str] = None,
     trace: Optional[TraceLike] = None,
-    mode: str = "auto",
+    mode: Optional[str] = None,
     chunk: Optional[int] = None,
-    jobs: int = 1,
+    jobs: Optional[int] = None,
+    *,
+    config: Optional[EngineConfig] = None,
 ) -> ValidationReport:
     """Check that a schedule claiming periodicity really is perfectly periodic.
 
@@ -260,8 +279,12 @@ def certify_periodicity(
     which is what lets the streaming engine certify a 10⁸-holiday horizon
     without ever holding the full diff list.
     """
+    config = coerce_config(
+        config, {"backend": backend, "mode": mode, "chunk": chunk, "jobs": jobs},
+        caller="certify_periodicity",
+    )
     graph = schedule.graph
-    matrix = build_trace(schedule, graph, horizon, backend, trace, mode, chunk, jobs)
+    matrix = build_trace(schedule, graph, horizon, trace=trace, config=config)
     reference = None if matrix is not None else HappinessTrace.from_schedule(schedule, graph, horizon)
     report = ValidationReport(checked_holidays=horizon)
     for p in graph.nodes():
@@ -299,12 +322,14 @@ def validate_schedule(
     bound_name: str = "bound",
     check_periodic: bool = False,
     skip_isolated: bool = False,
-    backend: str = "auto",
+    backend: Optional[str] = None,
     trace: Optional[TraceLike] = None,
-    mode: str = "auto",
+    mode: Optional[str] = None,
     chunk: Optional[int] = None,
-    jobs: int = 1,
+    jobs: Optional[int] = None,
     fail_fast: bool = False,
+    *,
+    config: Optional[EngineConfig] = None,
 ) -> ValidationReport:
     """Run legality + optional bound + optional periodicity checks in one call.
 
@@ -314,9 +339,13 @@ def validate_schedule(
     for the metric suite).  ``fail_fast`` applies to the legality check only
     — bound and periodicity certification always cover every node.
     """
-    matrix = build_trace(schedule, graph, horizon, backend, trace, mode, chunk, jobs)
+    config = coerce_config(
+        config, {"backend": backend, "mode": mode, "chunk": chunk, "jobs": jobs},
+        caller="validate_schedule",
+    )
+    matrix = build_trace(schedule, graph, horizon, trace=trace, config=config)
     report = check_independent_sets(
-        schedule, graph, horizon, backend=backend, trace=matrix, fail_fast=fail_fast
+        schedule, graph, horizon, trace=matrix, fail_fast=fail_fast, config=config
     )
     if bound is not None:
         report = report.merge(
@@ -327,8 +356,8 @@ def validate_schedule(
                 bound,
                 bound_name=bound_name,
                 skip_isolated=skip_isolated,
-                backend=backend,
                 trace=matrix,
+                config=config,
             )
         )
     if check_periodic and isinstance(schedule, Schedule):
@@ -340,11 +369,8 @@ def validate_schedule(
             certify_periodicity(
                 schedule,
                 horizon,
-                backend=backend,
                 trace=matrix if shareable else None,
-                mode=mode,
-                chunk=chunk,
-                jobs=jobs,
+                config=config,
             )
         )
     return report

@@ -167,6 +167,11 @@ def _sweep_runner(n):
     return [record(workload=f"n{n}", size=float(n))]
 
 
+def _config_sweep_runner(n, config=None):
+    backend = "default" if config is None else config.backend
+    return [record(workload=f"n{n}-{backend}", size=float(n))]
+
+
 class TestSweeps:
     def test_expand_grid(self):
         combos = expand_grid({"a": [1, 2], "b": ["x"]})
@@ -186,3 +191,27 @@ class TestSweeps:
         # module-level (picklable) function; record order stays grid order.
         results = sweep({"n": [2, 4, 8]}, _sweep_runner, jobs=2)
         assert results.workloads() == ["n2", "n4", "n8"]
+
+    def test_sweep_forwards_one_config_to_every_point(self):
+        from repro.core.config import EngineConfig
+
+        seen = []
+
+        def runner(n, config=None):
+            seen.append(config)
+            return [record(workload=f"n{n}", size=float(n))]
+
+        shared = EngineConfig(backend="bitmask")
+        results = sweep({"n": [2, 4]}, runner, config=shared)
+        assert len(results) == 2 and seen == [shared, shared]
+
+    def test_sweep_config_composes_with_parallel_jobs(self):
+        # functools.partial(runner, config=...) pickles like the runner it
+        # wraps, so a shared config works across worker processes too
+        from repro.core.config import EngineConfig
+
+        results = sweep(
+            {"n": [2, 4, 8]}, _config_sweep_runner, jobs=2,
+            config=EngineConfig(backend="bitmask"),
+        )
+        assert results.workloads() == ["n2-bitmask", "n4-bitmask", "n8-bitmask"]

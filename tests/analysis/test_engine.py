@@ -21,6 +21,7 @@ from repro.analysis.engine import (
 )
 from repro.analysis.records import ExperimentRecord, ResultSet
 from repro.analysis.runner import choose_horizon
+from repro.core.config import EngineConfig
 from repro.graphs.families import clique, star
 from repro.graphs.suites import SMALL_WORKLOADS
 from repro.io.results import read_records_jsonl, record_to_json_line
@@ -122,7 +123,7 @@ class TestSpec:
             grid={"scale": [1, 2]},
             seeds=(3, 4),
             policy=HorizonPolicy(multiplier=5),
-            backend="bitmask",
+            config=EngineConfig(backend="bitmask"),
             workload_params={"seed": 99},
         )
         path = tmp_path / "spec.json"
@@ -143,7 +144,7 @@ class TestCells:
         base = tiny_spec().cells()[0]
         for changed in (
             tiny_spec(horizon=64).cells()[0],
-            tiny_spec(backend="bitmask").cells()[0],
+            tiny_spec(config=EngineConfig(backend="bitmask")).cells()[0],
             tiny_spec(certify_bound=False).cells()[0],
             tiny_spec(policy=HorizonPolicy(multiplier=9)).cells()[0],
         ):
@@ -383,33 +384,33 @@ def _grid_runner(n):
 
 class TestHorizonMode:
     def test_spec_round_trips_horizon_mode(self, tmp_path):
-        spec = tiny_spec(horizon_mode="stream", chunk=128)
+        spec = tiny_spec(config=EngineConfig(horizon_mode="stream", chunk=128))
         path = tmp_path / "spec.json"
         spec.to_json(path)
         assert ExperimentSpec.from_json(path) == spec
 
     def test_invalid_horizon_mode_rejected(self):
         with pytest.raises(ValueError, match="horizon_mode"):
-            tiny_spec(horizon_mode="chunked")
+            tiny_spec(config=EngineConfig(horizon_mode="chunked"))
         with pytest.raises(ValueError, match="chunk"):
-            tiny_spec(chunk=0)
+            tiny_spec(config=EngineConfig(chunk=0))
         with pytest.raises(ValueError, match="no streaming"):
-            tiny_spec(backend="sets", horizon_mode="stream")
+            tiny_spec(config=EngineConfig(backend="sets", horizon_mode="stream"))
 
     def test_default_mode_keeps_pre_streaming_cell_ids(self):
         """horizon_mode='auto'/chunk=None are hashed only when they deviate
         from the defaults, so sinks recorded before streaming existed still
         resume; explicit streaming knobs change the id."""
         base = tiny_spec().cells()[0]
-        assert tiny_spec(horizon_mode="auto", chunk=None).cells()[0].cell_id() == base.cell_id()
-        assert tiny_spec(horizon_mode="stream").cells()[0].cell_id() != base.cell_id()
-        assert tiny_spec(chunk=64).cells()[0].cell_id() != base.cell_id()
+        assert tiny_spec(config=EngineConfig(horizon_mode="auto", chunk=None)).cells()[0].cell_id() == base.cell_id()
+        assert tiny_spec(config=EngineConfig(horizon_mode="stream")).cells()[0].cell_id() != base.cell_id()
+        assert tiny_spec(config=EngineConfig(chunk=64)).cells()[0].cell_id() != base.cell_id()
 
     def test_stream_records_match_dense_modulo_mode_stamp(self):
         from repro.io.results import record_to_json_line
 
-        dense = ExperimentEngine(jobs=1).run(tiny_spec(horizon_mode="dense"))
-        stream = ExperimentEngine(jobs=1).run(tiny_spec(horizon_mode="stream", chunk=7))
+        dense = ExperimentEngine(jobs=1).run(tiny_spec(config=EngineConfig(horizon_mode="dense")))
+        stream = ExperimentEngine(jobs=1).run(tiny_spec(config=EngineConfig(horizon_mode="stream", chunk=7)))
 
         def stripped(records):
             out = []
@@ -463,27 +464,27 @@ class TestStreamJobs:
     """Per-cell streamed-scan parallelism (spec/cell `stream_jobs`)."""
 
     def test_spec_round_trips_stream_jobs(self, tmp_path):
-        spec = tiny_spec(horizon_mode="stream", chunk=16, stream_jobs=2)
+        spec = tiny_spec(config=EngineConfig(horizon_mode="stream", chunk=16, stream_jobs=2))
         path = spec.to_json(tmp_path / "spec.json")
         assert ExperimentSpec.from_json(path) == spec
 
     def test_invalid_stream_jobs_rejected(self):
         with pytest.raises(ValueError, match="stream_jobs"):
-            tiny_spec(stream_jobs=0)
+            tiny_spec(config=EngineConfig(stream_jobs=0))
 
     def test_default_stream_jobs_keeps_cell_ids(self):
         """stream_jobs=1 (the default) is not hashed, so existing resume
         sinks keep working; any other value marks the cell id."""
         base = tiny_spec().cells()[0]
-        assert tiny_spec(stream_jobs=1).cells()[0].cell_id() == base.cell_id()
-        assert tiny_spec(stream_jobs=2).cells()[0].cell_id() != base.cell_id()
+        assert tiny_spec(config=EngineConfig(stream_jobs=1)).cells()[0].cell_id() == base.cell_id()
+        assert tiny_spec(config=EngineConfig(stream_jobs=2)).cells()[0].cell_id() != base.cell_id()
 
     def test_stream_jobs_records_match_serial_modulo_id_and_timing(self):
         from repro.io.results import record_to_json_line
 
-        serial = ExperimentEngine(jobs=1).run(tiny_spec(horizon_mode="stream", chunk=7))
+        serial = ExperimentEngine(jobs=1).run(tiny_spec(config=EngineConfig(horizon_mode="stream", chunk=7)))
         parallel = ExperimentEngine(jobs=1).run(
-            tiny_spec(horizon_mode="stream", chunk=7, stream_jobs=2)
+            tiny_spec(config=EngineConfig(horizon_mode="stream", chunk=7, stream_jobs=2))
         )
 
         def stripped(records):

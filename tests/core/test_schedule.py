@@ -231,13 +231,15 @@ class TestGeneratorWindow:
         from repro.algorithms.phased_greedy import PhasedGreedyScheduler
 
         graph = square_with_diagonal
+        from repro.core.config import EngineConfig
+
+        stream32 = EngineConfig(horizon_mode="stream", chunk=32)
         plain = run_scheduler(
-            PhasedGreedyScheduler("greedy"), graph, horizon=600, seed=3,
-            horizon_mode="stream", chunk=32,
+            PhasedGreedyScheduler("greedy"), graph, horizon=600, seed=3, config=stream32
         )
         windowed = run_scheduler(
             PhasedGreedyScheduler("greedy", window=64), graph, horizon=600, seed=3,
-            horizon_mode="stream", chunk=32,
+            config=stream32,
         )
         assert windowed.report.summary() == plain.report.summary()
         assert windowed.validation.ok == plain.validation.ok

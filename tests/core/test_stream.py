@@ -21,6 +21,7 @@ from repro.core.metrics import (
     observed_periods,
     unhappiness_gaps,
 )
+from repro.core.config import EngineConfig
 from repro.core.problem import ConflictGraph
 from repro.core.schedule import (
     ExplicitSchedule,
@@ -42,6 +43,12 @@ from repro.core.validation import check_independent_sets, validate_schedule
 from repro.graphs.random_graphs import erdos_renyi
 
 BACKENDS = (["numpy"] if numpy_available() else []) + ["bitmask"]
+
+
+def cfg(backend=None, mode=None, chunk=None, jobs=None):
+    """EngineConfig from the sweep's knob spellings (None = default)."""
+    opts = {"backend": backend, "horizon_mode": mode, "chunk": chunk, "stream_jobs": jobs}
+    return EngineConfig(**{k: v for k, v in opts.items() if v is not None})
 
 HORIZON = 96
 #: chunk 1 (degenerate), 7 (does not divide 96), 16 (divides 96),
@@ -81,16 +88,16 @@ class TestHorizonModeResolution:
     def test_build_trace_mode_selects_engine(self):
         graph = ConflictGraph.from_edges([(0, 1)], name="p2")
         schedule = get_scheduler("degree-periodic").build(graph, seed=0)
-        assert isinstance(build_trace(schedule, graph, 32, mode="dense"), TraceMatrix)
-        streamed = build_trace(schedule, graph, 32, mode="stream", chunk=8)
+        assert isinstance(build_trace(schedule, graph, 32, config=cfg(mode="dense")), TraceMatrix)
+        streamed = build_trace(schedule, graph, 32, config=cfg(mode="stream", chunk=8))
         assert isinstance(streamed, StreamedTrace) and streamed.chunk == 8
-        assert isinstance(build_trace(schedule, graph, 32, mode="auto"), TraceMatrix)
+        assert isinstance(build_trace(schedule, graph, 32, config=cfg(mode="auto")), TraceMatrix)
 
     def test_sets_backend_has_no_stream_mode(self):
         graph = ConflictGraph.from_edges([(0, 1)], name="p2")
         schedule = get_scheduler("degree-periodic").build(graph, seed=0)
         with pytest.raises(ValueError, match="no streaming"):
-            build_trace(schedule, graph, 32, backend="sets", mode="stream")
+            build_trace(schedule, graph, 32, config=cfg(backend="sets", mode="stream"))
 
     def test_invalid_chunk_rejected(self):
         graph = ConflictGraph.from_edges([(0, 1)], name="p2")
@@ -168,25 +175,18 @@ def test_all_schedulers_reports_match_dense(backend, chunk):
         for name in available_schedulers():
             schedule = get_scheduler(name).build(graph, seed=seed)
             dense = evaluate_schedule(
-                schedule, graph, HORIZON, name=name, backend=backend, mode="dense"
-            )
+                schedule, graph, HORIZON, name=name, config=cfg(backend=backend, mode="dense"))
             stream = evaluate_schedule(
-                schedule, graph, HORIZON, name=name, backend=backend,
-                mode="stream", chunk=chunk,
-            )
+                schedule, graph, HORIZON, name=name, config=cfg(backend=backend, mode="stream", chunk=chunk))
             assert stream.muls == dense.muls, (name, graph.name, chunk)
             assert stream.periods == dense.periods, (name, graph.name, chunk)
             assert stream.rates == dense.rates, (name, graph.name, chunk)
             assert stream.summary() == dense.summary(), (name, graph.name, chunk)
 
             dense_val = validate_schedule(
-                schedule, graph, HORIZON, check_periodic=True,
-                backend=backend, mode="dense",
-            )
+                schedule, graph, HORIZON, check_periodic=True, config=cfg(backend=backend, mode="dense"))
             stream_val = validate_schedule(
-                schedule, graph, HORIZON, check_periodic=True,
-                backend=backend, mode="stream", chunk=chunk,
-            )
+                schedule, graph, HORIZON, check_periodic=True, config=cfg(backend=backend, mode="stream", chunk=chunk))
             assert stream_val.ok == dense_val.ok, (name, graph.name, chunk)
             assert report_tuples(stream_val) == report_tuples(dense_val), (name, chunk)
 
@@ -196,15 +196,15 @@ def test_metric_helpers_match_dense(backend):
     graph = erdos_renyi(14, 0.3, seed=5, name="gnp-14")
     schedule = get_scheduler("degree-periodic").build(graph, seed=0)
     for chunk in (1, 13, HORIZON, 500):
-        kwargs = dict(backend=backend, mode="stream", chunk=chunk)
+        kwargs = dict(config=cfg(backend=backend, mode="stream", chunk=chunk))
         assert max_unhappiness_lengths(schedule, graph, HORIZON, **kwargs) == \
-            max_unhappiness_lengths(schedule, graph, HORIZON, backend=backend)
+            max_unhappiness_lengths(schedule, graph, HORIZON, config=cfg(backend=backend))
         assert unhappiness_gaps(schedule, graph, HORIZON, **kwargs) == \
-            unhappiness_gaps(schedule, graph, HORIZON, backend=backend)
+            unhappiness_gaps(schedule, graph, HORIZON, config=cfg(backend=backend))
         assert observed_periods(schedule, graph, HORIZON, **kwargs) == \
-            observed_periods(schedule, graph, HORIZON, backend=backend)
+            observed_periods(schedule, graph, HORIZON, config=cfg(backend=backend))
         assert happiness_rates(schedule, graph, HORIZON, **kwargs) == \
-            happiness_rates(schedule, graph, HORIZON, backend=backend)
+            happiness_rates(schedule, graph, HORIZON, config=cfg(backend=backend))
 
 
 # ---------------------------------------------------------------------------
@@ -257,13 +257,12 @@ def test_streamed_unknown_nodes_and_mismatched_graphs(backend):
         {0: SlotAssignment(2, 1), 1: SlotAssignment(2, 0), 2: SlotAssignment(2, 1)},
     )
     bigger = ConflictGraph.from_edges([(0, 1), (1, 2), (2, 3)], name="p4")
-    fast = max_unhappiness_lengths(schedule, bigger, 6, backend=backend, mode="stream", chunk=2)
-    assert fast == max_unhappiness_lengths(schedule, bigger, 6, backend="sets")
+    fast = max_unhappiness_lengths(schedule, bigger, 6, config=cfg(backend=backend, mode="stream", chunk=2))
+    assert fast == max_unhappiness_lengths(schedule, bigger, 6, config=cfg(backend="sets"))
     smaller = ConflictGraph.from_edges([(0, 1)], name="p2")
     stream_report = check_independent_sets(
-        schedule, smaller, 4, backend=backend, mode="stream", chunk=3
-    )
-    reference = check_independent_sets(schedule, smaller, 4, backend="sets")
+        schedule, smaller, 4, config=cfg(backend=backend, mode="stream", chunk=3))
+    reference = check_independent_sets(schedule, smaller, 4, config=cfg(backend="sets"))
     assert [(v.kind, v.holiday) for v in stream_report.violations] == \
         [(v.kind, v.holiday) for v in reference.violations]
 
@@ -277,9 +276,9 @@ def test_streamed_unknown_nodes_and_mismatched_graphs(backend):
 def test_illegal_sequence_flagged_identically(backend, chunk):
     graph = ConflictGraph.from_edges([(0, 1), (1, 2)], name="p3")
     bad = [[0, 1], [2], [0, 99], [1, 2]]  # conflicts at 1 and 4, unknown at 3
-    stream = check_independent_sets(bad, graph, 4, backend=backend, mode="stream", chunk=chunk)
-    dense = check_independent_sets(bad, graph, 4, backend=backend, mode="dense")
-    reference = check_independent_sets(bad, graph, 4, backend="sets")
+    stream = check_independent_sets(bad, graph, 4, config=cfg(backend=backend, mode="stream", chunk=chunk))
+    dense = check_independent_sets(bad, graph, 4, config=cfg(backend=backend, mode="dense"))
+    reference = check_independent_sets(bad, graph, 4, config=cfg(backend="sets"))
     assert [(v.kind, v.holiday) for v in stream.violations] == \
         [(v.kind, v.holiday) for v in dense.violations] == \
         [(v.kind, v.holiday) for v in reference.violations]
@@ -290,9 +289,9 @@ def test_fail_fast_truncates_identically_on_every_engine(backend):
     graph = ConflictGraph.from_edges([(0, 1), (1, 2)], name="p3")
     bad = [[2], [0, 99], [0, 1], [1, 2]]  # unknown at 2, conflicts at 3 and 4
     kwargs = dict(fail_fast=True)
-    stream = check_independent_sets(bad, graph, 4, backend=backend, mode="stream", chunk=2, **kwargs)
-    dense = check_independent_sets(bad, graph, 4, backend=backend, mode="dense", **kwargs)
-    reference = check_independent_sets(bad, graph, 4, backend="sets", **kwargs)
+    stream = check_independent_sets(bad, graph, 4, **kwargs, config=cfg(backend=backend, mode="stream", chunk=2))
+    dense = check_independent_sets(bad, graph, 4, **kwargs, config=cfg(backend=backend, mode="dense"))
+    reference = check_independent_sets(bad, graph, 4, **kwargs, config=cfg(backend="sets"))
     # everything stops after holiday 2 (the first offending holiday)
     assert [(v.kind, v.holiday) for v in stream.violations] == \
         [(v.kind, v.holiday) for v in dense.violations] == \
@@ -314,8 +313,7 @@ def test_fail_fast_stops_building_chunks(backend):
 
     schedule = GeneratorSchedule(graph, step, validate=False)
     report = check_independent_sets(
-        schedule, graph, 1000, backend=backend, mode="stream", chunk=3, fail_fast=True
-    )
+        schedule, graph, 1000, fail_fast=True, config=cfg(backend=backend, mode="stream", chunk=3))
     assert [(v.kind, v.holiday) for v in report.violations] == [("not-independent", 2)]
     assert max(generated) <= 3  # only the first chunk was built
 
@@ -330,7 +328,7 @@ def test_shared_streamed_trace_is_reused():
     streamed = StreamedTrace(schedule, graph, 32, chunk=5)
     report = evaluate_schedule(schedule, graph, 32, trace=streamed)
     validation = validate_schedule(schedule, graph, 32, check_periodic=True, trace=streamed)
-    assert report.summary() == evaluate_schedule(schedule, graph, 32, backend="sets").summary()
+    assert report.summary() == evaluate_schedule(schedule, graph, 32, config=cfg(backend="sets")).summary()
     assert validation.ok
 
 
@@ -350,12 +348,9 @@ def test_run_scheduler_stream_matches_dense(backend):
     for name in ("degree-periodic", "phased-greedy"):
         scheduler = get_scheduler(name)
         dense = run_scheduler(
-            scheduler, graph, horizon=80, seed=1, backend=backend, horizon_mode="dense"
-        )
+            scheduler, graph, horizon=80, seed=1, config=cfg(backend=backend, mode="dense"))
         stream = run_scheduler(
-            scheduler, graph, horizon=80, seed=1, backend=backend,
-            horizon_mode="stream", chunk=9,
-        )
+            scheduler, graph, horizon=80, seed=1, config=cfg(backend=backend, mode="stream", chunk=9))
         assert dense.horizon_mode == "dense" and stream.horizon_mode == "stream"
         assert stream.report.summary() == dense.report.summary(), name
         assert stream.validation.ok == dense.validation.ok
@@ -367,8 +362,7 @@ def test_run_scheduler_sets_backend_reports_sets_mode():
 
     graph = ConflictGraph.from_edges([(0, 1)], name="p2")
     outcome = run_scheduler(
-        get_scheduler("degree-periodic"), graph, horizon=16, backend="sets"
-    )
+        get_scheduler("degree-periodic"), graph, horizon=16, config=cfg(backend="sets"))
     assert outcome.horizon_mode == "sets"
 
 

@@ -20,6 +20,7 @@ import pytest
 
 from repro.algorithms.registry import available_schedulers, get_scheduler
 from repro.core.metrics import build_trace, evaluate_schedule
+from repro.core.config import EngineConfig
 from repro.core.problem import ConflictGraph
 from repro.core.schedule import GeneratorSchedule, PeriodicSchedule, SlotAssignment
 from repro.core.trace import (
@@ -33,6 +34,12 @@ from repro.core.validation import check_independent_sets, validate_schedule
 from repro.graphs.random_graphs import erdos_renyi
 
 BACKENDS = (["numpy"] if numpy_available() else []) + ["bitmask"]
+
+
+def cfg(backend=None, mode=None, chunk=None, jobs=None):
+    """EngineConfig from the sweep's knob spellings (None = default)."""
+    opts = {"backend": backend, "horizon_mode": mode, "chunk": chunk, "stream_jobs": jobs}
+    return EngineConfig(**{k: v for k, v in opts.items() if v is not None})
 
 HORIZON = 96
 #: 13 does not divide 96, 16 does — both sides of the chunk-alignment coin.
@@ -67,31 +74,23 @@ def test_all_schedulers_parallel_matches_serial(backend, chunk):
     for name in available_schedulers():
         schedule = get_scheduler(name).build(graph, seed=5)
         serial = evaluate_schedule(
-            schedule, graph, HORIZON, name=name, backend=backend,
-            mode="stream", chunk=chunk, jobs=1,
-        )
+            schedule, graph, HORIZON, name=name, config=cfg(backend=backend, mode="stream", chunk=chunk, jobs=1))
         # a fresh build: generator-backed schedules must be re-run forward
         schedule2 = get_scheduler(name).build(graph, seed=5)
         trace = build_trace(
-            schedule2, graph, HORIZON, backend=backend, mode="stream", chunk=chunk, jobs=3
-        )
+            schedule2, graph, HORIZON, config=cfg(backend=backend, mode="stream", chunk=chunk, jobs=3))
         assert isinstance(trace, StreamedTrace) and trace.jobs == 3
         parallel = evaluate_schedule(
-            schedule2, graph, HORIZON, name=name, backend=backend, trace=trace
-        )
+            schedule2, graph, HORIZON, name=name, trace=trace, config=cfg(backend=backend))
         assert parallel.muls == serial.muls, (name, backend, chunk)
         assert parallel.periods == serial.periods, (name, backend, chunk)
         assert parallel.rates == serial.rates, (name, backend, chunk)
         assert parallel.summary() == serial.summary(), (name, backend, chunk)
 
         serial_val = validate_schedule(
-            schedule, graph, HORIZON, check_periodic=True,
-            backend=backend, mode="stream", chunk=chunk, jobs=1,
-        )
+            schedule, graph, HORIZON, check_periodic=True, config=cfg(backend=backend, mode="stream", chunk=chunk, jobs=1))
         parallel_val = validate_schedule(
-            schedule2, graph, HORIZON, check_periodic=True,
-            backend=backend, trace=trace,
-        )
+            schedule2, graph, HORIZON, check_periodic=True, trace=trace, config=cfg(backend=backend))
         assert parallel_val.ok == serial_val.ok, (name, backend, chunk)
         assert report_tuples(parallel_val) == report_tuples(serial_val), (name, chunk)
 
@@ -107,12 +106,10 @@ def test_illegal_sequence_parallel_matches_serial(backend, fail_fast):
         for t in range(1, 81)
     ]
     serial = check_independent_sets(
-        bad, graph, 80, backend=backend, mode="stream", chunk=5, jobs=1, fail_fast=fail_fast
-    )
+        bad, graph, 80, fail_fast=fail_fast, config=cfg(backend=backend, mode="stream", chunk=5, jobs=1))
     parallel = check_independent_sets(
-        bad, graph, 80, backend=backend, mode="stream", chunk=5, jobs=4, fail_fast=fail_fast
-    )
-    reference = check_independent_sets(bad, graph, 80, backend="sets", fail_fast=fail_fast)
+        bad, graph, 80, fail_fast=fail_fast, config=cfg(backend=backend, mode="stream", chunk=5, jobs=4))
+    reference = check_independent_sets(bad, graph, 80, fail_fast=fail_fast, config=cfg(backend="sets"))
     assert report_tuples(parallel) == report_tuples(serial)
     assert [(v.kind, v.holiday) for v in parallel.violations] == \
         [(v.kind, v.holiday) for v in reference.violations]
@@ -239,11 +236,9 @@ def test_fail_fast_cancellation_discards_later_blocks():
     for t in (9, 10, 21, 40, horizon - 1):  # violations in several blocks
         bad[t - 1] = [0, 1]
     serial = check_independent_sets(
-        bad, graph, horizon, mode="stream", chunk=2, jobs=1, fail_fast=True
-    )
+        bad, graph, horizon, fail_fast=True, config=cfg(mode="stream", chunk=2, jobs=1))
     parallel = check_independent_sets(
-        bad, graph, horizon, mode="stream", chunk=2, jobs=4, fail_fast=True
-    )
+        bad, graph, horizon, fail_fast=True, config=cfg(mode="stream", chunk=2, jobs=4))
     assert report_tuples(parallel) == report_tuples(serial)
     holidays = [v.holiday for v in parallel.violations]
     # chunk 5 covers holidays 9-10; everything later was discarded
@@ -316,11 +311,9 @@ def test_run_scheduler_parallel_stream_matches_serial_and_records_jobs():
     graph = erdos_renyi(10, 0.3, seed=2, name="gnp-10")
     scheduler = get_scheduler("degree-periodic")
     serial = run_scheduler(
-        scheduler, graph, horizon=90, seed=1, horizon_mode="stream", chunk=8, jobs=1
-    )
+        scheduler, graph, horizon=90, seed=1, config=cfg(mode="stream", chunk=8, jobs=1))
     parallel = run_scheduler(
-        scheduler, graph, horizon=90, seed=1, horizon_mode="stream", chunk=8, jobs=2
-    )
+        scheduler, graph, horizon=90, seed=1, config=cfg(mode="stream", chunk=8, jobs=2))
     assert serial.jobs == 1 and parallel.jobs == 2
     assert parallel.horizon_mode == "stream"
     assert parallel.report.summary() == serial.report.summary()

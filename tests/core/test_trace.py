@@ -24,6 +24,7 @@ from repro.core.metrics import (
     observed_periods,
     unhappiness_gaps,
 )
+from repro.core.config import EngineConfig
 from repro.core.problem import ConflictGraph
 from repro.core.schedule import ExplicitSchedule, PeriodicSchedule, SlotAssignment
 from repro.core.trace import TraceMatrix, numpy_available, resolve_backend
@@ -31,6 +32,12 @@ from repro.core.validation import check_independent_sets, validate_schedule
 from repro.graphs.random_graphs import erdos_renyi
 
 BACKENDS = (["numpy"] if numpy_available() else []) + ["bitmask"]
+
+
+def cfg(backend=None, mode=None, chunk=None, jobs=None):
+    """EngineConfig from the sweep's knob spellings (None = default)."""
+    opts = {"backend": backend, "horizon_mode": mode, "chunk": chunk, "stream_jobs": jobs}
+    return EngineConfig(**{k: v for k, v in opts.items() if v is not None})
 
 
 def random_graphs(seeds):
@@ -135,13 +142,13 @@ class TestTraceMatrixBasics:
             {0: SlotAssignment(2, 1), 1: SlotAssignment(2, 0), 2: SlotAssignment(2, 1)},
         )
         bigger = ConflictGraph.from_edges([(0, 1), (1, 2), (2, 3)], name="p4")
-        fast = max_unhappiness_lengths(schedule, bigger, 6, backend=backend)
-        assert fast == max_unhappiness_lengths(schedule, bigger, 6, backend="sets")
+        fast = max_unhappiness_lengths(schedule, bigger, 6, config=cfg(backend=backend))
+        assert fast == max_unhappiness_lengths(schedule, bigger, 6, config=cfg(backend="sets"))
         assert fast[3] == 6  # in the graph, never scheduled
 
         smaller = ConflictGraph.from_edges([(0, 1)], name="p2")
-        fast_report = check_independent_sets(schedule, smaller, 4, backend=backend)
-        reference = check_independent_sets(schedule, smaller, 4, backend="sets")
+        fast_report = check_independent_sets(schedule, smaller, 4, config=cfg(backend=backend))
+        reference = check_independent_sets(schedule, smaller, 4, config=cfg(backend="sets"))
         assert [(v.kind, v.holiday) for v in fast_report.violations] == \
             [(v.kind, v.holiday) for v in reference.violations]
         assert any(v.kind == "unknown-node" for v in fast_report.violations)
@@ -159,8 +166,8 @@ def test_all_schedulers_metrics_match_reference(backend, seed):
         for name in available_schedulers():
             schedule = get_scheduler(name).build(graph, seed=seed)
             horizon = 96
-            fast = evaluate_schedule(schedule, graph, horizon, name=name, backend=backend)
-            reference = evaluate_schedule(schedule, graph, horizon, name=name, backend="sets")
+            fast = evaluate_schedule(schedule, graph, horizon, name=name, config=cfg(backend=backend))
+            reference = evaluate_schedule(schedule, graph, horizon, name=name, config=cfg(backend="sets"))
             assert fast.muls == reference.muls, (name, graph.name)
             assert fast.periods == reference.periods, (name, graph.name)
             assert fast.rates == reference.rates, (name, graph.name)
@@ -173,8 +180,8 @@ def test_all_schedulers_validation_matches_reference(backend):
     for graph in random_graphs([11, 12]):
         for name in available_schedulers():
             schedule = get_scheduler(name).build(graph, seed=0)
-            fast = validate_schedule(schedule, graph, 64, check_periodic=True, backend=backend)
-            reference = validate_schedule(schedule, graph, 64, check_periodic=True, backend="sets")
+            fast = validate_schedule(schedule, graph, 64, check_periodic=True, config=cfg(backend=backend))
+            reference = validate_schedule(schedule, graph, 64, check_periodic=True, config=cfg(backend="sets"))
             assert fast.ok == reference.ok, (name, graph.name)
             assert len(fast.violations) == len(reference.violations), (name, graph.name)
 
@@ -184,14 +191,14 @@ def test_metric_helpers_match_reference(backend):
     graph = erdos_renyi(14, 0.3, seed=5, name="gnp-14")
     schedule = get_scheduler("degree-periodic").build(graph, seed=0)
     horizon = 80
-    assert max_unhappiness_lengths(schedule, graph, horizon, backend=backend) == \
-        max_unhappiness_lengths(schedule, graph, horizon, backend="sets")
-    assert unhappiness_gaps(schedule, graph, horizon, backend=backend) == \
-        unhappiness_gaps(schedule, graph, horizon, backend="sets")
-    assert observed_periods(schedule, graph, horizon, backend=backend) == \
-        observed_periods(schedule, graph, horizon, backend="sets")
-    assert happiness_rates(schedule, graph, horizon, backend=backend) == \
-        happiness_rates(schedule, graph, horizon, backend="sets")
+    assert max_unhappiness_lengths(schedule, graph, horizon, config=cfg(backend=backend)) == \
+        max_unhappiness_lengths(schedule, graph, horizon, config=cfg(backend="sets"))
+    assert unhappiness_gaps(schedule, graph, horizon, config=cfg(backend=backend)) == \
+        unhappiness_gaps(schedule, graph, horizon, config=cfg(backend="sets"))
+    assert observed_periods(schedule, graph, horizon, config=cfg(backend=backend)) == \
+        observed_periods(schedule, graph, horizon, config=cfg(backend="sets"))
+    assert happiness_rates(schedule, graph, horizon, config=cfg(backend=backend)) == \
+        happiness_rates(schedule, graph, horizon, config=cfg(backend="sets"))
 
 
 @pytest.mark.skipif(len(BACKENDS) < 2, reason="numpy backend unavailable")
@@ -213,8 +220,8 @@ def test_numpy_and_bitmask_agree_bit_for_bit():
 def test_illegal_sequence_flagged_identically(backend):
     graph = ConflictGraph.from_edges([(0, 1), (1, 2)], name="p3")
     bad = [[0, 1], [2], [0, 99], [1, 2]]  # conflicts at 1 and 4, unknown at 3
-    fast = check_independent_sets(bad, graph, 4, backend=backend)
-    reference = check_independent_sets(bad, graph, 4, backend="sets")
+    fast = check_independent_sets(bad, graph, 4, config=cfg(backend=backend))
+    reference = check_independent_sets(bad, graph, 4, config=cfg(backend="sets"))
     assert not fast.ok and not reference.ok
     assert [(v.kind, v.holiday) for v in fast.violations] == \
         [(v.kind, v.holiday) for v in reference.violations]
@@ -230,7 +237,7 @@ def test_shared_trace_is_reused():
     matrix = schedule.trace(32)
     report = evaluate_schedule(schedule, graph, 32, trace=matrix)
     validation = validate_schedule(schedule, graph, 32, check_periodic=True, trace=matrix)
-    assert report.summary() == evaluate_schedule(schedule, graph, 32, backend="sets").summary()
+    assert report.summary() == evaluate_schedule(schedule, graph, 32, config=cfg(backend="sets")).summary()
     assert validation.ok
 
 
@@ -247,7 +254,7 @@ def test_shared_trace_with_sets_backend_rejected():
     schedule = get_scheduler("degree-periodic").build(graph, seed=0)
     matrix = schedule.trace(32)
     with pytest.raises(ValueError, match="sets"):
-        evaluate_schedule(schedule, graph, 32, backend="sets", trace=matrix)
+        evaluate_schedule(schedule, graph, 32, trace=matrix, config=cfg(backend="sets"))
 
 
 @pytest.mark.parametrize("backend", BACKENDS)
@@ -258,8 +265,8 @@ def test_shared_trace_validates_against_passed_graphs_edges(backend):
     strict = ConflictGraph.from_edges([(0, 1), (1, 2)], name="strict")
     sets = [[0], [1, 2], [0]]  # legal on loose, illegal on strict at holiday 2
     matrix = TraceMatrix.from_schedule(sets, loose, 3, backend=backend)
-    assert check_independent_sets(sets, loose, 3, backend=backend, trace=matrix).ok
-    strict_report = check_independent_sets(sets, strict, 3, backend=backend, trace=matrix)
+    assert check_independent_sets(sets, loose, 3, trace=matrix, config=cfg(backend=backend)).ok
+    strict_report = check_independent_sets(sets, strict, 3, trace=matrix, config=cfg(backend=backend))
     assert [(v.kind, v.holiday) for v in strict_report.violations] == [("not-independent", 2)]
 
 
@@ -283,8 +290,8 @@ def test_validate_periodic_schedule_on_subgraph(backend):
         {0: SlotAssignment(2, 1), 1: SlotAssignment(2, 0), 2: SlotAssignment(2, 1)},
     )
     smaller = ConflictGraph.from_edges([(0, 1)], name="p2")
-    fast = validate_schedule(schedule, smaller, 8, check_periodic=True, backend=backend)
-    reference = validate_schedule(schedule, smaller, 8, check_periodic=True, backend="sets")
+    fast = validate_schedule(schedule, smaller, 8, check_periodic=True, config=cfg(backend=backend))
+    reference = validate_schedule(schedule, smaller, 8, check_periodic=True, config=cfg(backend="sets"))
     assert fast.ok == reference.ok
     assert [(v.kind, v.node, v.holiday) for v in fast.violations] == \
         [(v.kind, v.node, v.holiday) for v in reference.violations]

@@ -159,6 +159,19 @@ class TestSchedule:
         with pytest.raises(SystemExit, match="--jobs"):
             main(["schedule", graph_file, "--horizon-mode", "stream", "--jobs", "0"])
 
+    def test_stream_jobs_spelling_equals_jobs_alias(self, graph_file, capsys):
+        """--stream-jobs is the canonical spelling everywhere; the historical
+        schedule/compare --jobs stays as an alias for the same knob."""
+        outputs = {}
+        for flag in ("--jobs", "--stream-jobs"):
+            code = main([
+                "schedule", graph_file, "--horizon", "128", "--calendar-years", "4",
+                "--horizon-mode", "stream", "--chunk", "16", flag, "2",
+            ])
+            assert code == 0
+            outputs[flag] = capsys.readouterr().out
+        assert outputs["--jobs"] == outputs["--stream-jobs"]
+
 
 class TestCompareBoundsSatisfaction:
     def test_compare_default_set(self, graph_file, capsys):
@@ -179,6 +192,15 @@ class TestCompareBoundsSatisfaction:
             assert code == 0
             outputs[backend] = capsys.readouterr().out
         assert outputs["auto"] == outputs["sets"]
+
+    def test_compare_accepts_stream_jobs_spelling(self, graph_file, capsys):
+        code = main([
+            "compare", graph_file, "--horizon", "64", "--horizon-mode", "stream",
+            "--chunk", "16", "--stream-jobs", "2", "--algorithms", "degree-periodic",
+            "sequential",
+        ])
+        assert code == 0
+        assert "most degree-local schedule" in capsys.readouterr().out
 
     def test_bounds(self, graph_file, capsys):
         code = main(["bounds", graph_file])
@@ -360,6 +382,53 @@ class TestExperiment:
             main(["experiment", "--workloads", "small/path", "--grid", "oops"])
         with pytest.raises(SystemExit, match="--resume needs --output"):
             main(["experiment", "--workloads", "small/path", "--algorithms", "sequential", "--resume"])
+
+    def test_engine_flags_layer_over_spec_config(self, tmp_path, capsys):
+        """An engine flag overrides only its own field of a spec's config:
+        --backend keeps the spec's streamed representation and chunk."""
+        from repro.analysis.engine import ExperimentSpec
+        from repro.core.config import EngineConfig
+
+        spec_path = tmp_path / "spec.json"
+        out = tmp_path / "results.jsonl"
+        ExperimentSpec(
+            name="layered",
+            workloads=("small/path",),
+            algorithms=("degree-periodic",),
+            horizon=64,
+            config=EngineConfig(horizon_mode="stream", chunk=16),
+        ).to_json(spec_path)
+        code = main([
+            "experiment", "--spec", str(spec_path), "--backend", "bitmask",
+            "--output", str(out), "--save-spec", str(tmp_path / "resolved.json"),
+        ])
+        assert code == 0
+        resolved = ExperimentSpec.from_json(tmp_path / "resolved.json")
+        assert resolved.config == EngineConfig(
+            backend="bitmask", horizon_mode="stream", chunk=16
+        )
+        from repro.analysis.records import ResultSet
+
+        records = ResultSet.from_jsonl(out)
+        assert [r.params["horizon_mode"] for r in records] == ["stream"]
+        assert [r.params["backend"] for r in records] == ["bitmask"]
+
+    def test_legacy_spec_json_still_runs(self, tmp_path, capsys):
+        """A pre-consolidation spec file (flat backend/horizon_mode keys)
+        keeps running through the CLI."""
+        import json as json_mod
+
+        spec_path = tmp_path / "old-spec.json"
+        spec_path.write_text(json_mod.dumps({
+            "name": "old-format",
+            "workloads": ["small/path"],
+            "algorithms": ["sequential"],
+            "horizon": 32,
+            "backend": "bitmask",
+            "horizon_mode": "dense",
+        }))
+        assert main(["experiment", "--spec", str(spec_path)]) == 0
+        assert "old-format" in capsys.readouterr().out
 
     def test_spec_override_errors_are_clean(self, tmp_path):
         from repro.analysis.engine import ExperimentSpec
