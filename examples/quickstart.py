@@ -116,7 +116,7 @@ def spec_driven_sweep() -> None:
         workloads=("small/star", "small/cycle", "small/gnp"),
         algorithms=("phased-greedy", "color-periodic-omega", "degree-periodic"),
         horizon=64,
-        config=EngineConfig(),  # backend/horizon_mode/chunk/stream_jobs/window
+        config=EngineConfig(batch=4),  # backend/horizon_mode/chunk/stream_jobs/window/batch
     )
     results = ExperimentEngine(jobs=1).run(spec)
     pivot = results.pivot("mean_norm_gap")

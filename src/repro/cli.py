@@ -99,7 +99,7 @@ def add_engine_args(
 
     One registration shared by ``schedule``/``compare``/``experiment`` (it
     used to be copied per subcommand): ``--backend``, ``--horizon-mode``,
-    ``--chunk`` and ``--stream-jobs``.  ``stream_jobs_aliases`` adds extra
+    ``--chunk``, ``--stream-jobs`` and ``--batch``.  ``stream_jobs_aliases`` adds extra
     spellings for the latter — ``schedule``/``compare`` alias their
     historical ``--jobs`` to it (on ``experiment``, ``--jobs`` fans out
     across cells and stays separate).  Every flag defaults to ``None`` =
@@ -146,6 +146,19 @@ def add_engine_args(
             "parallelism *across* runs use 'experiment --jobs' instead"
         ),
     )
+    parser.add_argument(
+        "--batch",
+        type=int,
+        default=None,
+        metavar="S",
+        help=(
+            "schedules stacked per batched trace kernel in the experiment "
+            "engine (1 disables batching; default: auto-sized from the "
+            "~256 MiB dense-trace budget).  Purely a wall-clock knob — "
+            "records are byte-identical for every value modulo timing "
+            "fields; no effect on single-run 'schedule'"
+        ),
+    )
 
 
 def engine_overrides(args: argparse.Namespace) -> dict:
@@ -165,6 +178,10 @@ def engine_overrides(args: argparse.Namespace) -> dict:
                 f"error: --jobs/--stream-jobs must be >= 1, got {args.stream_jobs}"
             )
         overrides["stream_jobs"] = args.stream_jobs
+    if getattr(args, "batch", None) is not None:
+        if args.batch < 1:
+            raise SystemExit(f"error: --batch must be >= 1, got {args.batch}")
+        overrides["batch"] = args.batch
     return overrides
 
 

@@ -30,6 +30,13 @@ The knobs:
   :meth:`repro.api.Session.run` to schedulers that support it
   (:meth:`~repro.algorithms.base.Scheduler.with_window`); schedulers that
   don't ignore it.
+* ``batch`` — schedules stacked per batched trace kernel
+  (:class:`~repro.core.trace.TraceBatch`) by the experiment engine's
+  batching planner.  ``None`` auto-sizes from
+  :data:`~repro.core.trace.AUTO_STREAM_BYTES`; ``1`` disables batching.
+  Purely a wall-clock knob: the planner provably never changes a record
+  (differentially tested), so records are byte-identical for every value
+  modulo the timing metrics.
 
 Every entry point from :func:`repro.core.metrics.build_trace` up to the CLI
 accepts ``config: EngineConfig``; the historical per-call keywords survive
@@ -111,6 +118,7 @@ class EngineConfig:
     chunk: Optional[int] = None
     stream_jobs: int = 1
     window: Optional[int] = None
+    batch: Optional[int] = None
 
     def __post_init__(self) -> None:
         if self.backend not in CONFIG_BACKENDS:
@@ -129,6 +137,8 @@ class EngineConfig:
             raise ValueError(f"stream_jobs must be >= 1, got {self.stream_jobs!r}")
         if self.window is not None and int(self.window) < 1:
             raise ValueError(f"window must be >= 1, got {self.window!r}")
+        if self.batch is not None and int(self.batch) < 1:
+            raise ValueError(f"batch size must be >= 1, got {self.batch!r}")
 
     # -- resolution ----------------------------------------------------------
     def resolve(

@@ -70,7 +70,11 @@ __all__ = [
 ScheduleLike = Union[Schedule, Sequence[Iterable[Node]]]
 
 #: what the trace-engine entry points accept and return: the dense matrix or
-#: its streaming counterpart — they expose the same query API.
+#: its streaming counterpart — they expose the same query API.  The
+#: ``trace=`` parameters additionally accept any duck-typed equivalent, in
+#: particular the member views of a :class:`~repro.core.trace.TraceBatch`,
+#: which is how the experiment engine runs this module unchanged over a
+#: stacked cell-batch.
 TraceLike = Union[TraceMatrix, StreamedTrace]
 
 

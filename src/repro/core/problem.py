@@ -65,6 +65,15 @@ class ConflictGraph:
         self.name = name
         self._order: List[Node] = self._stable_order(graph.nodes())
         self._index: Dict[Node, int] = {p: i for i, p in enumerate(self._order)}
+        # derived-query caches, invalidated by the mutation methods below;
+        # hot loops (per-edge legality scans, per-node bound checks) hit
+        # these thousands of times per run
+        self._edge_cache: List[Edge] | None = None
+        self._degree_cache: Dict[Node, int] | None = None
+
+    def _invalidate_caches(self) -> None:
+        self._edge_cache = None
+        self._degree_cache = None
 
     # -- construction --------------------------------------------------------------
     @staticmethod
@@ -135,7 +144,9 @@ class ConflictGraph:
 
     def edges(self) -> List[Edge]:
         """All in-law edges (each once, as stored by networkx)."""
-        return list(self._graph.edges())
+        if self._edge_cache is None:
+            self._edge_cache = list(self._graph.edges())
+        return list(self._edge_cache)
 
     def num_nodes(self) -> int:
         """Number of parents ``|P|``."""
@@ -147,11 +158,19 @@ class ConflictGraph:
 
     def degree(self, node: Node) -> int:
         """Degree (number of in-law families) of ``node``."""
-        return int(self._graph.degree(node))
+        if self._degree_cache is None:
+            self._degree_cache = {p: int(d) for p, d in self._graph.degree()}
+        try:
+            return self._degree_cache[node]
+        except KeyError:
+            # fall through for networkx's error reporting on unknown nodes
+            return int(self._graph.degree(node))
 
     def degrees(self) -> Dict[Node, int]:
         """``{node: degree}`` for every parent."""
-        return {p: int(d) for p, d in self._graph.degree()}
+        if self._degree_cache is None:
+            self._degree_cache = {p: int(d) for p, d in self._graph.degree()}
+        return dict(self._degree_cache)
 
     def neighbors(self, node: Node) -> List[Node]:
         """Neighbors (in-law families) of ``node`` in deterministic order."""
@@ -161,7 +180,7 @@ class ConflictGraph:
         """The global maximum degree ``Δ`` (0 for an empty or edgeless graph)."""
         if self.num_nodes() == 0:
             return 0
-        return max((int(d) for _, d in self._graph.degree()), default=0)
+        return max(self.degrees().values(), default=0)
 
     def index_of(self, node: Node) -> int:
         """Deterministic integer index of ``node`` (useful for array-backed code)."""
@@ -199,6 +218,7 @@ class ConflictGraph:
         if u == v:
             raise ValueError(f"self-loop {u!r} is not a valid in-law relation")
         self._graph.add_edge(u, v)
+        self._invalidate_caches()
         for node in (u, v):
             if node not in self._index:
                 self._order.append(node)
@@ -209,11 +229,13 @@ class ConflictGraph:
         if not self._graph.has_edge(u, v):
             raise KeyError(f"edge ({u!r}, {v!r}) is not in the conflict graph")
         self._graph.remove_edge(u, v)
+        self._invalidate_caches()
 
     def add_node(self, node: Node) -> None:
         """Add an isolated family."""
         if node not in self._graph:
             self._graph.add_node(node)
+            self._invalidate_caches()
             self._order.append(node)
             self._index[node] = len(self._order) - 1
 

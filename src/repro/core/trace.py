@@ -78,6 +78,28 @@ determinism contract trivially intact: ``jobs=1`` and ``jobs=N`` produce
 kind (asserted by ``tests/core/test_stream_parallel.py``).  The legality
 scan parallelises the same way, and with ``fail_fast`` the parent cancels
 every outstanding block past the first violating chunk.
+
+Batched kernels (:class:`TraceBatch`): experiment campaigns evaluate many
+schedules that differ only in the scheduler over the *same* graph and
+horizon, and per-cell execution pays the construction dispatch, the summary
+reductions and the per-edge legality AND once per schedule.  A
+:class:`TraceBatch` stacks ``S`` compatible schedules into one ``S × n ×
+horizon`` boolean tensor (numpy) or ``S`` lists of bitmask rows (pure
+Python), built through the same periodic/cyclic fast paths broadcast across
+the schedule axis — all rows with the same ``(period, phase)`` are filled
+from one shared expansion regardless of which schedule they belong to.  One
+stacked :meth:`~TraceBatch.scan` then answers the full summary query API
+for every member at once: gap/run-length statistics come from a single
+``nonzero``/``diff``/``reduceat`` sweep over the flattened ``S·n`` row
+block, and one adjacency-masked pass per graph edge yields the collision
+holidays of *all* members.  :meth:`TraceBatch.member` returns a lightweight
+view with the :class:`TraceMatrix` query API (answered from the shared
+scan) that plugs into the metric and validation entry points through their
+``trace=`` parameter, so batched execution reuses the exact same
+downstream code as per-cell execution and produces identical reports.
+Oversized batches compose with streaming: in ``stream`` mode the members'
+chunks are folded column-block by column-block through the same
+associative accumulators, so resident memory is ``O(S × n × chunk)``.
 """
 
 from __future__ import annotations
@@ -98,6 +120,7 @@ __all__ = [
     "TraceMatrix",
     "TraceStream",
     "StreamedTrace",
+    "TraceBatch",
     "BACKENDS",
     "HORIZON_MODES",
     "DEFAULT_CHUNK",
@@ -1232,6 +1255,506 @@ class StreamedTrace:
                 for future in futures:  # no-op on completed futures
                     future.cancel()
         return unknown_by_holiday, collisions
+
+
+#: sentinel for "no inter-appearance difference observed" in the batched
+#: min-diff array (rows with < 2 appearances); guarded by count checks, so
+#: it never leaks into a query result.
+_NO_DIFF = 1 << 62
+
+
+class TraceBatch:
+    """``S`` schedules over one graph and horizon, evaluated in one pass.
+
+    Stacks the occupancy traces of ``S`` *compatible* schedules — same
+    :class:`~repro.core.problem.ConflictGraph`, same horizon, same resolved
+    backend — into a single ``S × n × horizon`` boolean tensor (numpy) or
+    ``S`` lists of bitmask rows (pure Python), and answers every summary
+    query of the :class:`TraceMatrix` API for *all* members from one
+    stacked :meth:`scan`:
+
+    * per-node gap/run-length statistics (``mul``, observed period,
+      distinct diffs, happiness rate) from a single ``nonzero``/``diff``/
+      ``reduceat`` sweep over the flattened ``S·n`` row block (numpy) or
+      one bit walk per row (bitmask);
+    * per-edge legality evidence from one adjacency-masked AND per graph
+      edge covering all members at once.
+
+    Construction broadcasts the existing fast paths across the schedule
+    axis: every periodic row in the whole batch is grouped by its period so
+    each distinct period is expanded once (numpy), and bitmask patterns are
+    cached by ``(period, phase)`` across all members.  Non-periodic members
+    fall back to their ordinary :meth:`TraceMatrix.from_schedule` build.
+
+    ``horizon_mode="stream"`` (or ``"auto"`` above
+    :data:`AUTO_STREAM_BYTES`) degrades gracefully: member chunks are
+    folded column-block by column-block through the same associative
+    accumulators as :class:`StreamedTrace`, so resident memory is
+    ``O(S × n × chunk)`` — the batch never materialises ``S`` dense
+    matrices it could not afford per-cell.
+
+    :meth:`member` returns a view exposing the :class:`TraceMatrix` query
+    API for one schedule, answered from the shared scan; views satisfy the
+    shared-trace contract of :func:`repro.core.metrics.build_trace`
+    (matching graph and horizon), which is how the experiment engine runs
+    the unmodified metric suite and validator over each member.
+    Differential tests (``tests/core/test_batch.py``) assert every member
+    query equals its per-cell counterpart on both backends.
+    """
+
+    def __init__(
+        self,
+        schedules: Sequence[ScheduleOrSets],
+        graph: ConflictGraph,
+        horizon: int,
+        backend: str = "auto",
+        horizon_mode: str = "auto",
+        chunk: Optional[int] = None,
+    ) -> None:
+        if horizon < 1:
+            raise ValueError(f"horizon must be >= 1, got {horizon!r}")
+        self.schedules: List[ScheduleOrSets] = list(schedules)
+        if not self.schedules:
+            raise ValueError("TraceBatch needs at least one schedule")
+        self.graph = graph
+        self.horizon = horizon
+        self.backend = resolve_backend(backend)
+        self.chunk = DEFAULT_CHUNK if chunk is None else int(chunk)
+        if self.chunk < 1:
+            raise ValueError(f"chunk width must be >= 1, got {chunk!r}")
+        #: the representation every member view reports as its ``mode`` —
+        #: resolved exactly like a per-cell trace of the same shape, so a
+        #: batched record's ``horizon_mode`` stamp matches per-cell runs.
+        self.member_mode = resolve_horizon_mode(
+            horizon_mode, graph.num_nodes(), horizon, self.backend
+        )
+        self._order: List[Node] = graph.nodes()
+        self._index: Dict[Node, int] = {p: i for i, p in enumerate(self._order)}
+        self._unknown: List[List[Tuple[int, Node]]] = [[] for _ in self.schedules]
+        self._tensor = None  # numpy (S, n, horizon) bool tensor (dense numpy)
+        self._bits: Optional[List[List[int]]] = None  # per-member rows (dense bitmask)
+        # per-(member, node) summary state for the bitmask and stream arms
+        self._stats: Optional[List[List[_NodeStreamStats]]] = None
+        # flattened per-row summary arrays for the dense numpy arm
+        self._counts = self._first = self._last = None
+        self._dmax = self._dmin = self._muls = None
+        self._cols = self._seg_start = self._seg_end = None
+        # graph edge -> one collision-holiday list per member
+        self._collisions: Optional[Dict[Tuple[Node, Node], List[List[int]]]] = None
+        self._scanned = False
+        if self.member_mode == "dense":
+            self._build_dense()
+
+    def __len__(self) -> int:
+        return len(self.schedules)
+
+    def member(self, s: int) -> "_BatchMemberView":
+        """The :class:`TraceMatrix`-compatible view of member ``s``."""
+        if not (0 <= s < len(self.schedules)):
+            raise IndexError(f"member {s} outside batch of {len(self.schedules)}")
+        return _BatchMemberView(self, s)
+
+    def members(self) -> List["_BatchMemberView"]:
+        """Views of every member, in schedule order."""
+        return [self.member(s) for s in range(len(self.schedules))]
+
+    # -- stacked construction ------------------------------------------------------
+    def _periodic_eligible(self, schedule: ScheduleOrSets) -> bool:
+        # same test as TraceMatrix.from_schedule: the table must cover
+        # exactly the observed nodes for the direct expansion to be valid.
+        return isinstance(schedule, PeriodicSchedule) and set(schedule.assignments) == set(
+            self._order
+        )
+
+    def _build_dense(self) -> None:
+        n, horizon = len(self._order), self.horizon
+        if self.backend == "numpy":
+            tensor = _np.zeros((len(self.schedules), n, horizon), dtype=_np.bool_)
+            # C-contiguous reshape: flat row s·n + i aliases tensor[s, i].
+            flat = tensor.reshape(len(self.schedules) * n, horizon)
+            by_period: Dict[int, Tuple[List[int], List[int]]] = {}
+            for s, schedule in enumerate(self.schedules):
+                if self._periodic_eligible(schedule):
+                    for i, p in enumerate(self._order):
+                        slot = schedule.assignments[p]
+                        rows, phases = by_period.setdefault(slot.period, ([], []))
+                        rows.append(s * n + i)
+                        phases.append(slot.phase)
+                else:
+                    member = TraceMatrix.from_schedule(
+                        schedule, self.graph, horizon, backend="numpy"
+                    )
+                    tensor[s] = member._matrix
+                    self._unknown[s] = member.unknown
+            if by_period:
+                # one arange % τ per distinct period across the WHOLE batch —
+                # the broadcast form of TraceMatrix._from_periodic.
+                holidays = _np.arange(1, horizon + 1, dtype=_np.int64)
+                for period, (rows, phases) in by_period.items():
+                    mod = holidays % period
+                    row_idx = _np.asarray(rows, dtype=_np.intp)
+                    phase_arr = _np.asarray(phases, dtype=_np.int64)
+                    flat[row_idx] = mod[_np.newaxis, :] == phase_arr[:, _np.newaxis]
+            self._tensor = tensor
+            return
+        pattern_cache: Dict[Tuple[int, int], int] = {}
+        bits: List[List[int]] = []
+        for s, schedule in enumerate(self.schedules):
+            if self._periodic_eligible(schedule):
+                row_bits: List[int] = []
+                for p in self._order:
+                    slot = schedule.assignments[p]
+                    key = (slot.period, slot.phase)
+                    if key not in pattern_cache:
+                        pattern_cache[key] = _periodic_bitmask_window(
+                            slot.period, slot.phase, 1, horizon
+                        )
+                    row_bits.append(pattern_cache[key])
+                bits.append(row_bits)
+            else:
+                member = TraceMatrix.from_schedule(
+                    schedule, self.graph, horizon, backend="bitmask"
+                )
+                bits.append(member._bits)
+                self._unknown[s] = member.unknown
+        self._bits = bits
+
+    # -- the one stacked scan ------------------------------------------------------
+    def scan(self) -> None:
+        """Run the stacked summary pass once (idempotent).
+
+        Triggered lazily by the first query; callers that want the shared
+        cost timed separately (the experiment engine) invoke it eagerly.
+        """
+        if self._scanned:
+            return
+        if self.member_mode == "stream":
+            self._scan_stream()
+        elif self.backend == "numpy":
+            self._scan_dense_numpy()
+        else:
+            self._scan_dense_bitmask()
+        self._scanned = True
+
+    def _scan_dense_numpy(self) -> None:
+        """One vectorized sweep over the flattened ``S·n`` row block.
+
+        ``nonzero`` on the flat matrix yields every appearance of every
+        member grouped by row in ascending column order; per-row first/last
+        come from segment boundaries and the max/min inter-appearance
+        differences from ``diff`` + ``maximum/minimum.reduceat`` with
+        cross-row positions neutralised — the batched equivalent of one
+        ``flatnonzero``/``diff`` pass per row.
+        """
+        total = len(self.schedules) * len(self._order)
+        flat = self._tensor.reshape(total, self.horizon)
+        # one flat nonzero pass instead of 2-D ``nonzero`` — the row index
+        # array it would compute is recoverable from one divmod, and the
+        # per-row counts fall out of a bincount over it.
+        pos = _np.flatnonzero(flat.ravel())
+        rows_idx, cols = _np.divmod(pos, self.horizon)
+        counts = _np.bincount(rows_idx, minlength=total).astype(_np.int64, copy=False)
+        cols = cols.astype(_np.int64, copy=False)
+        first = _np.zeros(total, dtype=_np.int64)
+        last = _np.zeros(total, dtype=_np.int64)
+        dmax = _np.zeros(total, dtype=_np.int64)
+        dmin = _np.full(total, _NO_DIFF, dtype=_np.int64)
+        seg_start = _np.zeros(total, dtype=_np.int64)
+        seg_end = _np.zeros(total, dtype=_np.int64)
+        nonempty = _np.flatnonzero(counts)
+        if nonempty.size:
+            seg_ends = _np.cumsum(counts[nonempty])
+            seg_starts = _np.concatenate(([0], seg_ends[:-1]))
+            first[nonempty] = cols[seg_starts]
+            last[nonempty] = cols[seg_ends - 1]
+            seg_start[nonempty] = seg_starts
+            seg_end[nonempty] = seg_ends
+            if cols.size > 1:
+                diffs = _np.diff(cols)
+                pad_max = _np.concatenate((diffs, [0]))
+                pad_min = _np.concatenate((diffs, [_NO_DIFF]))
+                # positions crossing from one row's segment into the next
+                # carry meaningless diffs — neutralise them for both folds.
+                boundary = seg_ends[:-1] - 1
+                pad_max[boundary] = 0
+                pad_min[boundary] = _NO_DIFF
+                dmax[nonempty] = _np.maximum.reduceat(pad_max, seg_starts)
+                dmin[nonempty] = _np.minimum.reduceat(pad_min, seg_starts)
+        self._counts, self._first, self._last = counts, first, last
+        self._dmax, self._dmin = dmax, dmin
+        self._cols, self._seg_start, self._seg_end = cols, seg_start, seg_end
+        # mul for every flat row in one vectorized formula: the per-query
+        # hot path (metrics + bound certification call it per node per
+        # member) collapses to an array lookup.
+        muls = _np.maximum(first, self.horizon - 1 - last)
+        muls = _np.maximum(muls, _np.where(counts > 1, dmax - 1, 0))
+        muls[counts == 0] = self.horizon
+        self._muls = muls
+        collisions: Dict[Tuple[Node, Node], List[List[int]]] = {}
+        for u, v in self.graph.edges():
+            i, j = self._index[u], self._index[v]
+            # one AND over the (S, horizon) slice pair covers every member.
+            both = self._tensor[:, i, :] & self._tensor[:, j, :]
+            per_member: List[List[int]] = [[] for _ in self.schedules]
+            if both.any():
+                hit_members, hit_cols = _np.nonzero(both)
+                for s, t in zip(hit_members.tolist(), hit_cols.tolist()):
+                    per_member[s].append(t + 1)
+            collisions[(u, v)] = per_member
+        self._collisions = collisions
+
+    def _scan_dense_bitmask(self) -> None:
+        stats: List[List[_NodeStreamStats]] = []
+        for member_bits in self._bits:
+            member_stats = []
+            for row in member_bits:
+                node_stats = _NodeStreamStats()
+                node_stats.absorb(_bit_positions(row, offset=1))
+                member_stats.append(node_stats)
+            stats.append(member_stats)
+        self._stats = stats
+        collisions: Dict[Tuple[Node, Node], List[List[int]]] = {}
+        for u, v in self.graph.edges():
+            i, j = self._index[u], self._index[v]
+            per_member = []
+            for member_bits in self._bits:
+                both = member_bits[i] & member_bits[j]
+                per_member.append(_bit_positions(both, offset=1) if both else [])
+            collisions[(u, v)] = per_member
+        self._collisions = collisions
+
+    def _scan_stream(self) -> None:
+        """Chunk-major stacked scan: every member's block for one column
+        window is built and folded before moving to the next window, so at
+        most ``S`` blocks of ``n × chunk`` are live at once."""
+        streams = [
+            TraceStream(schedule, self.graph, self.horizon, chunk=self.chunk, backend=self.backend)
+            for schedule in self.schedules
+        ]
+        edges = self.graph.edges()
+        edge_rows = [(self._index[u], self._index[v]) for u, v in edges]
+        stats = [[_NodeStreamStats() for _ in self._order] for _ in self.schedules]
+        collision_lists: List[List[List[int]]] = [
+            [[] for _ in edges] for _ in self.schedules
+        ]
+        start = 1
+        while start <= self.horizon:
+            width = min(self.chunk, self.horizon - start + 1)
+            for s, stream in enumerate(streams):
+                block = stream.block(start, width)
+                _fold_summary_block(
+                    start, block, self.backend, stats[s], edge_rows,
+                    collision_lists[s], self._unknown[s],
+                )
+            start += width
+        self._stats = stats
+        self._collisions = {
+            edge: [collision_lists[s][k] for s in range(len(self.schedules))]
+            for k, edge in enumerate(edges)
+        }
+
+
+class _BatchMemberView:
+    """One member's :class:`TraceMatrix`-compatible window into a
+    :class:`TraceBatch`.
+
+    Summary queries are answered from the batch's shared scan; the rare
+    per-appearance queries (``appearances``, ``gaps``, ``happy_set``) fall
+    through to a lazily materialised ordinary trace for this member — a
+    zero-copy row-block view of the stacked tensor in dense mode, a fresh
+    :class:`StreamedTrace` in stream mode.  ``mode`` mirrors what a
+    per-cell trace of the same shape would report.
+    """
+
+    def __init__(self, batch: TraceBatch, member: int) -> None:
+        self._batch = batch
+        self._member = member
+        self.graph = batch.graph
+        self.horizon = batch.horizon
+        self.backend = batch.backend
+        self.mode = batch.member_mode
+        self._order = batch._order
+        self._index = batch._index
+        self._trace = None  # lazily materialised per-member trace
+
+    @property
+    def unknown(self) -> List[Tuple[int, Node]]:
+        """Global ``(holiday, node)`` pairs absent from the graph."""
+        if self._batch.member_mode == "stream":
+            self._batch.scan()  # stream mode discovers unknowns during the fold
+        return self._batch._unknown[self._member]
+
+    def row_index(self, node: Node) -> int:
+        """Row of ``node`` in the member's matrix (KeyError if unknown)."""
+        return self._index[node]
+
+    # -- shared-scan summary queries -----------------------------------------------
+    def _flat_row(self, node: Node) -> int:
+        return self._member * len(self._order) + self._index[node]
+
+    def _vector_scan(self) -> bool:
+        """True when the dense-numpy flattened arrays answer this member."""
+        batch = self._batch
+        return batch.member_mode == "dense" and batch.backend == "numpy"
+
+    def _stats(self, node: Node) -> _NodeStreamStats:
+        batch = self._batch
+        batch.scan()
+        return batch._stats[self._member][self._index[node]]
+
+    def count(self, node: Node) -> int:
+        """Number of holidays within the horizon at which ``node`` is happy."""
+        if self._vector_scan():
+            self._batch.scan()
+            return int(self._batch._counts[self._flat_row(node)])
+        return self._stats(node).count
+
+    def mul(self, node: Node) -> int:
+        """Maximum unhappiness length of ``node`` within the horizon."""
+        batch = self._batch
+        if self._vector_scan():
+            batch.scan()
+            return int(batch._muls[self._flat_row(node)])
+        stats = self._stats(node)
+        if stats.count == 0:
+            return self.horizon
+        internal = stats.max_diff - 1 if stats.max_diff else 0
+        return max(stats.first - 1, self.horizon - stats.last, internal)
+
+    def observed_period(self, node: Node) -> Optional[int]:
+        """The constant inter-appearance difference, or None."""
+        batch = self._batch
+        if self._vector_scan():
+            batch.scan()
+            row = self._flat_row(node)
+            if int(batch._counts[row]) < 2:
+                return None
+            dmax = int(batch._dmax[row])
+            return dmax if dmax == int(batch._dmin[row]) else None
+        stats = self._stats(node)
+        if stats.count < 2 or len(stats.diffs) != 1:
+            return None
+        return next(iter(stats.diffs))
+
+    def distinct_appearance_diffs(self, node: Node) -> List[int]:
+        """Sorted distinct inter-appearance differences of ``node``."""
+        batch = self._batch
+        if self._vector_scan():
+            batch.scan()
+            row = self._flat_row(node)
+            if int(batch._counts[row]) < 2:
+                return []
+            dmax = int(batch._dmax[row])
+            if dmax == int(batch._dmin[row]):  # constant — the periodic case
+                return [dmax]
+            segment = batch._cols[batch._seg_start[row]:batch._seg_end[row]]
+            return _np.unique(_np.diff(segment)).tolist()
+        return sorted(self._stats(node).diffs)
+
+    def happiness_rate(self, node: Node) -> float:
+        """Fraction of observed holidays at which ``node`` was happy."""
+        return self.count(node) / self.horizon
+
+    def _member_slice(self, array):
+        """This member's contiguous block of a flat per-row summary array."""
+        lo = self._member * len(self._order)
+        return array[lo:lo + len(self._order)]
+
+    # -- bulk queries --------------------------------------------------------------
+    def muls(self) -> Dict[Node, int]:
+        """``{node: mul(node)}`` for every node, in graph order."""
+        if self._vector_scan():
+            self._batch.scan()
+            return dict(zip(self._order, self._member_slice(self._batch._muls).tolist()))
+        return {p: self.mul(p) for p in self._order}
+
+    def observed_periods(self) -> Dict[Node, Optional[int]]:
+        """``{node: observed period or None}`` for every node."""
+        if self._vector_scan():
+            batch = self._batch
+            batch.scan()
+            counts = self._member_slice(batch._counts)
+            dmax = self._member_slice(batch._dmax)
+            periodic = (counts >= 2) & (dmax == self._member_slice(batch._dmin))
+            return {
+                p: int(dmax[i]) if periodic[i] else None
+                for i, p in enumerate(self._order)
+            }
+        return {p: self.observed_period(p) for p in self._order}
+
+    def happiness_rates(self) -> Dict[Node, float]:
+        """``{node: happiness rate}`` for every node."""
+        if self._vector_scan():
+            self._batch.scan()
+            counts = self._member_slice(self._batch._counts).tolist()
+            return {p: c / self.horizon for p, c in zip(self._order, counts)}
+        return {p: self.happiness_rate(p) for p in self._order}
+
+    def appearance_diffs(self, node: Node) -> List[int]:
+        """Differences between consecutive appearances (empty if < 2)."""
+        times = self.appearances(node)
+        return [b - a for a, b in zip(times, times[1:])]
+
+    # -- column / edge queries -----------------------------------------------------
+    def edge_collisions(self, u: Node, v: Node) -> List[int]:
+        """Holidays at which ``u`` and ``v`` are simultaneously happy.
+
+        Graph edges come from the batch's shared legality pass; any other
+        pair falls through to the materialised member trace.
+        """
+        batch = self._batch
+        batch.scan()
+        for key in ((u, v), (v, u)):
+            per_member = batch._collisions.get(key)
+            if per_member is not None:
+                return list(per_member[self._member])
+        return self._materialized().edge_collisions(u, v)
+
+    def conflicting_holidays(self) -> Dict[int, List[Tuple[Node, Node]]]:
+        """``{holiday: [(u, v), ...]}`` over all graph edges with collisions."""
+        out: Dict[int, List[Tuple[Node, Node]]] = {}
+        for u, v in self.graph.edges():
+            for t in self.edge_collisions(u, v):
+                out.setdefault(t, []).append((u, v))
+        return out
+
+    # -- per-appearance queries (delegated) ----------------------------------------
+    def _materialized(self):
+        """This member as an ordinary trace (zero-copy in dense mode)."""
+        if self._trace is None:
+            batch, s = self._batch, self._member
+            if batch.member_mode == "stream":
+                self._trace = StreamedTrace(
+                    batch.schedules[s], batch.graph, batch.horizon,
+                    backend=batch.backend, chunk=batch.chunk,
+                )
+            elif batch.backend == "numpy":
+                self._trace = TraceMatrix(
+                    batch.graph, batch.horizon, "numpy",
+                    rows_numpy=batch._tensor[s], unknown=list(batch._unknown[s]),
+                )
+            else:
+                self._trace = TraceMatrix(
+                    batch.graph, batch.horizon, "bitmask",
+                    rows_bitmask=batch._bits[s], unknown=list(batch._unknown[s]),
+                )
+        return self._trace
+
+    def appearances(self, node: Node) -> List[int]:
+        """Sorted 1-indexed holidays at which ``node`` is happy."""
+        return self._materialized().appearances(node)
+
+    def gaps(self, node: Node) -> List[int]:
+        """Unhappiness interval lengths (see :meth:`TraceMatrix.gaps`)."""
+        return self._materialized().gaps(node)
+
+    def all_gaps(self) -> Dict[Node, List[int]]:
+        """``{node: gap list}`` for every node."""
+        return self._materialized().all_gaps()
+
+    def happy_set(self, holiday: int) -> FrozenSet[Node]:
+        """The recorded happy set at ``holiday`` (known nodes only)."""
+        return self._materialized().happy_set(holiday)
 
 
 def _scatter_columns(matrix, columns, index, on_unknown) -> None:

@@ -29,6 +29,12 @@ call).  Every check honours the horizon representation
 the legality test becomes per-chunk edge row-ANDs with boundary state, and
 ``fail_fast=True`` stops the stream at the first chunk containing a
 violation — later chunks are never materialised.
+
+The ``trace=`` parameter also accepts a
+:class:`~repro.core.trace.TraceBatch` member view: the view answers the
+same queries from the batch's one stacked scan (its per-edge legality pass
+already covered every member), so a batched experiment run validates each
+cell through this module unchanged and produces identical violation lists.
 """
 
 from __future__ import annotations

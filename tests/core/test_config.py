@@ -82,6 +82,8 @@ class TestEngineConfig:
             EngineConfig(stream_jobs=0)
         with pytest.raises(ValueError, match="window"):
             EngineConfig(window=0)
+        with pytest.raises(ValueError, match="batch"):
+            EngineConfig(batch=0)
 
     def test_sets_stream_rejected_with_one_message(self):
         """The historical asymmetry: backend='sets' + streaming used to raise
@@ -133,6 +135,7 @@ class TestJsonRoundTrip:
             "chunk": None,
             "stream_jobs": 1,
             "window": None,
+            "batch": None,
         }
 
     def test_unknown_fields_rejected(self):
