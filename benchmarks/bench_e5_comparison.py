@@ -36,13 +36,22 @@ auto-sized ``EngineConfig.batch`` — cells stacked through
 runs' records are asserted identical modulo timing and the wall-clock
 ratio is recorded as ``batched_speedup``.  Unlike ``parallel_speedup``
 this is a single-process win, so it is real even on a 1-core container.
+
+Finally the *cache* stage runs the same campaign cold (into a fresh
+:class:`~repro.io.store.ResultStore`) and then warm: the warm run resolves
+every cell from the store by content key and executes nothing.  The warm
+sink is asserted records-identical to the cold one modulo the timing
+metrics and the ``cached: true`` provenance stamp, and the wall-clock
+ratio is recorded as ``cache_speedup`` with the hit/miss counts.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+import tempfile
 import time
+from pathlib import Path
 
 import pytest
 
@@ -211,19 +220,23 @@ def summary_pivots(results):
 
 
 def stripped_records(results):
-    """Canonical JSON per record with the timing metrics removed.
+    """Canonical JSON per record with the provenance fields removed.
 
     Stricter than :func:`summary_pivots` (which keeps one value per
     workload × scheduler): the batched stage runs several seeds per pair,
-    so equality must hold record by record.
+    so equality must hold record by record.  Strips the timing metrics and
+    the ``cached: true`` stamp — the two things allowed to differ between
+    equivalent runs (a cold and a cache-warm one included).
     """
     from repro.analysis.records import ExperimentRecord
+    from repro.io.store import CACHED_PARAM
 
     out = []
     for r in results:
         metrics = {k: v for k, v in r.metrics.items() if k not in TIMING_METRICS}
+        params = {k: v for k, v in r.params.items() if k != CACHED_PARAM}
         out.append(record_to_json_line(
-            ExperimentRecord(r.experiment, r.workload, r.algorithm, metrics, r.params)
+            ExperimentRecord(r.experiment, r.workload, r.algorithm, metrics, params)
         ))
     return out
 
@@ -245,6 +258,27 @@ def run_batched_comparison(workloads, horizon, backend, batch=None):
     start = time.perf_counter()
     results = ExperimentEngine(jobs=1).run(spec, workloads=workloads)
     return results, time.perf_counter() - start
+
+
+def run_cached_comparison(workloads, horizon, backend, store):
+    """One cache-stage run against ``store``; returns ``(results, wall, stats)``.
+
+    Same campaign as :func:`run_batched_comparison` (default auto batching),
+    with the store attached: the first run over an empty store is the cold
+    measurement, every later one resolves entirely from the cache.
+    """
+    spec = ExperimentSpec(
+        name="E5-batched",
+        workloads=tuple(workloads),
+        algorithms=BATCHED_SCHEDULERS,
+        horizon=horizon,
+        seeds=BATCHED_SEEDS,
+        config=EngineConfig(backend=backend),
+    )
+    engine = ExperimentEngine(jobs=1, store=store, campaign="E5-cache-stage")
+    start = time.perf_counter()
+    results = engine.run(spec, workloads=workloads)
+    return results, time.perf_counter() - start, engine.stats
 
 
 def run_engine_comparison(workloads, schedulers, horizon, backend, jobs):
@@ -349,6 +383,44 @@ def main(argv=None) -> int:
         f"single-process win, real even without parallel hardware"
     )
 
+    # cache stage: the same campaign cold into a fresh store, then warm.
+    # The cold run is measured once (the batched stage above already warmed
+    # the Python caches); the warm wall is best-of-N pure store lookups.
+    with tempfile.TemporaryDirectory() as tmp:
+        store_path = Path(tmp) / "bench_cache.sqlite"
+        from repro.io.store import ResultStore
+
+        with ResultStore(store_path) as store:
+            cold_results, cold_wall, cold_stats = run_cached_comparison(
+                batched_workloads, BATCHED_HORIZON, backend, store
+            )
+            warm_wall = float("inf")
+            warm_results = warm_stats = None
+            for _ in range(BATCHED_REPEATS):
+                warm_results, wall_w, warm_stats = run_cached_comparison(
+                    batched_workloads, BATCHED_HORIZON, backend, store
+                )
+                warm_wall = min(warm_wall, wall_w)
+    if stripped_records(warm_results) != stripped_records(cold_results):
+        raise AssertionError("cache-warm records diverge from cold records")
+    if warm_stats["executed"] != 0 or warm_stats["cached"] != len(cold_results):
+        raise AssertionError(f"warm run was not fully cached: {warm_stats}")
+    cache_speedup = cold_wall / warm_wall if warm_wall > 0 else float("inf")
+    meta.update(
+        {
+            "cache_cold_wall_seconds": round(cold_wall, 4),
+            "cache_warm_wall_seconds": round(warm_wall, 4),
+            "cache_speedup": round(cache_speedup, 2),
+        }
+    )
+    print(
+        f"cache stage: {len(cold_results)} cells at horizon {BATCHED_HORIZON}, "
+        f"cold {cold_wall:.2f}s ({cold_stats['executed']} executed) vs warm "
+        f"{warm_wall:.3f}s ({warm_stats['cached']} cache hits, 0 executed) — "
+        f"{cache_speedup:.1f}x; warm sink records-identical to cold modulo "
+        f"timing and the cached stamp"
+    )
+
     e5_records = engine_bench_records(results)
     e5_records.append(
         bench_record(
@@ -356,6 +428,16 @@ def main(argv=None) -> int:
             cells=len(batched_results), batch="auto",
             percell_seconds=round(percell_wall, 4),
             batched_speedup=round(batched_speedup, 2),
+        )
+    )
+    e5_records.append(
+        bench_record(
+            "cache_comparison", BATCHED_HORIZON, warm_wall, backend,
+            cells=len(cold_results),
+            cold_seconds=round(cold_wall, 4),
+            cache_hits=warm_stats["cached"],
+            cache_misses=warm_stats["executed"],
+            cache_speedup=round(cache_speedup, 2),
         )
     )
     path_e5 = write_bench_json("e5_comparison", e5_records, meta=meta)

@@ -36,6 +36,16 @@ Every cell also carries a content-keyed :attr:`~ExperimentCell.cell_id`
 (a SHA-256 over the cell identity and the spec's execution knobs), which is
 what makes interrupted runs resumable: ``resume=True`` reads the sink,
 keeps the completed cells it finds, and re-runs only the missing ones.
+
+The same content key powers the **cross-campaign cache**: attach a
+:class:`~repro.io.store.ResultStore` (``store=``) and every planned cell is
+looked up by ``cell_id`` before execution — hits replay the stored record
+straight to the sink (stamped ``cached: true``), misses run and are written
+back, so two specs sharing 90% of their grid pay for the 10% delta.  The
+store is an I/O concern: it never changes a ``cell_id`` or a computed
+record, and the JSONL sink remains the wire format.  With a store attached,
+``resume=True`` also resolves through one indexed lookup instead of
+re-parsing the sink.
 """
 
 from __future__ import annotations
@@ -377,6 +387,24 @@ class ExperimentSpec:
         return cls.from_dict(json.loads(Path(path).read_text()))
 
 
+def _canonical_value(value: object) -> object:
+    """A JSON-canonical copy of a param value: mapping keys stringified
+    (recursively), tuples as lists.
+
+    ``json.dumps(sort_keys=True)`` cannot even *sort* a dict mixing ``str``
+    and ``int`` keys, and sorts all-``int`` keys numerically — so the same
+    logical params could hash differently (or crash) depending on whether
+    they had round-tripped through JSON yet.  Canonicalizing first makes
+    ``param_key``/``cell_id`` total and stable: a no-op for the all-string
+    params every spec produces (golden ids unchanged), and locked by golden
+    tests for the exotic shapes (non-string keys, nested lists)."""
+    if isinstance(value, Mapping):
+        return {str(k): _canonical_value(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_canonical_value(v) for v in value]
+    return value
+
+
 def graph_fingerprint(graph: ConflictGraph) -> str:
     """Content hash of a graph (name, nodes, edges).
 
@@ -424,8 +452,9 @@ class ExperimentCell:
         _absorb_legacy_config(self, "ExperimentCell", backend, horizon_mode, chunk, stream_jobs)
 
     def param_key(self) -> str:
-        """Canonical string form of the grid point (stable across processes)."""
-        return json.dumps(dict(self.params), sort_keys=True)
+        """Canonical string form of the grid point (stable across processes
+        and across a JSON round-trip — see :func:`_canonical_value`)."""
+        return json.dumps(_canonical_value(dict(self.params)), sort_keys=True)
 
     def cell_seed(self) -> int:
         """The scheduler seed for this cell.
@@ -454,13 +483,13 @@ class ExperimentCell:
             "experiment": self.experiment,
             "workload": self.workload,
             "algorithm": self.algorithm,
-            "params": dict(self.params),
+            "params": _canonical_value(dict(self.params)),
             "seed": self.seed,
             "horizon": self.horizon,
             "policy": self.policy.to_dict(),
             "backend": self.config.backend,
             "certify_bound": self.certify_bound,
-            "workload_params": dict(self.workload_params),
+            "workload_params": _canonical_value(dict(self.workload_params)),
             "graph_key": self.graph_key,
         }
         # Only non-default knobs mark the id (EngineConfig.non_default):
@@ -496,7 +525,10 @@ def _graph_params(cell: ExperimentCell) -> Dict[str, object]:
 
 def _graph_cache_key(cell: ExperimentCell) -> Tuple[str, str]:
     """Cells with the same workload and factory parameters share one graph."""
-    return (cell.workload, json.dumps(_graph_params(cell), sort_keys=True, default=repr))
+    return (
+        cell.workload,
+        json.dumps(_canonical_value(_graph_params(cell)), sort_keys=True, default=repr),
+    )
 
 
 def execute_cell(
@@ -736,6 +768,27 @@ def _record_line(record: ExperimentRecord) -> str:
     return record_to_json_line(record)
 
 
+def _stamp_cached(record: ExperimentRecord) -> ExperimentRecord:
+    """A copy of a stored record marked as a cache replay.
+
+    The stamp lives in ``params`` (``cached: true``) so a sink reader can
+    tell replays from fresh measurements; like the timing metrics it is
+    provenance, not content, and comparisons strip it (the store itself
+    never persists it — see :meth:`ResultStore.put_many`).
+    """
+    from repro.io.store import CACHED_PARAM
+
+    params = dict(record.params)
+    params[CACHED_PARAM] = True
+    return ExperimentRecord(
+        experiment=record.experiment,
+        workload=record.workload,
+        algorithm=record.algorithm,
+        metrics=dict(record.metrics),
+        params=params,
+    )
+
+
 # ---------------------------------------------------------------------------
 # engine
 # ---------------------------------------------------------------------------
@@ -749,10 +802,25 @@ class ExperimentEngine:
             flushed as each cell's turn comes up.
         resume: read the sink first and skip cells whose ``cell_id`` already
             has a record (a malformed trailing line is dropped and its cell
-            re-run).
+            re-run).  With a store attached, completed cells are resolved
+            through one indexed ``cell_id`` lookup instead of re-parsing
+            the sink, and the sink is rebuilt from the store's records.
+        store: optional :class:`~repro.io.store.ResultStore` (or a path to
+            one, opened on first use) acting as a cross-campaign cell
+            cache: planned cells already in the store replay their stored
+            record (stamped ``cached: true``) instead of executing, and
+            freshly executed records are written back as they are emitted.
+        cache: set ``False`` to disable cache *lookups* while still
+            recording fresh results into the store (a forced re-run that
+            leaves the store warm for the next campaign).
+        campaign: tag written on every stored record; defaults to the
+            spec name.  Stored campaigns are listed by
+            :meth:`ResultStore.campaigns`.
 
     After :meth:`run`, :attr:`stats` holds ``{"total", "skipped",
-    "executed", "wall_seconds"}`` for the last run.
+    "cached", "executed", "wall_seconds"}`` for the last run —
+    ``skipped`` counts resume hits, ``cached`` store replays, and
+    ``executed`` only cells that actually ran.
     """
 
     def __init__(
@@ -760,14 +828,25 @@ class ExperimentEngine:
         jobs: int = 1,
         sink: Optional[Union[str, Path]] = None,
         resume: bool = False,
+        store: Optional[Union[str, Path, "ResultStore"]] = None,
+        cache: bool = True,
+        campaign: Optional[str] = None,
     ) -> None:
         if jobs < 1:
             raise ValueError("jobs must be >= 1")
-        if resume and sink is None:
-            raise ValueError("resume=True requires a sink to resume from")
+        if resume and sink is None and store is None:
+            raise ValueError("resume=True requires a sink or a store to resume from")
         self.jobs = jobs
         self.sink = Path(sink) if sink is not None else None
         self.resume = resume
+        if store is not None and not hasattr(store, "lookup"):
+            # path-like: open (creating if missing) with the default settings
+            from repro.io.store import ResultStore
+
+            store = ResultStore(store)
+        self.store = store
+        self.cache = cache
+        self.campaign = campaign
         self.stats: Dict[str, object] = {}
 
     # -- sink helpers --------------------------------------------------------
@@ -822,7 +901,9 @@ class ExperimentEngine:
         if self.sink is None:
             return None
         self.sink.parent.mkdir(parents=True, exist_ok=True)
-        mode = "a" if self.resume else "w"
+        # Sink-based resume appends after the kept prefix; store-based resume
+        # rebuilds the sink from the store's records, so it starts fresh.
+        mode = "a" if (self.resume and self.store is None) else "w"
         return self.sink.open(mode, encoding="utf-8")
 
     def _rewrite_lines(self, lines: Sequence[str]) -> None:
@@ -873,12 +954,43 @@ class ExperimentEngine:
                 "see repro.graphs.suites.available_workloads()"
             )
         cell_ids = [cell.cell_id() for cell in cells]
-        completed, foreign = self._load_completed(cell_ids) if self.resume else ({}, [])
+        if self.resume and self.store is not None:
+            # Indexed resume: one chunked PRIMARY KEY probe replaces a full
+            # sink re-parse.  The sink is rebuilt from the store at the end,
+            # so foreign lines (a concept of shared JSONL files, not of the
+            # keyed store) don't apply on this path.
+            completed, foreign = self.store.lookup(cell_ids), []
+        elif self.resume:
+            completed, foreign = self._load_completed(cell_ids)
+        else:
+            completed, foreign = {}, []
 
         start = time.perf_counter()
         pending = [
             (i, cell) for i, cell in enumerate(cells) if cell_ids[i] not in completed
         ]
+        # Cross-campaign cache: probe the store for every still-pending cell
+        # and replay hits instead of executing them.  Hits are stamped
+        # ``cached: true`` (a provenance field, stripped alongside the timing
+        # metrics when comparing runs) and flow to the sink like fresh
+        # records; only misses reach the batching planner — a fully warm
+        # campaign builds no graphs and runs no kernels at all.
+        cache_hits: Dict[int, ExperimentRecord] = {}
+        if self.store is not None and self.cache and pending:
+            hits = self.store.lookup([cell_ids[i] for i, _ in pending])
+            if hits:
+                for i, _ in pending:
+                    record = hits.get(cell_ids[i])
+                    if record is not None:
+                        cache_hits[i] = _stamp_cached(record)
+                pending = [(i, c) for i, c in pending if i not in cache_hits]
+        campaign = self.campaign or spec.name
+        if self.store is not None:
+            self.store.register_campaign(
+                campaign,
+                experiment=spec.name,
+                spec_json=json.dumps(spec.to_dict(), sort_keys=True),
+            )
         # Resolve every distinct graph once, in this process: ad-hoc graphs
         # come from the override mapping, registry names are built here (not
         # in workers, which on spawn platforms would miss runtime
@@ -893,13 +1005,15 @@ class ExperimentEngine:
                     else get_workload(cell.workload, **_graph_params(cell))
                 )
         _log.info(
-            "experiment %s: %d cells (%d cached, %d to run, jobs=%d)",
-            spec.name, len(cells), len(cells) - len(pending), len(pending), self.jobs,
+            "experiment %s: %d cells (%d resumed, %d cache hits, %d to run, jobs=%d)",
+            spec.name, len(cells), len(cells) - len(pending) - len(cache_hits),
+            len(cache_hits), len(pending), self.jobs,
         )
 
         records: Dict[int, ExperimentRecord] = {
             i: completed[cell_ids[i]] for i, _ in enumerate(cells) if cell_ids[i] in completed
         }
+        records.update(cache_hits)
         sink_fh = self._open_sink()
         emitted = 0  # cells whose records have reached the sink, in spec order
         try:
@@ -911,6 +1025,18 @@ class ExperimentEngine:
                     if sink_fh is not None and fresh:
                         sink_fh.write(record_to_json_line(record) + "\n")
                         sink_fh.flush()
+                    if self.store is not None and fresh and emitted not in cache_hits:
+                        # Write freshly executed records back as their turn
+                        # comes up (same crash-durability as the sink: a
+                        # completed prefix survives).  Replayed hits are
+                        # already stored — re-putting them would be a no-op
+                        # INSERT OR IGNORE, skipped to keep the warm path
+                        # read-only.
+                        self.store.put(
+                            record,
+                            campaign=campaign,
+                            config_json=cells[emitted].config.to_json(),
+                        )
                     emitted += 1
 
             units = _plan_units(pending, graphs)
@@ -942,13 +1068,14 @@ class ExperimentEngine:
         wall = time.perf_counter() - start
         self.stats = {
             "total": len(cells),
-            "skipped": len(cells) - len(pending),
+            "skipped": len(completed),
+            "cached": len(cache_hits),
             "executed": len(pending),
             "wall_seconds": wall,
         }
         _log.info(
-            "experiment %s done: %d cells in %.3fs (%d executed, %d cached)",
-            spec.name, len(cells), wall, len(pending), len(cells) - len(pending),
+            "experiment %s done: %d cells in %.3fs (%d executed, %d cached, %d resumed)",
+            spec.name, len(cells), wall, len(pending), len(cache_hits), len(completed),
         )
         return ResultSet(records[i] for i in range(len(cells)))
 

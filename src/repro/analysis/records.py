@@ -129,6 +129,18 @@ class ResultSet:
 
         return cls(read_records_jsonl(path, strict=strict))
 
+    @classmethod
+    def from_store(cls, store, **filters: object) -> "ResultSet":
+        """Load records from a :class:`repro.io.store.ResultStore`.
+
+        Filters (``experiment`` / ``workload`` / ``algorithm`` /
+        ``campaign`` / ``seed`` / ``horizon`` ranges / ``params``) are
+        pushed down as indexed SQL by :meth:`~repro.io.store.ResultStore.query`
+        instead of loading everything and filtering in Python — the store
+        equivalent of :meth:`filter` over a :meth:`from_jsonl` load.
+        """
+        return cls(store.query(**filters))
+
     def best_algorithm_per_workload(self, metric: str, minimize: bool = True) -> Dict[str, str]:
         """For each workload, the algorithm with the best (min/max) value of ``metric``.
 

@@ -43,7 +43,28 @@ from repro.core.metrics import (
 from repro.core.problem import ConflictGraph, Node
 from repro.core.validation import ValidationReport, validate_schedule
 
-__all__ = ["Session", "SessionReport", "EngineConfig"]
+__all__ = ["Session", "SessionReport", "EngineConfig", "open_store"]
+
+
+def open_store(path):
+    """Open (creating if missing) a :class:`~repro.io.store.ResultStore`.
+
+    The facade spelling of the persistent result store — the cross-campaign
+    cell cache the experiment engine consults before executing (see
+    ``docs/storage.md``).  Usable as a context manager::
+
+        from repro.api import open_store
+
+        with open_store("results.sqlite") as store:
+            hits = store.query(workload="small/path")
+
+    Note the store is an I/O concern, deliberately *not* a :class:`Session`
+    or :class:`EngineConfig` field: attaching one never changes what is
+    computed, only whether a computation can be skipped.
+    """
+    from repro.io.store import ResultStore
+
+    return ResultStore(path)
 
 
 @dataclass

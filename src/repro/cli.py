@@ -32,7 +32,19 @@ Installed as ``repro-holiday`` (see ``setup.py``); also runnable as
     (:mod:`repro.analysis.engine`), streaming records to a JSONL file.
     The spec comes from a JSON file (``--spec``) or from flags; ``--jobs``
     fans cells out over worker processes, ``--resume`` skips cells already
-    present in the output, ``-v`` shows per-cell progress.
+    present in the output, ``-v`` shows per-cell progress.  ``--store``
+    attaches a persistent :class:`~repro.io.store.ResultStore`: cells any
+    previous campaign already computed replay from the store (stamped
+    ``cached: true``) instead of executing, ``--no-cache`` forces
+    re-execution while still recording results, and ``--campaign`` tags
+    the run in the store.
+
+``results``
+    Operate on a persistent result store: ``results import`` loads a JSONL
+    sink into a store, ``results export`` writes (optionally filtered)
+    store records back out as JSONL, ``results campaigns`` lists recorded
+    campaigns.  JSONL stays the wire format; the store adds indexed
+    cross-campaign lookup.
 """
 
 from __future__ import annotations
@@ -453,16 +465,37 @@ def cmd_experiment(args: argparse.Namespace) -> int:
         spec.to_json(args.save_spec)
         print(f"wrote spec JSON to {args.save_spec}")
 
-    if args.resume and not args.output:
-        raise SystemExit("error: --resume needs --output to know which records already exist")
+    if args.resume and not args.output and not args.store:
+        raise SystemExit(
+            "error: --resume needs --output (or --store) to know which records already exist"
+        )
+    if args.no_cache and not args.store:
+        raise SystemExit("error: --no-cache only makes sense together with --store")
+    if args.campaign and not args.store:
+        raise SystemExit("error: --campaign only makes sense together with --store")
+    store = None
+    if args.store:
+        from repro.io.store import ResultStore
+
+        store = ResultStore(args.store)
     try:
-        engine = ExperimentEngine(jobs=args.jobs, sink=args.output, resume=args.resume)
+        engine = ExperimentEngine(
+            jobs=args.jobs,
+            sink=args.output,
+            resume=args.resume,
+            store=store,
+            cache=not args.no_cache,
+            campaign=args.campaign,
+        )
     except ValueError as exc:
         raise SystemExit(f"error: {exc}")
     try:
         results = engine.run(spec)
     except KeyError as exc:
         raise SystemExit(f"error: {exc.args[0]}")
+    finally:
+        if store is not None:
+            store.close()
 
     metrics = ["max_mul", "mean_norm_gap", "fairness", "legal"]
     rows = [
@@ -473,12 +506,50 @@ def cmd_experiment(args: argparse.Namespace) -> int:
     stats = engine.stats
     print(
         f"\n{stats['total']} cells in {stats['wall_seconds']:.2f}s "
-        f"({stats['executed']} executed, {stats['skipped']} resumed, jobs={args.jobs})"
+        f"({stats['executed']} executed, {stats['cached']} cached, "
+        f"{stats['skipped']} resumed, jobs={args.jobs})"
     )
     if args.output:
         print(f"records streamed to {args.output}")
+    if args.store:
+        print(f"result store: {args.store}")
     illegal = [r for r in results if r.metrics.get("legal") != 1.0]
     return 1 if illegal else 0
+
+
+def cmd_results(args: argparse.Namespace) -> int:
+    from repro.io.store import ResultStore
+
+    with ResultStore(args.store) as store:
+        if args.results_command == "import":
+            source = Path(args.jsonl)
+            if not source.exists():
+                raise SystemExit(f"error: JSONL file {args.jsonl!r} does not exist")
+            try:
+                added = store.import_jsonl(source, campaign=args.campaign)
+            except ValueError as exc:
+                raise SystemExit(f"error: {exc}")
+            print(f"imported {args.jsonl} into {args.store}: {added} new cells "
+                  f"({len(store)} total)")
+        elif args.results_command == "export":
+            filters = {
+                key: getattr(args, key)
+                for key in ("experiment", "workload", "algorithm", "campaign", "limit")
+                if getattr(args, key) is not None
+            }
+            records = store.query(**filters)
+            out = store.export_jsonl(args.jsonl, **filters)
+            print(f"exported {len(records)} records from {args.store} to {out}")
+        else:  # campaigns
+            rows = [
+                [c["name"], c["experiment"], c["cells"], c["created_at"]]
+                for c in store.campaigns()
+            ]
+            print(render_table(
+                ["campaign", "experiment", "cells", "created"],
+                rows, title=f"campaigns in {args.store} ({len(store)} cells)",
+            ))
+    return 0
 
 
 # ---------------------------------------------------------------------------
@@ -565,12 +636,68 @@ def build_parser() -> argparse.ArgumentParser:
     exp.add_argument(
         "--resume",
         action="store_true",
-        help="skip cells whose records are already in --output (after an interrupted run)",
+        help=(
+            "skip cells whose records are already in --output (after an "
+            "interrupted run); with --store, resolved by indexed lookup instead"
+        ),
+    )
+    exp.add_argument(
+        "--store",
+        metavar="PATH",
+        help=(
+            "persistent result store (SQLite, created if missing): cells any "
+            "previous campaign computed replay from it (stamped cached: true), "
+            "fresh results are written back"
+        ),
+    )
+    exp.add_argument(
+        "--no-cache",
+        action="store_true",
+        help=(
+            "with --store: skip cache lookups and re-execute every cell, "
+            "still recording results into the store"
+        ),
+    )
+    exp.add_argument(
+        "--campaign",
+        metavar="NAME",
+        help="with --store: campaign tag stored on newly computed cells (default: spec name)",
     )
     exp.add_argument("--save-spec", help="also write the resolved spec JSON here")
     exp.add_argument("--list", action="store_true", help="list registered workloads and algorithms, then exit")
     exp.add_argument("-v", "--verbose", action="store_true", help="per-cell progress lines on stderr")
     exp.set_defaults(func=cmd_experiment)
+
+    res = sub.add_parser(
+        "results",
+        help="import/export/inspect a persistent result store",
+        description=(
+            "Move experiment records between the JSONL wire format and a "
+            "persistent SQLite result store (the cross-campaign cell cache "
+            "'experiment --store' consults)."
+        ),
+    )
+    res_sub = res.add_subparsers(dest="results_command", required=True)
+
+    res_imp = res_sub.add_parser("import", help="load a JSONL sink into a store")
+    res_imp.add_argument("store", help="store path (SQLite file, created if missing)")
+    res_imp.add_argument("jsonl", help="JSONL results file to import")
+    res_imp.add_argument("--campaign", help="campaign tag stored on newly imported cells")
+    res_imp.set_defaults(func=cmd_results)
+
+    res_exp = res_sub.add_parser("export", help="write store records out as JSONL")
+    res_exp.add_argument("store", help="store path (SQLite file)")
+    res_exp.add_argument("jsonl", help="JSONL output file (overwritten)")
+    res_exp.add_argument("--experiment", help="only records of this experiment")
+    res_exp.add_argument("--workload", help="only records of this workload")
+    res_exp.add_argument("--algorithm", help="only records of this algorithm")
+    res_exp.add_argument("--campaign", help="only cells first computed by this campaign")
+    res_exp.add_argument("--limit", type=int, help="at most this many records")
+    res_exp.set_defaults(func=cmd_results)
+
+    res_cam = res_sub.add_parser("campaigns", help="list campaigns recorded in a store")
+    res_cam.add_argument("store", help="store path (SQLite file)")
+    res_cam.set_defaults(func=cmd_results)
 
     return parser
 

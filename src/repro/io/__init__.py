@@ -7,7 +7,9 @@ consumed by other tools (and so the CLI can operate on files):
 * JSON documents for societies (families, children, couples),
 * JSON documents for perfectly periodic schedules (per-node period/phase),
 * CSV calendars (one row per holiday, the hosting families as columns),
-* JSONL experiment records (one result cell per line, stream/append safe).
+* JSONL experiment records (one result cell per line, stream/append safe),
+* a SQLite-backed :class:`~repro.io.store.ResultStore` keyed by ``cell_id``
+  (the cross-campaign cache; JSONL stays the wire format).
 """
 
 from repro.io.graphs import (
@@ -34,6 +36,7 @@ from repro.io.results import (
     write_records_jsonl,
 )
 from repro.io.societies import load_society, save_society, society_from_dict, society_to_dict
+from repro.io.store import CACHED_PARAM, ResultStore
 
 __all__ = [
     "load_edge_list",
@@ -57,4 +60,6 @@ __all__ = [
     "write_records_jsonl",
     "append_records_jsonl",
     "read_records_jsonl",
+    "ResultStore",
+    "CACHED_PARAM",
 ]

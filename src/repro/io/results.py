@@ -14,6 +14,9 @@ from pathlib import Path
 from typing import Dict, Iterable, List, Mapping, Union
 
 from repro.analysis.records import ExperimentRecord
+from repro.utils.logging import get_logger
+
+_log = get_logger("io.results")
 
 __all__ = [
     "record_to_dict",
@@ -78,24 +81,32 @@ def read_records_jsonl(path: _PathLike, strict: bool = False) -> List[Experiment
 
     With ``strict=False`` (the default) only a malformed *final* line is
     tolerated — that is the signature of a half-written record from an
-    interrupted run.  A malformed line anywhere else (disk corruption, a
-    bad concatenation) raises :class:`ValueError` either way: silently
-    returning an incomplete set would let downstream summaries claim
-    completeness they don't have.  ``strict=True`` rejects a malformed
-    final line too.
+    interrupted run.  The drop is never silent: a warning names the file,
+    line number and byte offset of the truncation, so the damage can be
+    inspected (``tail -c +<offset>``) before a resume re-runs the cell.  A
+    malformed line anywhere else (disk corruption, a bad concatenation)
+    raises :class:`ValueError` either way: silently returning an incomplete
+    set would let downstream summaries claim completeness they don't have.
+    ``strict=True`` rejects a malformed final line too.
     """
     records: List[ExperimentRecord] = []
-    with Path(path).open("r", encoding="utf-8") as fh:
-        lines = [
-            (lineno, line.strip())
-            for lineno, line in enumerate(fh, start=1)
-            if line.strip()
-        ]
-    for position, (lineno, line) in enumerate(lines):
+    lines: List[tuple] = []  # (lineno, byte offset of line start, stripped text)
+    offset = 0
+    with Path(path).open("r", encoding="utf-8", newline="") as fh:
+        for lineno, line in enumerate(fh, start=1):
+            if line.strip():
+                lines.append((lineno, offset, line.strip()))
+            offset += len(line.encode("utf-8"))
+    for position, (lineno, line_offset, line) in enumerate(lines):
         try:
             payload = json.loads(line)
             records.append(record_from_dict(payload))
         except (ValueError, KeyError, TypeError) as exc:
             if strict or position != len(lines) - 1:
                 raise ValueError(f"{path}:{lineno}: malformed record: {exc}") from exc
+            _log.warning(
+                "%s:%d: dropping truncated trailing record at byte offset %d "
+                "(crash-interrupted write); its cell will re-run on resume",
+                path, lineno, line_offset,
+            )
     return records

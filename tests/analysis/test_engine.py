@@ -602,3 +602,177 @@ class TestBatching:
         engine.run(tiny_spec(config=EngineConfig(batch=4)))
         assert engine.stats["skipped"] == 2 and engine.stats["executed"] == 2
         assert len(read_records_jsonl(sink)) == 4
+
+
+def cached_stripped_lines(path):
+    """Sink lines with timing metrics *and* the cached stamp removed."""
+    out = []
+    for line in open(path):
+        payload = json.loads(line)
+        for key in TIMING_METRICS:
+            payload["metrics"].pop(key, None)
+        payload["params"].pop("cached", None)
+        out.append(json.dumps(payload, sort_keys=True))
+    return out
+
+
+class TestStoreCache:
+    """The cross-campaign cell cache: a ResultStore in front of execution."""
+
+    def test_cold_then_warm_byte_parity(self, tmp_path):
+        from repro.io.store import ResultStore
+
+        store = ResultStore(tmp_path / "s.sqlite")
+        cold_sink = tmp_path / "cold.jsonl"
+        warm_sink = tmp_path / "warm.jsonl"
+        cold = ExperimentEngine(sink=cold_sink, store=store)
+        cold.run(tiny_spec())
+        assert cold.stats == {**cold.stats, "executed": 4, "cached": 0}
+        warm = ExperimentEngine(sink=warm_sink, store=store)
+        warm.run(tiny_spec())
+        assert warm.stats["executed"] == 0 and warm.stats["cached"] == 4
+        # warm records are byte-identical modulo timing + the cached stamp
+        assert cached_stripped_lines(warm_sink) == cached_stripped_lines(cold_sink)
+        # and every warm record carries the provenance stamp
+        for record in read_records_jsonl(warm_sink):
+            assert record.params["cached"] is True
+        for record in read_records_jsonl(cold_sink):
+            assert "cached" not in record.params
+
+    def test_cross_spec_overlap_computes_only_the_delta(self, tmp_path):
+        from repro.io.store import ResultStore
+
+        store = ResultStore(tmp_path / "s.sqlite")
+        ExperimentEngine(store=store).run(tiny_spec())
+        # second spec shares the small/path cells, adds small/star ones
+        overlapping = tiny_spec(workloads=("small/path", "small/star"))
+        engine = ExperimentEngine(store=store, sink=tmp_path / "o.jsonl")
+        results = engine.run(overlapping)
+        assert engine.stats["cached"] == 2 and engine.stats["executed"] == 2
+        # replayed + fresh records interleave in spec order
+        assert [r.workload for r in results] == [
+            c.workload for c in overlapping.cells()
+        ]
+        cached_flags = [r.params.get("cached") for r in results]
+        assert cached_flags == [True, True, None, None]
+
+    def test_no_cache_reexecutes_but_still_records(self, tmp_path):
+        from repro.io.store import ResultStore
+
+        store = ResultStore(tmp_path / "s.sqlite")
+        ExperimentEngine(store=store).run(tiny_spec())
+        forced = ExperimentEngine(store=store, cache=False)
+        forced.run(tiny_spec())
+        assert forced.stats["executed"] == 4 and forced.stats["cached"] == 0
+        # a new spec's fresh cells still land in the store under cache=False
+        extra = tiny_spec(workloads=("small/star",))
+        ExperimentEngine(store=store, cache=False).run(extra)
+        assert all(c.cell_id() in store for c in extra.cells())
+
+    def test_resume_via_store_indexed_lookup(self, tmp_path):
+        from repro.io.store import ResultStore
+
+        store = ResultStore(tmp_path / "s.sqlite")
+        reference_sink = tmp_path / "ref.jsonl"
+        ExperimentEngine(sink=reference_sink, store=store).run(tiny_spec())
+        # resume against a *missing* sink: completed cells come from the
+        # store's indexed lookup and the sink is rebuilt in spec order
+        resumed_sink = tmp_path / "resumed.jsonl"
+        engine = ExperimentEngine(sink=resumed_sink, store=store, resume=True)
+        engine.run(tiny_spec())
+        assert engine.stats["skipped"] == 4 and engine.stats["executed"] == 0
+        assert engine.stats["cached"] == 0
+        # resumed records are not stamped cached (they are resumed, not replayed)
+        assert cached_stripped_lines(resumed_sink) == cached_stripped_lines(reference_sink)
+        for record in read_records_jsonl(resumed_sink):
+            assert "cached" not in record.params
+
+    def test_resume_with_store_needs_no_sink(self, tmp_path):
+        from repro.io.store import ResultStore
+
+        store = ResultStore(tmp_path / "s.sqlite")
+        ExperimentEngine(store=store).run(tiny_spec())
+        engine = ExperimentEngine(store=store, resume=True)  # no sink at all
+        results = engine.run(tiny_spec())
+        assert engine.stats["skipped"] == 4
+        assert len(results) == 4
+
+    def test_store_accepts_path(self, tmp_path):
+        engine = ExperimentEngine(store=tmp_path / "s.sqlite")
+        engine.run(tiny_spec())
+        assert engine.stats["executed"] == 4
+        assert len(engine.store) == 4
+
+    def test_partial_store_runs_only_misses(self, tmp_path):
+        from repro.io.store import ResultStore
+
+        store = ResultStore(tmp_path / "s.sqlite")
+        spec = tiny_spec()
+        # pre-seed the store with half the cells via a narrower spec
+        ExperimentEngine(store=store).run(tiny_spec(workloads=("small/path",)))
+        engine = ExperimentEngine(store=store)
+        engine.run(spec)
+        assert engine.stats["cached"] == 2 and engine.stats["executed"] == 2
+        assert len(store) == 4
+
+    def test_campaign_tag_recorded(self, tmp_path):
+        from repro.io.store import ResultStore
+
+        store = ResultStore(tmp_path / "s.sqlite")
+        ExperimentEngine(store=store, campaign="pilot").run(tiny_spec())
+        campaigns = store.campaigns()
+        assert [c["name"] for c in campaigns] == ["pilot"]
+        assert campaigns[0]["cells"] == 4
+        assert campaigns[0]["experiment"] == "t"
+        # default campaign name is the spec name
+        ExperimentEngine(store=store, cache=False).run(tiny_spec(name="t2"))
+        assert {c["name"] for c in store.campaigns()} == {"pilot", "t2"}
+
+
+class TestParamCanonicalization:
+    """Golden ids locking the JSON canonicalization of exotic param shapes.
+
+    ``json.dumps(sort_keys=True)`` cannot sort mixed str/int keys and sorts
+    all-int keys numerically, so without canonicalization the same logical
+    params would hash differently before and after a JSON round-trip.
+    These goldens pin the canonical form (string keys, lists) — if any of
+    them moves, every stored campaign invalidates silently.
+    """
+
+    GOLDEN_PARAMS = {2: "two", "nested": [1, [2, 3]], "scale": 1.5}
+
+    def golden_cell(self, params):
+        return ExperimentCell(
+            experiment="golden", workload="small/path", algorithm="sequential",
+            params=params, seed=7, horizon=64,
+        )
+
+    def test_golden_cell_id_nonstring_keys_nested_lists(self):
+        cell = self.golden_cell(self.GOLDEN_PARAMS)
+        assert cell.cell_id() == "97418b6c6ead35b3"
+        assert cell.param_key() == '{"2": "two", "nested": [1, [2, 3]], "scale": 1.5}'
+        assert cell.cell_seed() == 17584579850082232586
+
+    def test_json_roundtrip_preserves_identity(self):
+        """Int keys and tuples hash identically to their JSON spellings."""
+        cell = self.golden_cell(self.GOLDEN_PARAMS)
+        roundtripped = self.golden_cell(json.loads(cell.param_key()))
+        assert roundtripped.cell_id() == cell.cell_id()
+        assert roundtripped.cell_seed() == cell.cell_seed()
+        tupled = self.golden_cell({"2": "two", "nested": (1, (2, 3)), "scale": 1.5})
+        assert tupled.cell_id() == cell.cell_id()
+
+    def test_golden_derive_seed(self):
+        from repro.utils.rng import derive_seed
+
+        assert derive_seed(7, "cell", "a", "b") == 107431294533931834
+
+    def test_plain_string_params_unchanged(self):
+        """Canonicalization is a no-op for ordinary specs — the golden id
+        regime of PR 4/6 sinks must not move."""
+        cell = ExperimentCell(
+            experiment="golden", workload="small/path", algorithm="sequential",
+            params={"scale": 2}, seed=0, horizon=32,
+        )
+        assert cell.param_key() == json.dumps({"scale": 2}, sort_keys=True)
+        assert cell.cell_id() == "f5a2b3294ef2c885"

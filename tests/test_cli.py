@@ -272,7 +272,7 @@ class TestExperiment:
         assert main(argv) == 0
         capsys.readouterr()
         assert main(argv + ["--resume"]) == 0
-        assert "0 executed, 2 resumed" in capsys.readouterr().out
+        assert "0 executed, 0 cached, 2 resumed" in capsys.readouterr().out
 
     def test_spec_file_with_overrides(self, tmp_path, capsys):
         from repro.analysis.engine import ExperimentSpec
@@ -441,3 +441,82 @@ class TestExperiment:
         # CLI error, not a raw ValueError traceback
         with pytest.raises(SystemExit, match="at least one seed"):
             main(["experiment", "--spec", str(spec_path), "--seeds"])
+
+
+class TestStoreFlags:
+    """--store/--no-cache/--campaign on experiment, and the results command."""
+
+    EXPERIMENT = [
+        "experiment", "--workloads", "small/path",
+        "--algorithms", "sequential", "degree-periodic", "--horizon", "48",
+    ]
+
+    def test_store_cold_then_warm(self, tmp_path, capsys):
+        store = tmp_path / "s.sqlite"
+        args = self.EXPERIMENT + ["--store", str(store)]
+        assert main(args) == 0
+        assert "2 executed, 0 cached" in capsys.readouterr().out
+        assert main(args) == 0
+        out = capsys.readouterr().out
+        assert "0 executed, 2 cached" in out
+        assert f"result store: {store}" in out
+
+    def test_no_cache_forces_reexecution(self, tmp_path, capsys):
+        store = tmp_path / "s.sqlite"
+        assert main(self.EXPERIMENT + ["--store", str(store)]) == 0
+        capsys.readouterr()
+        assert main(self.EXPERIMENT + ["--store", str(store), "--no-cache"]) == 0
+        assert "2 executed, 0 cached" in capsys.readouterr().out
+
+    def test_resume_accepts_store_without_output(self, tmp_path, capsys):
+        store = tmp_path / "s.sqlite"
+        assert main(self.EXPERIMENT + ["--store", str(store)]) == 0
+        capsys.readouterr()
+        assert main(self.EXPERIMENT + ["--store", str(store), "--resume"]) == 0
+        assert "2 resumed" in capsys.readouterr().out
+
+    def test_store_flag_validation(self, tmp_path):
+        with pytest.raises(SystemExit, match="--no-cache"):
+            main(self.EXPERIMENT + ["--no-cache"])
+        with pytest.raises(SystemExit, match="--campaign"):
+            main(self.EXPERIMENT + ["--campaign", "x"])
+        with pytest.raises(SystemExit, match="--resume"):
+            main(self.EXPERIMENT + ["--resume"])
+
+    def test_results_import_export_roundtrip(self, tmp_path, capsys):
+        store = tmp_path / "s.sqlite"
+        sink = tmp_path / "run.jsonl"
+        assert main(self.EXPERIMENT + ["--output", str(sink), "--store", str(store)]) == 0
+        capsys.readouterr()
+        # import the sink into a second store, export, compare
+        second = tmp_path / "s2.sqlite"
+        exported = tmp_path / "export.jsonl"
+        assert main(["results", "import", str(second), str(sink), "--campaign", "imp"]) == 0
+        assert "2 new cells" in capsys.readouterr().out
+        assert main(["results", "export", str(second), str(exported)]) == 0
+        assert "exported 2 records" in capsys.readouterr().out
+        assert exported.read_bytes() == sink.read_bytes()
+
+    def test_results_export_filters(self, tmp_path, capsys):
+        store = tmp_path / "s.sqlite"
+        assert main(self.EXPERIMENT + ["--store", str(store), "--campaign", "pilot"]) == 0
+        capsys.readouterr()
+        out_path = tmp_path / "seq.jsonl"
+        assert main([
+            "results", "export", str(store), str(out_path),
+            "--algorithm", "sequential",
+        ]) == 0
+        assert "exported 1 records" in capsys.readouterr().out
+        assert out_path.read_text().count("\n") == 1
+
+    def test_results_campaigns_listing(self, tmp_path, capsys):
+        store = tmp_path / "s.sqlite"
+        assert main(self.EXPERIMENT + ["--store", str(store), "--campaign", "pilot"]) == 0
+        capsys.readouterr()
+        assert main(["results", "campaigns", str(store)]) == 0
+        out = capsys.readouterr().out
+        assert "pilot" in out and "2" in out
+
+    def test_results_import_missing_file(self, tmp_path):
+        with pytest.raises(SystemExit, match="does not exist"):
+            main(["results", "import", str(tmp_path / "s.sqlite"), str(tmp_path / "no.jsonl")])
