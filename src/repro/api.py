@@ -43,7 +43,7 @@ from repro.core.metrics import (
 from repro.core.problem import ConflictGraph, Node
 from repro.core.validation import ValidationReport, validate_schedule
 
-__all__ = ["Session", "SessionReport", "EngineConfig", "open_store"]
+__all__ = ["Session", "SessionReport", "SessionTraceCache", "EngineConfig", "open_store"]
 
 
 def open_store(path):
@@ -65,6 +65,49 @@ def open_store(path):
     from repro.io.store import ResultStore
 
     return ResultStore(path)
+
+
+class SessionTraceCache:
+    """The default trace cache one :class:`Session` owns privately.
+
+    Extracted from ``Session`` (which used to inline the dictionary) so the
+    cache is an *object* sessions can share: pass the same instance as
+    ``traces=`` to several sessions and they reuse each other's builds.  Any
+    object with the same ``get_or_build``/``clear`` surface works — the
+    serving layer (:mod:`repro.serve`) substitutes a content-addressed,
+    byte-budgeted :class:`~repro.serve.cache.TraceCache` here so traces are
+    shared across *requests*, not just across calls within one session.
+
+    Keys are ``(id(schedule), id(graph), horizon, config)`` — schedule
+    *identity*, the cheap exact notion a library session wants (no hashing
+    of schedule content); the entry pins the schedule and graph so a dead
+    object's recycled ``id()`` can never serve the wrong trace.  Unbounded:
+    one entry per distinct key until :meth:`clear`.
+    """
+
+    def __init__(self) -> None:
+        self._entries: Dict[Tuple[int, int, int, EngineConfig], Tuple[object, object, Optional[TraceLike]]] = {}
+
+    def get_or_build(
+        self,
+        schedule: ScheduleLike,
+        graph: ConflictGraph,
+        horizon: int,
+        config: EngineConfig,
+        build: Callable[[], Optional[TraceLike]],
+    ) -> Optional[TraceLike]:
+        """The cached trace for this query, calling ``build()`` on a miss."""
+        key = (id(schedule), id(graph), horizon, config)
+        if key not in self._entries:
+            self._entries[key] = (schedule, graph, build())
+        return self._entries[key][2]
+
+    def clear(self) -> None:
+        """Drop every entry (and the schedules/graphs they pin)."""
+        self._entries.clear()
+
+    def __len__(self) -> int:
+        return len(self._entries)
 
 
 @dataclass
@@ -96,15 +139,21 @@ class Session:
             :data:`~repro.core.config.DEFAULT_CONFIG`).
         policy: how long to observe when a call gives no explicit horizon
             (default :class:`~repro.analysis.engine.HorizonPolicy`).
+        traces: the trace cache (default: a private
+            :class:`SessionTraceCache`).  Pass a shared instance to make
+            traces reusable *across* sessions — this is how the serving
+            layer keeps one content-addressed cache warm behind many
+            concurrent request sessions.
 
-    The trace cache is keyed by schedule *identity* and horizon: evaluating
-    and validating the same schedule object over the same horizon builds the
-    occupancy trace exactly once (asserted by ``tests/api/test_session.py``).
-    The cache only grows — one trace per ``(schedule, horizon)`` pair, each
-    pinning its schedule — so a session sweeping many schedules should call
-    :meth:`clear` between batches.  Under ``backend="sets"`` there is no
-    trace to share and every query walks the frozenset reference — the
-    facade still works, just without the reuse.
+    The default cache is keyed by schedule *identity* and horizon:
+    evaluating and validating the same schedule object over the same horizon
+    builds the occupancy trace exactly once (asserted by
+    ``tests/api/test_session.py``).  It only grows — one trace per
+    ``(schedule, horizon)`` pair, each pinning its schedule — so a session
+    sweeping many schedules should call :meth:`clear` between batches.
+    Under ``backend="sets"`` there is no trace to share and every query
+    walks the frozenset reference — the facade still works, just without
+    the reuse.
     """
 
     def __init__(
@@ -112,14 +161,17 @@ class Session:
         graph: ConflictGraph,
         config: Optional[EngineConfig] = None,
         policy: Optional[HorizonPolicy] = None,
+        traces: Optional[SessionTraceCache] = None,
     ) -> None:
         self.graph = graph
         self.config = config if config is not None else DEFAULT_CONFIG
         self.policy = policy if policy is not None else HorizonPolicy()
-        # (id(schedule), horizon) -> (schedule, trace).  The schedule rides
-        # along purely to keep it alive: a dead schedule's id() could be
-        # reused by a new object and silently serve the wrong trace.
-        self._traces: Dict[Tuple[int, int], Tuple[ScheduleLike, Optional[TraceLike]]] = {}
+        self.traces = traces if traces is not None else SessionTraceCache()
+
+    @property
+    def _traces(self) -> Dict:
+        """The raw entries of a default cache (kept for introspection)."""
+        return getattr(self.traces, "_entries", {})
 
     # -- plumbing ------------------------------------------------------------
     def resolve_horizon(
@@ -147,9 +199,10 @@ class Session:
         The cache holds a strong reference to each queried schedule and its
         trace, so a long-lived session sweeping many schedules grows by one
         trace per ``(schedule, horizon)`` pair — call this between batches
-        to release them.
+        to release them.  On a *shared* cache this clears the whole cache,
+        for every session using it.
         """
-        self._traces.clear()
+        self.traces.clear()
 
     def trace(
         self, schedule: ScheduleLike, horizon: Optional[int] = None
@@ -160,11 +213,13 @@ class Session:
         no trace object).
         """
         horizon = self.resolve_horizon(horizon)
-        key = (id(schedule), horizon)
-        if key not in self._traces:
-            built = build_trace(schedule, self.graph, horizon, config=self.config)
-            self._traces[key] = (schedule, built)
-        return self._traces[key][1]
+        return self.traces.get_or_build(
+            schedule,
+            self.graph,
+            horizon,
+            self.config,
+            lambda: build_trace(schedule, self.graph, horizon, config=self.config),
+        )
 
     # -- the facade ----------------------------------------------------------
     def evaluate(

@@ -517,8 +517,69 @@ def cmd_experiment(args: argparse.Namespace) -> int:
     return 1 if illegal else 0
 
 
+def service_from_args(args: argparse.Namespace):
+    """Build the :class:`~repro.serve.service.SchedulingService` + HTTP server
+    a ``repro serve`` invocation describes, without starting the serve loop.
+
+    Factored out of :func:`cmd_serve` so tests (and embedders) can construct
+    the exact server the CLI would run and drive it in-process.  Returns
+    ``(service, server)``; the caller owns both (``server.server_close()``
+    and ``service.store.close()`` when done).
+    """
+    from repro.serve import SchedulingService, TraceCache, make_server
+
+    if args.cache_bytes < 0:
+        raise SystemExit(f"error: --cache-bytes must be >= 0, got {args.cache_bytes}")
+    if args.max_horizon < 1:
+        raise SystemExit(f"error: --max-horizon must be >= 1, got {args.max_horizon}")
+    store = None
+    if args.store:
+        from repro.io.store import ResultStore
+
+        # threadsafe: handler threads share this one connection (the service
+        # serializes statements behind its own lock)
+        store = ResultStore(args.store, threadsafe=True)
+    service = SchedulingService(
+        config=config_from_args(args),
+        cache=TraceCache(args.cache_bytes),
+        store=store,
+        max_horizon=args.max_horizon,
+    )
+    try:
+        server = make_server(service, host=args.host, port=args.port)
+    except OSError as exc:
+        if store is not None:
+            store.close()
+        raise SystemExit(f"error: cannot bind {args.host}:{args.port}: {exc}")
+    return service, server
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    configure_logging(logging.DEBUG if args.verbose else logging.INFO)
+    service, server = service_from_args(args)
+    host, port = server.server_address[:2]
+    print(f"repro serve listening on http://{host}:{port}")
+    print(f"  trace cache: {args.cache_bytes} bytes"
+          + (f", result store: {args.store}" if args.store else ""))
+    print("  endpoints: /healthz /metrics /workloads /algorithms "
+          "/evaluate /validate /report /synthesize /cell  (Ctrl-C to stop)")
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        print("\nshutting down")
+    finally:
+        server.server_close()
+        if service.store is not None:
+            service.store.close()
+    return 0
+
+
 def cmd_results(args: argparse.Namespace) -> int:
     from repro.io.store import ResultStore
+
+    # surface library warnings (e.g. the truncated-JSONL byte-offset warning
+    # read_records_jsonl emits during 'results import') on stderr
+    configure_logging(logging.WARNING)
 
     with ResultStore(args.store) as store:
         if args.results_command == "import":
@@ -667,6 +728,42 @@ def build_parser() -> argparse.ArgumentParser:
     exp.add_argument("--list", action="store_true", help="list registered workloads and algorithms, then exit")
     exp.add_argument("-v", "--verbose", action="store_true", help="per-cell progress lines on stderr")
     exp.set_defaults(func=cmd_experiment)
+
+    srv = sub.add_parser(
+        "serve",
+        help="serve scheduling queries over HTTP (shared trace cache)",
+        description=(
+            "Start the long-running scheduling service: /evaluate, /validate, "
+            "/report, /synthesize and /cell answered concurrently over one "
+            "content-addressed trace cache (identical concurrent queries build "
+            "their occupancy trace exactly once).  Stdlib HTTP + JSON; see "
+            "docs/serving.md for the endpoint reference."
+        ),
+    )
+    srv.add_argument("--host", default="127.0.0.1", help="bind address (default: 127.0.0.1)")
+    srv.add_argument(
+        "--port", type=int, default=8080,
+        help="TCP port (default: 8080; 0 picks an ephemeral port)",
+    )
+    srv.add_argument(
+        "--cache-bytes", type=int, default=256 * 1024 * 1024, metavar="N",
+        help="trace-cache byte budget; LRU-evicted above it (default: 256 MiB)",
+    )
+    srv.add_argument(
+        "--max-horizon", type=int, default=10_000_000, metavar="H",
+        help="largest horizon one request may ask for (413 above it)",
+    )
+    srv.add_argument(
+        "--store", metavar="PATH",
+        help=(
+            "persistent result store backing /cell read-through (SQLite, "
+            "created if missing): stored cells replay without executing, "
+            "fresh cells are written back"
+        ),
+    )
+    add_engine_args(srv)
+    srv.add_argument("-v", "--verbose", action="store_true", help="per-request debug logging")
+    srv.set_defaults(func=cmd_serve)
 
     res = sub.add_parser(
         "results",

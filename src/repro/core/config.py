@@ -199,6 +199,22 @@ class EngineConfig:
             if getattr(self, f.name) != getattr(default, f.name)
         }
 
+    def cache_key(self) -> str:
+        """Canonical string form of the knobs that change computed results.
+
+        The config component of content-addressed cache keys (notably the
+        shared trace cache behind :mod:`repro.serve`): canonical JSON of the
+        :meth:`non_default` fields, minus the knobs that provably never
+        change an answer (``stream_jobs``, ``batch`` — wall-clock only, by
+        the same determinism contracts that keep them out of cell ids).
+        Like cell ids, default knobs leave the key untouched, so keys stay
+        stable as new knobs grow onto the config.
+        """
+        overrides = {
+            k: v for k, v in self.non_default().items() if k not in ("stream_jobs", "batch")
+        }
+        return json.dumps(overrides, sort_keys=True)
+
     def describe(self) -> str:
         """Short human-readable form: only the non-default knobs."""
         overrides = self.non_default()

@@ -110,13 +110,24 @@ class ResultStore:
     same bytes anyway (modulo timing fields).
     """
 
-    def __init__(self, path: _PathLike, timeout: float = 30.0) -> None:
+    def __init__(
+        self, path: _PathLike, timeout: float = 30.0, threadsafe: bool = False
+    ) -> None:
         self.path = Path(path)
         self.path.parent.mkdir(parents=True, exist_ok=True)
         # Autocommit (isolation_level=None): every INSERT lands immediately,
         # which is what makes a crash-interrupted campaign resumable from
         # the store, and busy_timeout covers writer collisions under WAL.
-        self._conn = sqlite3.connect(str(self.path), timeout=timeout, isolation_level=None)
+        # threadsafe=True allows one store to be shared across threads (the
+        # serving layer's read-through); callers there serialize statement
+        # execution themselves, and the stdlib sqlite3 build is in serialized
+        # threading mode anyway (sqlite3.threadsafety == 3).
+        self._conn = sqlite3.connect(
+            str(self.path),
+            timeout=timeout,
+            isolation_level=None,
+            check_same_thread=not threadsafe,
+        )
         self._conn.execute("PRAGMA journal_mode=WAL")
         self._conn.execute("PRAGMA synchronous=NORMAL")
         self._conn.executescript(_SCHEMA)

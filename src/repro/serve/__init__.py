@@ -1,0 +1,53 @@
+"""`repro.serve` — scheduling-as-a-service over the session facade.
+
+A long-running, stdlib-only HTTP layer (``http.server`` + ``json``; no new
+dependencies) that serves the library's answers concurrently:
+
+* :mod:`repro.serve.service` — the transport-independent handlers
+  (:class:`SchedulingService`): evaluate / validate / report / synthesize /
+  experiment-cell read-through, all resolved through the workload and
+  scheduler registries and executed through :class:`repro.api.Session`.
+* :mod:`repro.serve.cache` — the shared, content-addressed
+  :class:`TraceCache` (LRU byte budget, per-key single-flight) that makes N
+  concurrent identical requests build their occupancy trace exactly once.
+* :mod:`repro.serve.app` — the HTTP skin: routing, JSON schemas, the error
+  envelope, :func:`make_server`.
+* :mod:`repro.serve.health` — ``/healthz`` and ``/metrics``
+  instrumentation.
+
+Start one from the CLI (``repro serve --port 8080``) or in-process::
+
+    from repro.serve import SchedulingService, make_server
+
+    server = make_server(SchedulingService(), port=8080)
+    server.serve_forever()
+
+See ``docs/serving.md`` for the endpoint reference and cache-key semantics.
+"""
+
+from repro.serve.app import make_server
+from repro.serve.cache import DEFAULT_CACHE_BYTES, SingleFlight, TraceCache, TraceKey
+from repro.serve.health import ServiceMetrics
+from repro.serve.service import (
+    DEFAULT_MAX_HORIZON,
+    SchedulingService,
+    ServiceError,
+    report_payload,
+    schedule_payload,
+    validation_payload,
+)
+
+__all__ = [
+    "make_server",
+    "SchedulingService",
+    "ServiceError",
+    "TraceCache",
+    "TraceKey",
+    "SingleFlight",
+    "ServiceMetrics",
+    "DEFAULT_CACHE_BYTES",
+    "DEFAULT_MAX_HORIZON",
+    "report_payload",
+    "schedule_payload",
+    "validation_payload",
+]

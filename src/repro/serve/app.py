@@ -1,0 +1,157 @@
+"""The HTTP skin over :class:`~repro.serve.service.SchedulingService`.
+
+Stdlib only: :class:`http.server.ThreadingHTTPServer` dispatches each
+connection to a worker thread, all of which share one service (and through
+it one trace cache, one metrics object, one optional result store).  The
+handler does exactly four things — parse JSON, route, serialize, record
+metrics — and everything domain-shaped stays in ``service.py`` where the
+differential tests can call it in-process.
+
+Routes::
+
+    GET  /healthz      liveness + request counter
+    GET  /metrics      counters, latency summaries, cache stats (JSON)
+    GET  /workloads    registered workload names
+    GET  /algorithms   registered scheduler names
+    POST /evaluate     full metric suite for (workload, algorithm, ...)
+    POST /validate     legality (+ optional periodicity) checks
+    POST /report       evaluate + validate over one shared trace build
+    POST /synthesize   build a schedule, return its calendar prefix
+    POST /cell         experiment-cell read-through (store-backed)
+
+Errors are always the JSON envelope ``{"error": {"code", "message",
+"status"}}`` with the matching HTTP status — a stack trace never crosses
+the wire (unexpected exceptions become a 500 envelope and a server-side
+log line).
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Callable, Dict, Optional, Tuple
+
+from repro.serve.service import SchedulingService, ServiceError
+from repro.utils.logging import get_logger
+
+__all__ = ["make_server", "RequestHandler", "MAX_BODY_BYTES"]
+
+_log = get_logger("serve.app")
+
+#: largest request body accepted (a schedule query is a few hundred bytes;
+#: anything near this limit is a mistake or abuse).
+MAX_BODY_BYTES = 1 * 1024 * 1024
+
+
+class RequestHandler(BaseHTTPRequestHandler):
+    """One request: parse, route, serialize, observe.  The service instance
+    hangs off the server (see :func:`make_server`)."""
+
+    server_version = "repro-serve/1.0"
+    protocol_version = "HTTP/1.1"
+
+    @property
+    def service(self) -> SchedulingService:
+        return self.server.service  # type: ignore[attr-defined]
+
+    # -- plumbing ------------------------------------------------------------
+    def log_message(self, format: str, *args: object) -> None:
+        # route access logs through the package logger instead of stderr
+        _log.debug("%s %s", self.address_string(), format % args)
+
+    def _send_json(self, status: int, payload: Dict[str, object]) -> None:
+        body = json.dumps(payload, sort_keys=True).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _read_body(self) -> Dict[str, object]:
+        length = int(self.headers.get("Content-Length") or 0)
+        if length > MAX_BODY_BYTES:
+            raise ServiceError(413, "body_too_large", f"request body exceeds {MAX_BODY_BYTES} bytes")
+        raw = self.rfile.read(length) if length else b""
+        if not raw:
+            return {}
+        try:
+            payload = json.loads(raw.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise ServiceError(400, "bad_json", f"request body is not valid JSON: {exc}")
+        if not isinstance(payload, dict):
+            raise ServiceError(400, "bad_request", "request body must be a JSON object")
+        return payload
+
+    def _dispatch(self, method: str) -> None:
+        path = self.path.split("?", 1)[0].rstrip("/") or "/"
+        started = time.perf_counter()
+        endpoint = path
+        status = 500
+        try:
+            route = _ROUTES.get(path)
+            if route is None:
+                raise ServiceError(404, "not_found", f"no such endpoint: {path}")
+            allowed, handler, needs_body = route
+            if method != allowed:
+                raise ServiceError(
+                    405, "method_not_allowed", f"{path} only accepts {allowed}"
+                )
+            payload = self._read_body() if needs_body else None
+            result = handler(self.service, payload)
+            status = 200
+            self._send_json(200, result)
+        except ServiceError as exc:
+            status = exc.status
+            self._send_json(exc.status, exc.payload())
+        except BrokenPipeError:  # client went away; nothing to send
+            status = 499
+        except Exception:
+            # never leak a traceback to the client
+            _log.exception("unhandled error serving %s %s", method, path)
+            status = 500
+            self._send_json(
+                500,
+                {"error": {"code": "internal", "message": "internal server error", "status": 500}},
+            )
+        finally:
+            self.service.metrics.observe_request(
+                endpoint, status, time.perf_counter() - started
+            )
+
+    def do_GET(self) -> None:  # noqa: N802 - http.server naming
+        self._dispatch("GET")
+
+    def do_POST(self) -> None:  # noqa: N802 - http.server naming
+        self._dispatch("POST")
+
+
+#: path -> (method, handler(service, payload), needs_body)
+_ROUTES: Dict[str, Tuple[str, Callable[[SchedulingService, Optional[Dict]], Dict], bool]] = {
+    "/healthz": ("GET", lambda svc, _body: svc.health(), False),
+    "/metrics": ("GET", lambda svc, _body: svc.metrics_snapshot(), False),
+    "/workloads": ("GET", lambda svc, _body: svc.workloads(), False),
+    "/algorithms": ("GET", lambda svc, _body: svc.algorithms(), False),
+    "/evaluate": ("POST", lambda svc, body: svc.evaluate(body), True),
+    "/validate": ("POST", lambda svc, body: svc.validate(body), True),
+    "/report": ("POST", lambda svc, body: svc.report(body), True),
+    "/synthesize": ("POST", lambda svc, body: svc.synthesize(body), True),
+    "/cell": ("POST", lambda svc, body: svc.cell(body), True),
+}
+
+
+def make_server(
+    service: SchedulingService, host: str = "127.0.0.1", port: int = 0
+) -> ThreadingHTTPServer:
+    """A ready-to-serve threading HTTP server bound to ``service``.
+
+    ``port=0`` binds an ephemeral port (read it back from
+    ``server.server_address[1]`` — the test harness and the smoke job both
+    do).  The caller owns the serve loop: ``serve_forever()`` to block, or a
+    daemon thread around it for in-process tests; ``shutdown()`` +
+    ``server_close()`` to stop.
+    """
+    server = ThreadingHTTPServer((host, port), RequestHandler)
+    server.daemon_threads = True
+    server.service = service  # type: ignore[attr-defined]
+    return server

@@ -1,0 +1,96 @@
+"""Tests for :mod:`repro.analysis.tables` — smoke + golden-output rendering."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.tables import format_value, render_table
+
+
+class TestFormatValue:
+    def test_none_is_a_dash(self):
+        assert format_value(None) == "-"
+
+    def test_bools_before_ints(self):
+        # bool is an int subclass; the yes/no branch must win
+        assert format_value(True) == "yes"
+        assert format_value(False) == "no"
+
+    def test_ints_verbatim(self):
+        assert format_value(0) == "0"
+        assert format_value(-12345) == "-12345"
+
+    def test_integral_floats_drop_the_point(self):
+        assert format_value(3.0) == "3"
+        assert format_value(-2.0) == "-2"
+
+    def test_floats_use_significant_digits(self):
+        assert format_value(0.98255, precision=3) == "0.983"
+        assert format_value(0.98255, precision=2) == "0.98"
+        assert format_value(1234.5678, precision=5) == "1234.6"
+
+    def test_huge_integral_floats_stay_floats(self):
+        # above 1e15 the int(value) round-trip is unsafe; keep float form
+        assert format_value(1e16) == "1e+16"
+
+    def test_other_objects_fall_back_to_str(self):
+        assert format_value("text") == "text"
+        assert format_value(frozenset()) == str(frozenset())
+
+
+class TestRenderTable:
+    def test_golden_output(self):
+        """The exact rendering contract, pinned byte for byte."""
+        table = render_table(
+            ["algorithm", "max_mul", "legal"],
+            [
+                ["degree-periodic", 4, True],
+                ["sequential", 12, False],
+                ["phased-greedy", None, True],
+            ],
+            title="comparison",
+        )
+        assert table == (
+            "comparison\n"
+            "algorithm        max_mul  legal\n"
+            "---------------  -------  -----\n"
+            "degree-periodic        4  yes\n"
+            "sequential            12  no\n"
+            "phased-greedy          -  yes"
+        )
+
+    def test_numeric_columns_right_aligned_text_left(self):
+        table = render_table(["name", "n"], [["a", 1], ["long-name", 100]])
+        lines = table.split("\n")
+        assert lines[2] == "a            1"
+        assert lines[3] == "long-name  100"
+
+    def test_no_title_means_no_title_line(self):
+        table = render_table(["h"], [[1]])
+        assert table.split("\n")[0] == "h"
+
+    def test_empty_rows_render_header_and_rule_only(self):
+        table = render_table(["alpha", "beta"], [])
+        assert table == "alpha  beta\n-----  ----"
+
+    def test_row_length_mismatch_raises(self):
+        with pytest.raises(ValueError, match="expected 2"):
+            render_table(["a", "b"], [[1, 2, 3]])
+
+    def test_precision_reaches_float_cells(self):
+        loose = render_table(["x"], [[0.123456]], precision=2)
+        tight = render_table(["x"], [[0.123456]], precision=5)
+        assert "0.12" in loose and "0.12346" in tight
+
+    def test_dash_cells_do_not_break_numeric_alignment(self):
+        # a column of numbers with a None gap stays right-aligned
+        table = render_table(["v"], [[1], [None], [100]])
+        lines = table.split("\n")
+        assert lines[2] == "  1"
+        assert lines[3] == "  -"
+        assert lines[4] == "100"
+
+    def test_mixed_text_column_is_left_aligned(self):
+        table = render_table(["v"], [[1], ["n/a"], [100]])
+        lines = table.split("\n")
+        assert lines[2] == "1"  # left-aligned: no padding before the 1

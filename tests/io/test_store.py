@@ -193,6 +193,51 @@ class TestTruncatedSinkWarning:
             read_records_jsonl(sink, strict=True)
 
 
+class TestImportTruncated:
+    """``results import`` on a crash-truncated sink: the completed prefix
+    lands in the store and the byte-offset warning surfaces — both through
+    the library call and through the CLI."""
+
+    def _truncated_sink(self, tmp_path):
+        sink = tmp_path / "truncated.jsonl"
+        good = [record_to_json_line(make_record(f"{i:016x}")) for i in range(3)]
+        sink.write_text("\n".join(good) + "\n" + '{"experiment": "t", "half', encoding="utf-8")
+        return sink, len(("\n".join(good) + "\n").encode("utf-8"))
+
+    def test_import_jsonl_keeps_prefix_and_warns_with_offset(self, tmp_path, caplog):
+        sink, offset = self._truncated_sink(tmp_path)
+        with ResultStore(tmp_path / "s.sqlite") as store:
+            with caplog.at_level(logging.WARNING, logger="repro.io.results"):
+                added = store.import_jsonl(sink, campaign="salvage")
+            assert added == 3 and len(store) == 3
+        messages = [r.getMessage() for r in caplog.records if r.levelno == logging.WARNING]
+        assert len(messages) == 1
+        assert f"byte offset {offset}" in messages[0]
+        assert ":4:" in messages[0]  # the truncated line number
+
+    def test_cli_results_import_surfaces_the_warning(self, tmp_path, capsys, monkeypatch):
+        import repro.utils.logging as repro_logging
+        from repro.cli import main
+
+        # pristine logging state so the CLI's configure() binds the handler
+        # to this test's captured stderr
+        root = logging.getLogger("repro")
+        monkeypatch.setattr(repro_logging, "_configured", False)
+        monkeypatch.setattr(root, "handlers", [])
+
+        sink, offset = self._truncated_sink(tmp_path)
+        store_path = tmp_path / "s.sqlite"
+        exit_code = main(["results", "import", str(store_path), str(sink)])
+        out, err = capsys.readouterr()
+
+        assert exit_code == 0
+        assert "3 new cells" in out
+        assert f"byte offset {offset}" in err
+        assert "truncated trailing record" in err
+        with ResultStore(store_path) as store:
+            assert len(store) == 3
+
+
 _WORKER = """
 import sys
 sys.path.insert(0, {src!r})

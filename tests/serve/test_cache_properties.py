@@ -1,0 +1,254 @@
+"""Property-based tests for the shared trace cache (no hypothesis needed).
+
+Seeded-random operation sequences are replayed against both the real
+:class:`~repro.serve.cache.TraceCache` and a transparent reference model (a
+plain LRU dict with the same stated semantics).  After every operation the
+invariants hold:
+
+* cached bytes never exceed the budget;
+* a hit returns a value byte-identical to what rebuilding would produce;
+* entries, bytes and every counter match the model exactly.
+
+Deterministic thread tests (events, not sleeps) pin down the
+:class:`~repro.serve.cache.SingleFlight` semantics the HTTP-level
+concurrency suite can only observe statistically: one build per flight,
+shared errors, flights forgotten on completion, and in-flight builds that
+can never be evicted out from under their waiters.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+from collections import OrderedDict
+
+import pytest
+
+from repro.serve.cache import SingleFlight, TraceCache, TraceKey
+
+
+def key(i: int) -> TraceKey:
+    return TraceKey(f"g{i}", f"alg:{i}", 64, "{}")
+
+
+def value_for(k: TraceKey) -> bytes:
+    """Deterministic per-key payload — what a 'rebuild' must reproduce."""
+    return (k.graph_key + "|" + k.schedule_key).encode() * 3
+
+
+class ModelCache:
+    """Reference LRU-with-byte-budget model, kept deliberately naive."""
+
+    def __init__(self, max_bytes: int) -> None:
+        self.max_bytes = max_bytes
+        self.entries: "OrderedDict[TraceKey, int]" = OrderedDict()
+        self.hits = self.misses = self.evictions = self.oversize = 0
+
+    def get_or_build(self, k: TraceKey, size: int) -> None:
+        if k in self.entries:
+            self.hits += 1
+            self.entries.move_to_end(k)
+            return
+        self.misses += 1
+        if size > self.max_bytes:
+            self.oversize += 1
+            return
+        self.entries[k] = size
+        while sum(self.entries.values()) > self.max_bytes:
+            self.entries.popitem(last=False)
+            self.evictions += 1
+
+    def clear(self) -> None:
+        self.entries.clear()
+
+
+@pytest.mark.parametrize("seed", [0, 1, 2, 3, 17])
+def test_random_op_sequences_match_the_model(seed):
+    rng = random.Random(seed)
+    budget = rng.choice([64, 256, 1024])
+    cache = TraceCache(max_bytes=budget)
+    model = ModelCache(max_bytes=budget)
+    built = {}
+
+    for _step in range(400):
+        op = rng.random()
+        if op < 0.04:
+            cache.clear()
+            model.clear()
+            continue
+        k = key(rng.randrange(12))
+        size = rng.choice([1, 16, 48, 100, budget + 1])
+
+        def build(k=k):
+            built[k] = built.get(k, 0) + 1
+            return value_for(k)
+
+        got = cache.get_or_build(k, build, lambda _v, size=size: size)
+        model.get_or_build(k, size)
+
+        # hits are byte-identical to a rebuild
+        assert got == value_for(k)
+        # the budget is never exceeded, after every single operation
+        assert cache.total_bytes <= budget
+        stats = cache.stats()
+        assert stats["bytes"] == sum(model.entries.values())
+        assert stats["entries"] == len(model.entries)
+        assert list(cache._entries) == list(model.entries)  # same LRU order
+        assert stats["hits"] == model.hits
+        assert stats["misses"] == model.misses
+        assert stats["evictions"] == model.evictions
+        assert stats["oversize"] == model.oversize
+
+    # every build that happened was a model miss (never a redundant rebuild)
+    assert sum(built.values()) == model.misses
+
+
+def test_zero_budget_cache_serves_but_never_stores():
+    cache = TraceCache(max_bytes=0)
+    for i in range(5):
+        assert cache.get_or_build(key(i), lambda i=i: value_for(key(i)), lambda v: len(v)) \
+            == value_for(key(i))
+    stats = cache.stats()
+    assert stats["entries"] == 0 and stats["bytes"] == 0
+    assert stats["oversize"] == 5 and stats["evictions"] == 0
+
+
+def test_negative_budget_rejected():
+    with pytest.raises(ValueError):
+        TraceCache(max_bytes=-1)
+
+
+def test_clear_keeps_lifetime_counters():
+    cache = TraceCache(max_bytes=1024)
+    cache.get_or_build(key(1), lambda: b"v", lambda v: 1)
+    cache.get_or_build(key(1), lambda: b"v", lambda v: 1)
+    cache.clear()
+    stats = cache.stats()
+    assert stats["entries"] == 0 and stats["bytes"] == 0
+    assert stats["hits"] == 1 and stats["misses"] == 1
+
+
+class TestSingleFlightDeterministic:
+    """Event-sequenced thread tests: no sleeps, no timing assumptions."""
+
+    def _herd(self, flight, key, fn, waiters):
+        """Start `waiters` threads calling flight.do(key, fn); return their
+        collected (value-or-exception, leader) results and the threads."""
+        results = []
+        lock = threading.Lock()
+
+        def run():
+            try:
+                out = flight.do(key, fn)
+            except Exception as exc:  # noqa: BLE001 - collected for assertions
+                out = (exc, None)
+            with lock:
+                results.append(out)
+
+        threads = [threading.Thread(target=run) for _ in range(waiters)]
+        for t in threads:
+            t.start()
+        return results, threads
+
+    def test_waiters_share_the_leaders_value(self):
+        flight = SingleFlight()
+        release = threading.Event()
+        entered = threading.Event()
+        calls = []
+
+        def build():
+            calls.append(1)
+            entered.set()
+            release.wait(timeout=10)
+            return "payload"
+
+        results, threads = self._herd(flight, "k", build, waiters=4)
+        assert entered.wait(timeout=10)  # the leader is inside build()
+        release.set()
+        for t in threads:
+            t.join(timeout=10)
+        assert len(calls) == 1
+        assert sorted(r[0] for r in results) == ["payload"] * 4
+        assert sum(1 for r in results if r[1]) == 1  # exactly one leader
+
+    def test_waiters_share_the_leaders_exception(self):
+        flight = SingleFlight()
+        release = threading.Event()
+        entered = threading.Event()
+        boom = RuntimeError("injected")
+
+        def build():
+            entered.set()
+            release.wait(timeout=10)
+            raise boom
+
+        results, threads = self._herd(flight, "k", build, waiters=4)
+        assert entered.wait(timeout=10)
+        release.set()
+        for t in threads:
+            t.join(timeout=10)
+        assert all(r[0] is boom for r in results)
+
+    def test_flights_are_forgotten_after_completion(self):
+        flight = SingleFlight()
+        calls = []
+        for _ in range(3):
+            value, leader = flight.do("k", lambda: calls.append(1) or len(calls))
+            assert leader  # no flight in progress: every serial call leads
+        assert len(calls) == 3  # coalescing, not caching
+
+    def test_distinct_keys_run_concurrently(self):
+        flight = SingleFlight()
+        barrier = threading.Barrier(2, timeout=10)
+
+        def build(i):
+            barrier.wait()  # deadlocks (and times out) unless both run at once
+            return i
+
+        results, threads = [], []
+        for i in range(2):
+            r, t = self._herd(flight, f"k{i}", lambda i=i: build(i), waiters=1)
+            results.append(r)
+            threads.extend(t)
+        for t in threads:
+            t.join(timeout=10)
+        assert [r[0] for r in (results[0] + results[1])] == [0, 1]
+
+
+class TestInFlightNeverEvicted:
+    def test_eviction_storm_cannot_drop_an_in_flight_build(self):
+        """While key A is mid-build, churn the cache hard enough to evict
+        everything many times over; A's waiters still get A's value and the
+        budget holds.  (Structurally guaranteed — entries are inserted only
+        after their build completes — so this asserts the guarantee stays.)"""
+        cache = TraceCache(max_bytes=100)
+        release = threading.Event()
+        entered = threading.Event()
+
+        def slow_build():
+            entered.set()
+            release.wait(timeout=10)
+            return b"A" * 60
+
+        got = []
+        waiter = threading.Thread(
+            target=lambda: got.append(
+                cache.get_or_build(key(0), slow_build, lambda v: len(v))
+            )
+        )
+        waiter.start()
+        assert entered.wait(timeout=10)
+
+        # 20 distinct inserts of 60 bytes against a 100-byte budget: every
+        # insert evicts the previous entry, while A is still in flight
+        for i in range(1, 21):
+            cache.get_or_build(key(i), lambda i=i: b"B" * 60, lambda v: len(v))
+        assert cache.stats()["evictions"] >= 19
+
+        release.set()
+        waiter.join(timeout=10)
+        assert got == [b"A" * 60]
+        assert cache.total_bytes <= 100
+        # and A landed in the cache after its build completed
+        assert key(0) in cache
+        assert cache.get_or_build(key(0), lambda: b"WRONG", lambda v: 0) == b"A" * 60

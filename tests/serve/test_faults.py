@@ -1,0 +1,153 @@
+"""Fault injection: every client mistake is a clean JSON 4xx envelope.
+
+The contract under test: malformed JSON, unknown names, bad types, bad
+routes and oversized requests each produce ``{"error": {"code", "message",
+"status"}}`` with the matching HTTP status — and **never** a stack trace,
+HTML error page or connection reset.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+GOOD = {"workload": "small/path", "algorithm": "degree-periodic", "horizon": 32}
+
+
+def assert_envelope(status, body, expect_status, expect_code):
+    assert status == expect_status, (status, body)
+    assert set(body) == {"error"}, f"extra keys beside the envelope: {body}"
+    err = body["error"]
+    assert err["code"] == expect_code
+    assert err["status"] == expect_status
+    assert isinstance(err["message"], str) and err["message"]
+    assert "Traceback" not in err["message"]
+
+
+class TestMalformedBodies:
+    def test_invalid_json(self, service_client):
+        _service, client = service_client
+        status, body = client.post("/evaluate", raw=b"{not json at all")
+        assert_envelope(status, body, 400, "bad_json")
+
+    def test_non_object_body(self, service_client):
+        _service, client = service_client
+        status, body = client.post("/evaluate", raw=b'["a", "list"]')
+        assert_envelope(status, body, 400, "bad_request")
+
+    def test_empty_body(self, service_client):
+        _service, client = service_client
+        status, body = client.post("/evaluate", raw=b"")
+        assert_envelope(status, body, 400, "bad_request")
+
+    def test_missing_required_fields(self, service_client):
+        _service, client = service_client
+        status, body = client.post("/evaluate", {"workload": "small/path"})
+        assert_envelope(status, body, 400, "bad_request")
+
+
+class TestUnknownNames:
+    def test_unknown_workload(self, service_client):
+        _service, client = service_client
+        status, body = client.post("/evaluate", dict(GOOD, workload="no-such-graph"))
+        assert_envelope(status, body, 404, "unknown_workload")
+        assert "/workloads" in body["error"]["message"]
+
+    def test_unknown_algorithm(self, service_client):
+        _service, client = service_client
+        status, body = client.post("/evaluate", dict(GOOD, algorithm="no-such-alg"))
+        assert_envelope(status, body, 404, "unknown_algorithm")
+        assert "/algorithms" in body["error"]["message"]
+
+    def test_unknown_route(self, service_client):
+        _service, client = service_client
+        status, body = client.get("/no/such/endpoint")
+        assert_envelope(status, body, 404, "not_found")
+
+    def test_unknown_names_on_cell(self, service_client):
+        _service, client = service_client
+        status, body = client.post("/cell", dict(GOOD, workload="nope"))
+        assert_envelope(status, body, 404, "unknown_workload")
+        status, body = client.post("/cell", dict(GOOD, algorithm="nope"))
+        assert_envelope(status, body, 404, "unknown_algorithm")
+
+
+class TestBadValues:
+    @pytest.mark.parametrize("horizon", ["64", 3.5, True, [64]])
+    def test_non_integer_horizon(self, service_client, horizon):
+        _service, client = service_client
+        status, body = client.post("/evaluate", dict(GOOD, horizon=horizon))
+        assert_envelope(status, body, 400, "bad_request")
+
+    @pytest.mark.parametrize("horizon", [0, -5])
+    def test_non_positive_horizon(self, service_client, horizon):
+        _service, client = service_client
+        status, body = client.post("/evaluate", dict(GOOD, horizon=horizon))
+        assert_envelope(status, body, 400, "bad_request")
+
+    def test_oversized_horizon_is_413(self, serve_stack):
+        service, _server, client = serve_stack(max_horizon=1000)
+        status, body = client.post("/evaluate", dict(GOOD, horizon=1001))
+        assert_envelope(status, body, 413, "horizon_too_large")
+        # ...and the limit itself is fine
+        status, _body = client.post("/evaluate", dict(GOOD, horizon=1000))
+        assert status == 200
+
+    def test_oversized_horizon_on_cell(self, serve_stack):
+        _service, _server, client = serve_stack(max_horizon=1000)
+        status, body = client.post("/cell", dict(GOOD, horizon=5000))
+        assert_envelope(status, body, 413, "horizon_too_large")
+
+    def test_bad_config_field(self, service_client):
+        _service, client = service_client
+        status, body = client.post("/evaluate", dict(GOOD, config={"backend": "gpu"}))
+        assert_envelope(status, body, 400, "bad_request")
+
+    def test_unknown_config_key(self, service_client):
+        _service, client = service_client
+        status, body = client.post("/evaluate", dict(GOOD, config={"turbo": True}))
+        assert_envelope(status, body, 400, "bad_request")
+
+    def test_non_object_config(self, service_client):
+        _service, client = service_client
+        status, body = client.post("/evaluate", dict(GOOD, config="fast"))
+        assert_envelope(status, body, 400, "bad_request")
+
+    def test_non_object_workload_params(self, service_client):
+        _service, client = service_client
+        status, body = client.post("/evaluate", dict(GOOD, workload_params=[1, 2]))
+        assert_envelope(status, body, 400, "bad_request")
+
+    def test_bad_check_periodic_type(self, service_client):
+        _service, client = service_client
+        status, body = client.post("/validate", dict(GOOD, check_periodic="yes"))
+        assert_envelope(status, body, 400, "bad_request")
+
+    def test_bad_holidays_range(self, service_client):
+        _service, client = service_client
+        status, body = client.post("/synthesize", dict(GOOD, holidays=0))
+        assert_envelope(status, body, 400, "bad_request")
+
+
+class TestMethodDiscipline:
+    def test_post_to_get_endpoint(self, service_client):
+        _service, client = service_client
+        status, body = client.post("/healthz", {})
+        assert_envelope(status, body, 405, "method_not_allowed")
+
+    def test_get_on_post_endpoint(self, service_client):
+        _service, client = service_client
+        status, body = client.get("/evaluate")
+        assert_envelope(status, body, 405, "method_not_allowed")
+
+
+class TestServerStaysUp:
+    def test_faults_do_not_poison_later_requests(self, service_client):
+        """A barrage of malformed requests leaves the server fully able to
+        answer a good one (no wedged locks, no leaked flights)."""
+        _service, client = service_client
+        client.post("/evaluate", raw=b"\xff\xfe garbage")
+        client.post("/evaluate", dict(GOOD, workload="nope"))
+        client.post("/evaluate", dict(GOOD, horizon=-1))
+        client.get("/nowhere")
+        status, body = client.post("/evaluate", GOOD)
+        assert status == 200 and body["report"]["summary"]["max_mul"] >= 1

@@ -1,0 +1,129 @@
+"""``/cell`` read-through against the persistent result store.
+
+The regression under guard: two clients racing the same *uncached*
+experiment cell must resolve to exactly one execution and one store write
+(single-flight per cell id), and a third request replays the stored record
+(``cached: true``) without executing anything.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+import repro.serve.service as service_module
+from repro.io.store import ResultStore
+
+CELL = {"workload": "small/path", "algorithm": "degree-periodic", "seed": 2, "horizon": 48}
+
+
+@pytest.fixture
+def store(tmp_path):
+    store = ResultStore(tmp_path / "serve.sqlite", threadsafe=True)
+    yield store
+    store.close()
+
+
+@pytest.fixture
+def counting_execute(monkeypatch):
+    """Count (and optionally stall) every cell execution, thread-safely."""
+    real = service_module.execute_cell
+    state = {"calls": 0, "gate": None, "entered": threading.Event()}
+    lock = threading.Lock()
+
+    def counting(cell, graph=None):
+        with lock:
+            state["calls"] += 1
+        state["entered"].set()
+        if state["gate"] is not None:
+            state["gate"].wait(timeout=10)
+        return real(cell, graph)
+
+    monkeypatch.setattr(service_module, "execute_cell", counting)
+    return state
+
+
+class TestReadThrough:
+    def test_miss_then_hit_roundtrip(self, serve_stack, store, counting_execute):
+        service, _server, client = serve_stack(store=store)
+        status, first = client.post("/cell", CELL)
+        assert status == 200 and first["cached"] is False
+        status, second = client.post("/cell", CELL)
+        assert status == 200 and second["cached"] is True
+        assert counting_execute["calls"] == 1
+        assert second["record"] == first["record"]
+        assert second["cell_id"] == first["cell_id"]
+        assert len(store) == 1
+        assert service.metrics.snapshot()["store"] == {"hits": 1, "misses": 1}
+
+    def test_two_racing_threads_one_execute_one_write(
+        self, serve_stack, store, counting_execute
+    ):
+        """The satellite regression: concurrent identical /cell requests on
+        an uncached cell coalesce — one execute_cell, one store row."""
+        counting_execute["gate"] = threading.Event()
+        _service, _server, client = serve_stack(store=store)
+
+        results = []
+        lock = threading.Lock()
+        barrier = threading.Barrier(2, timeout=10)
+
+        def worker():
+            barrier.wait()
+            status, body = client.post("/cell", CELL)
+            with lock:
+                results.append((status, body))
+
+        threads = [threading.Thread(target=worker) for _ in range(2)]
+        for t in threads:
+            t.start()
+        # both requests are in flight before the (single) execution finishes
+        assert counting_execute["entered"].wait(timeout=10)
+        counting_execute["gate"].set()
+        for t in threads:
+            t.join(timeout=30)
+
+        assert [s for s, _ in results] == [200, 200]
+        assert counting_execute["calls"] == 1, "cell executed more than once"
+        assert len(store) == 1, "more than one store write"
+        ids = {body["cell_id"] for _s, body in results}
+        assert len(ids) == 1
+        records = [body["record"] for _s, body in results]
+        assert records[0] == records[1], "racing clients saw different records"
+
+    def test_store_survives_across_service_instances(self, serve_stack, store, counting_execute):
+        """A second service over the same store replays the first's cells —
+        the read-through is the cross-campaign cache, not a process cache."""
+        _s1, _srv1, client1 = serve_stack(store=store)
+        client1.post("/cell", CELL)
+        _s2, _srv2, client2 = serve_stack(store=store)
+        status, body = client2.post("/cell", CELL)
+        assert status == 200 and body["cached"] is True
+        assert counting_execute["calls"] == 1
+
+    def test_cell_without_store_recomputes(self, serve_stack, counting_execute):
+        _service, _server, client = serve_stack()  # no store attached
+        status, first = client.post("/cell", CELL)
+        assert status == 200 and first["cached"] is False
+        status, second = client.post("/cell", CELL)
+        assert status == 200 and second["cached"] is False
+        assert counting_execute["calls"] == 2
+
+    def test_cell_id_matches_the_experiment_engine(self, serve_stack, store):
+        """The id /cell answers under is the engine's content address — a
+        CLI campaign over the same store would reuse this exact cell."""
+        from repro.analysis.engine import ExperimentCell
+
+        _service, _server, client = serve_stack(store=store)
+        _status, body = client.post("/cell", CELL)
+        expected = ExperimentCell(
+            experiment="serve",
+            workload=CELL["workload"],
+            algorithm=CELL["algorithm"],
+            params={},
+            seed=CELL["seed"],
+            horizon=CELL["horizon"],
+        ).cell_id()
+        assert body["cell_id"] == expected
+        assert store.get(expected) is not None

@@ -520,3 +520,82 @@ class TestStoreFlags:
     def test_results_import_missing_file(self, tmp_path):
         with pytest.raises(SystemExit, match="does not exist"):
             main(["results", "import", str(tmp_path / "s.sqlite"), str(tmp_path / "no.jsonl")])
+
+
+class TestServe:
+    """The `serve` subcommand: flag plumbing into the service + server.
+
+    The serve loop itself is exercised by tests/serve/; here we assert the
+    CLI builds exactly the stack it advertises (config, cache budget, store,
+    horizon limit) via service_from_args, and answers over a real socket.
+    """
+
+    def _build(self, tmp_path, *extra):
+        from repro.cli import service_from_args
+
+        args = build_parser().parse_args(["serve", "--port", "0", *extra])
+        return service_from_args(args)
+
+    def test_flags_reach_the_service(self, tmp_path):
+        service, server = self._build(
+            tmp_path,
+            "--cache-bytes", "12345",
+            "--max-horizon", "777",
+            "--backend", "bitmask",
+            "--store", str(tmp_path / "s.sqlite"),
+        )
+        try:
+            assert service.cache.max_bytes == 12345
+            assert service.max_horizon == 777
+            assert service.config.backend == "bitmask"
+            assert service.store is not None
+            assert (tmp_path / "s.sqlite").exists()
+        finally:
+            server.server_close()
+            service.store.close()
+
+    def test_defaults(self, tmp_path):
+        service, server = self._build(tmp_path)
+        try:
+            assert service.cache.max_bytes == 256 * 1024 * 1024
+            assert service.max_horizon == 10_000_000
+            assert service.store is None
+        finally:
+            server.server_close()
+
+    def test_served_answer_over_a_socket(self, tmp_path):
+        import json
+        import threading
+        import urllib.request
+
+        service, server = self._build(tmp_path)
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        try:
+            port = server.server_address[1]
+            req = urllib.request.Request(
+                f"http://127.0.0.1:{port}/report",
+                data=json.dumps(
+                    {"workload": "small/path", "algorithm": "degree-periodic", "horizon": 32}
+                ).encode(),
+                method="POST",
+            )
+            with urllib.request.urlopen(req, timeout=30) as resp:
+                body = json.loads(resp.read())
+            assert resp.status == 200 and body["ok"] is True
+        finally:
+            server.shutdown()
+            server.server_close()
+            thread.join(timeout=5)
+
+    def test_bad_cache_bytes_rejected(self, tmp_path):
+        with pytest.raises(SystemExit, match="cache-bytes"):
+            self._build(tmp_path, "--cache-bytes", "-1")
+
+    def test_bad_max_horizon_rejected(self, tmp_path):
+        with pytest.raises(SystemExit, match="max-horizon"):
+            self._build(tmp_path, "--max-horizon", "0")
+
+    def test_bad_backend_rejected_up_front(self, tmp_path):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["serve", "--backend", "gpu"])

@@ -1,0 +1,78 @@
+"""Tests for :mod:`repro.utils.logging` — the package logging surface."""
+
+from __future__ import annotations
+
+import logging
+
+import pytest
+
+from repro.utils import logging as repro_logging
+from repro.utils.logging import configure, get_logger
+
+
+@pytest.fixture(autouse=True)
+def isolated_root(monkeypatch):
+    """Run each test against a pristine 'repro' root logger state."""
+    root = logging.getLogger("repro")
+    saved_handlers = list(root.handlers)
+    saved_level = root.level
+    monkeypatch.setattr(repro_logging, "_configured", False)
+    root.handlers = []
+    yield root
+    root.handlers = saved_handlers
+    root.setLevel(saved_level)
+
+
+class TestGetLogger:
+    def test_namespaces_under_the_package_root(self):
+        assert get_logger("analysis.runner").name == "repro.analysis.runner"
+        assert get_logger("serve.app").name == "repro.serve.app"
+
+    def test_already_namespaced_names_pass_through(self):
+        assert get_logger("repro.io.results").name == "repro.io.results"
+        assert get_logger("repro").name == "repro"
+
+    def test_loggers_inherit_from_the_package_root(self, isolated_root):
+        child = get_logger("some.module")
+        isolated_root.setLevel(logging.CRITICAL)
+        assert child.getEffectiveLevel() == logging.CRITICAL
+
+    def test_same_name_returns_same_logger(self):
+        assert get_logger("x.y") is get_logger("x.y")
+        assert get_logger("x.y") is get_logger("repro.x.y")
+
+
+class TestConfigure:
+    def test_attaches_one_stream_handler(self, isolated_root):
+        configure()
+        assert len(isolated_root.handlers) == 1
+        assert isinstance(isolated_root.handlers[0], logging.StreamHandler)
+        assert isolated_root.level == logging.INFO
+
+    def test_idempotent_across_calls(self, isolated_root):
+        configure(logging.INFO)
+        configure(logging.DEBUG)
+        configure(logging.WARNING)
+        assert len(isolated_root.handlers) == 1, "handlers must not stack"
+
+    def test_later_calls_still_adjust_the_level(self, isolated_root):
+        configure(logging.INFO)
+        configure(logging.DEBUG)
+        assert isolated_root.level == logging.DEBUG
+
+    def test_custom_format_reaches_the_handler(self, isolated_root):
+        configure(logging.INFO, fmt="%(levelname)s|%(message)s")
+        formatter = isolated_root.handlers[0].formatter
+        record = logging.LogRecord("repro.t", logging.INFO, __file__, 1, "hello", (), None)
+        assert formatter.format(record) == "INFO|hello"
+
+    def test_messages_flow_through_configured_handler(self, isolated_root, capsys):
+        configure(logging.INFO, fmt="%(name)s:%(message)s")
+        get_logger("smoke").info("it works")
+        captured = capsys.readouterr()
+        assert "repro.smoke:it works" in captured.err
+
+    def test_library_is_quiet_below_the_configured_level(self, isolated_root, capsys):
+        configure(logging.WARNING, fmt="%(message)s")
+        get_logger("smoke").info("should not appear")
+        assert "should not appear" not in capsys.readouterr().err
