@@ -493,13 +493,15 @@ class ExperimentCell:
             "graph_key": self.graph_key,
         }
         # Only non-default knobs mark the id (EngineConfig.non_default):
-        # the horizon representation and the parallelism knobs never change
-        # a record, so ids (and resumable sinks) recorded before each knob
-        # existed stay valid.  ``backend`` predates the config and is always
-        # hashed, exactly as it was pre-consolidation.  ``batch`` is never
-        # hashed: the batching planner provably produces the same record for
-        # every batch size (differentially tested), so hashing it would
-        # declare equivalent runs mutually unresumable.
+        # the horizon representation and the parallelism knobs — including
+        # ``checkpoint``, whose default-True value therefore never moves a
+        # pre-checkpoint id — never change a record, so ids (and resumable
+        # sinks) recorded before each knob existed stay valid.  ``backend``
+        # predates the config and is always hashed, exactly as it was
+        # pre-consolidation.  ``batch`` is never hashed: the batching
+        # planner provably produces the same record for every batch size
+        # (differentially tested), so hashing it would declare equivalent
+        # runs mutually unresumable.
         identity.update(
             {
                 k: v

@@ -111,7 +111,8 @@ def add_engine_args(
 
     One registration shared by ``schedule``/``compare``/``experiment`` (it
     used to be copied per subcommand): ``--backend``, ``--horizon-mode``,
-    ``--chunk``, ``--stream-jobs`` and ``--batch``.  ``stream_jobs_aliases`` adds extra
+    ``--chunk``, ``--stream-jobs``, ``--batch`` and ``--no-checkpoint``.
+    ``stream_jobs_aliases`` adds extra
     spellings for the latter — ``schedule``/``compare`` alias their
     historical ``--jobs`` to it (on ``experiment``, ``--jobs`` fans out
     across cells and stays separate).  Every flag defaults to ``None`` =
@@ -171,6 +172,19 @@ def add_engine_args(
             "fields; no effect on single-run 'schedule'"
         ),
     )
+    parser.add_argument(
+        "--no-checkpoint",
+        action="store_const",
+        const=False,
+        dest="checkpoint",
+        default=None,
+        help=(
+            "disable the generator checkpoint/restore protocol: "
+            "generator-backed schedulers then stream with the historical "
+            "serial forward scan (results are identical either way, see "
+            "docs/streaming.md)"
+        ),
+    )
 
 
 def engine_overrides(args: argparse.Namespace) -> dict:
@@ -194,6 +208,8 @@ def engine_overrides(args: argparse.Namespace) -> dict:
         if args.batch < 1:
             raise SystemExit(f"error: --batch must be >= 1, got {args.batch}")
         overrides["batch"] = args.batch
+    if getattr(args, "checkpoint", None) is not None:
+        overrides["checkpoint"] = args.checkpoint
     return overrides
 
 

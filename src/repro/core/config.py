@@ -37,6 +37,13 @@ The knobs:
   Purely a wall-clock knob: the planner provably never changes a record
   (differentially tested), so records are byte-identical for every value
   modulo the timing metrics.
+* ``checkpoint`` — whether streamed traces may use the generator
+  checkpoint/restore protocol (:class:`~repro.core.schedule.GeneratorSchedule`
+  built with ``checkpoint=``/``restore=``) to parallelise generator-backed
+  schedules and replay evicted windows.  ``False`` forces the historical
+  serial forward scan.  Purely a wall-clock knob by the same determinism
+  contract as ``stream_jobs``; like every knob it marks ``cell_id`` only
+  when non-default, so existing sinks and store cells never move.
 
 Every entry point from :func:`repro.core.metrics.build_trace` up to the CLI
 accepts ``config: EngineConfig``; the historical per-call keywords survive
@@ -94,6 +101,7 @@ class ResolvedEngine:
     chunk: Optional[int]
     stream_jobs: int
     window: Optional[int]
+    checkpoint: bool = True
 
     @property
     def uses_matrix(self) -> bool:
@@ -119,6 +127,7 @@ class EngineConfig:
     stream_jobs: int = 1
     window: Optional[int] = None
     batch: Optional[int] = None
+    checkpoint: bool = True
 
     def __post_init__(self) -> None:
         if self.backend not in CONFIG_BACKENDS:
@@ -139,6 +148,8 @@ class EngineConfig:
             raise ValueError(f"window must be >= 1, got {self.window!r}")
         if self.batch is not None and int(self.batch) < 1:
             raise ValueError(f"batch size must be >= 1, got {self.batch!r}")
+        if not isinstance(self.checkpoint, bool):
+            raise ValueError(f"checkpoint must be a bool, got {self.checkpoint!r}")
 
     # -- resolution ----------------------------------------------------------
     def resolve(
@@ -153,13 +164,17 @@ class EngineConfig:
         can validate a config up front before any graph exists.
         """
         if self.backend == "sets":
-            return ResolvedEngine("sets", "sets", self.chunk, self.stream_jobs, self.window)
+            return ResolvedEngine(
+                "sets", "sets", self.chunk, self.stream_jobs, self.window, self.checkpoint
+            )
         backend = resolve_backend(self.backend)
         if self.horizon_mode == "auto" and num_nodes is not None and horizon is not None:
             mode = resolve_horizon_mode("auto", num_nodes, horizon, backend)
         else:
             mode = self.horizon_mode
-        return ResolvedEngine(backend, mode, self.chunk, self.stream_jobs, self.window)
+        return ResolvedEngine(
+            backend, mode, self.chunk, self.stream_jobs, self.window, self.checkpoint
+        )
 
     # -- serialization -------------------------------------------------------
     def to_dict(self) -> Dict[str, object]:
@@ -205,13 +220,16 @@ class EngineConfig:
         The config component of content-addressed cache keys (notably the
         shared trace cache behind :mod:`repro.serve`): canonical JSON of the
         :meth:`non_default` fields, minus the knobs that provably never
-        change an answer (``stream_jobs``, ``batch`` — wall-clock only, by
-        the same determinism contracts that keep them out of cell ids).
+        change an answer (``stream_jobs``, ``batch``, ``checkpoint`` —
+        wall-clock only, by the determinism contracts that keep results
+        identical for every value of each).
         Like cell ids, default knobs leave the key untouched, so keys stay
         stable as new knobs grow onto the config.
         """
         overrides = {
-            k: v for k, v in self.non_default().items() if k not in ("stream_jobs", "batch")
+            k: v
+            for k, v in self.non_default().items()
+            if k not in ("stream_jobs", "batch", "checkpoint")
         }
         return json.dumps(overrides, sort_keys=True)
 

@@ -129,6 +129,7 @@ def build_trace(
         return StreamedTrace(
             schedule, graph, horizon,
             backend=engine.backend, chunk=engine.chunk, jobs=engine.stream_jobs,
+            checkpoint=engine.checkpoint,
         )
     return TraceMatrix.from_schedule(schedule, graph, horizon, backend=engine.backend)
 

@@ -67,17 +67,26 @@ price of supporting a single forward pass — see the class notes).
 Parallel streaming (``jobs=``): :meth:`StreamedTrace._scan` folds chunks
 through an *associative* accumulator (:meth:`_NodeStreamStats.absorb` per
 chunk, :meth:`_NodeStreamStats.merge` across chunk ranges), so the summary
-pass can be split into contiguous blocks of chunks evaluated on worker
-processes and merged in order.  Because the periodic and cyclic fast paths
-are offset-aware, a worker needs only ``(schedule, chunk range)`` — no
+pass — and the dedicated per-appearance passes behind ``appearances`` /
+``all_gaps`` — can be split into contiguous blocks of chunks evaluated on
+worker processes and merged in order.  Because the periodic and cyclic fast
+paths are offset-aware, a worker needs only ``(schedule, chunk range)`` — no
 schedule prefix is ever shipped; raw happy-set sequences ship just the slice
-a worker's block covers.  Generator-backed schedules must be run forward in
-one process and quietly fall back to the serial scan, which keeps the
-determinism contract trivially intact: ``jobs=1`` and ``jobs=N`` produce
-*identical* summaries, collisions and validation reports for every schedule
-kind (asserted by ``tests/core/test_stream_parallel.py``).  The legality
-scan parallelises the same way, and with ``fail_fast`` the parent cancels
-every outstanding block past the first violating chunk.
+a worker's block covers.  Generator-backed schedules, whose future depends
+on their past, parallelise through the **checkpoint protocol**
+(:class:`~repro.core.schedule.GeneratorSchedule` constructed with
+``checkpoint=``/``restore=``): the parent runs the generator forward —
+the inherently sequential part — snapshotting its state at every chunk
+boundary, and each worker resumes a picklable
+:class:`~repro.core.schedule.GeneratorCheckpoint` to regenerate and fold
+its own block while the parent races ahead.  Non-checkpointable generator
+schedules still fall back to the serial scan, now with one logged warning
+naming the schedule and the reason.  Either way the determinism contract
+holds: ``jobs=1`` and ``jobs=N`` produce *identical* summaries, collisions
+and validation reports for every schedule kind (asserted by
+``tests/core/test_stream_parallel.py`` and the checkpoint parity suite).
+The legality scan parallelises the same way, and with ``fail_fast`` the
+parent cancels every outstanding block past the first violating chunk.
 
 Batched kernels (:class:`TraceBatch`): experiment campaigns evaluate many
 schedules that differ only in the scheduler over the *same* graph and
@@ -104,12 +113,21 @@ associative accumulators, so resident memory is ``O(S × n × chunk)``.
 
 from __future__ import annotations
 
+import logging
 from concurrent.futures import ProcessPoolExecutor
 from itertools import repeat
 from typing import Dict, FrozenSet, Iterable, Iterator, List, Optional, Sequence, Tuple, Union
 
 from repro.core.problem import ConflictGraph, Node
-from repro.core.schedule import ExplicitSchedule, PeriodicSchedule, Schedule
+from repro.core.schedule import (
+    ExplicitSchedule,
+    GeneratorCheckpoint,
+    GeneratorSchedule,
+    PeriodicSchedule,
+    Schedule,
+)
+
+_LOG = logging.getLogger(__name__)
 
 try:  # numpy is an optional extra (``pip install .[fast]``)
     import numpy as _np
@@ -822,18 +840,71 @@ def _chunk_blocks(num_chunks: int, parts: int) -> List[Tuple[int, int]]:
     return blocks
 
 
+class _CheckpointPlan:
+    """Per-chunk resume points of a checkpointable generator schedule.
+
+    The parent-side half of the checkpoint protocol: as the (inherently
+    sequential) generator is run forward, :meth:`ensure` snapshots its
+    state at every chunk boundary into picklable
+    :class:`~repro.core.schedule.GeneratorCheckpoint` handles.  Handle
+    ``k`` resumes generation at holiday ``k·chunk + 1``, so any worker —
+    or any later serial pass — can rebuild chunk ``k`` without replaying
+    the prefix before it.  Capture is incremental: the parallel scans
+    snapshot just far enough to submit each block and keep advancing while
+    workers fold, and the serial scan snapshots as a side effect of its
+    own forward pass, so ``jobs=1`` and ``jobs=N`` traces end up with the
+    same replay capability (part of the determinism contract).
+    """
+
+    def __init__(self, schedule: GeneratorSchedule, chunk: int, num_chunks: int) -> None:
+        self.schedule = schedule
+        self.chunk = chunk
+        self.num_chunks = num_chunks
+        self.handles: List[GeneratorCheckpoint] = []
+
+    @property
+    def complete(self) -> bool:
+        """True once every chunk has a resume handle."""
+        return len(self.handles) == self.num_chunks
+
+    def ensure(self, chunk_index: int) -> None:
+        """Capture handles for chunks ``0..chunk_index``, advancing the
+        generator to each boundary (its frontier must not be past the next
+        uncaptured boundary — true for any in-order pass)."""
+        while len(self.handles) <= chunk_index:
+            boundary = len(self.handles) * self.chunk
+            if self.schedule.frontier() < boundary:
+                self.schedule.happy_set(boundary)  # generate up to the boundary
+            self.handles.append(self.schedule.checkpoint_handle(boundary))
+
+    def ensure_all(self) -> None:
+        """Capture the remaining handles (one full parent forward pass)."""
+        self.ensure(self.num_chunks - 1)
+
+
+def _resume_payload_schedule(schedule) -> ScheduleOrSets:
+    """Worker-side half of the checkpoint protocol: payloads may carry a
+    :class:`~repro.core.schedule.GeneratorCheckpoint` instead of a schedule."""
+    if isinstance(schedule, GeneratorCheckpoint):
+        return schedule.resume()
+    return schedule
+
+
 def _summary_block_worker(payload) -> Tuple[List[_NodeStreamStats], List[List[int]], List[Tuple[int, Node]]]:
     """Process-pool entry point: build and scan one contiguous chunk block.
 
     ``payload`` is ``(schedule, graph, horizon, chunk, backend, first_chunk,
     chunk_count, offset)`` where ``schedule`` is either the full schedule
     (periodic/cyclic/explicit — the offset-aware fast paths rebuild any
-    chunk from it directly) or, for raw happy-set sequences, just the slice
-    covering this block with ``offset`` holding the global holiday shift.
+    chunk from it directly), a :class:`~repro.core.schedule.GeneratorCheckpoint`
+    resuming a generator at the block's first boundary, or, for raw
+    happy-set sequences, just the slice covering this block with ``offset``
+    holding the global holiday shift.
     Returns the block's partial summary: per-node stats, per-edge collision
     holidays (edge order = ``graph.edges()``), and global unknown pairs.
     """
     schedule, graph, horizon, chunk, backend, first_chunk, chunk_count, offset = payload
+    schedule = _resume_payload_schedule(schedule)
     stream = TraceStream(schedule, graph, horizon, chunk=chunk, backend=backend)
     order = graph.nodes()
     index = {p: i for i, p in enumerate(order)}
@@ -862,6 +933,7 @@ def _legality_block_worker(payload) -> Tuple[Dict[int, List[Node]], Dict[int, Li
     """
     (schedule, graph, horizon, chunk, backend, first_chunk, chunk_count, offset,
      edges, edge_rows, fail_fast) = payload
+    schedule = _resume_payload_schedule(schedule)
     stream = TraceStream(schedule, graph, horizon, chunk=chunk, backend=backend)
     unknown_by_holiday: Dict[int, List[Node]] = {}
     collisions: Dict[int, List[Tuple[Node, Node]]] = {}
@@ -875,6 +947,34 @@ def _legality_block_worker(payload) -> Tuple[Dict[int, List[Node]], Dict[int, Li
         if fail_fast and (unknown_by_holiday or collisions):
             break
     return unknown_by_holiday, collisions
+
+
+def _appearance_block_worker(payload) -> List[List[int]]:
+    """Process-pool entry point: collect per-row appearance holidays of one
+    contiguous chunk block.
+
+    Same payload convention as :func:`_summary_block_worker` plus the list
+    of row indices to collect.  Returns, for each requested row in order,
+    the ascending *global* appearance holidays within the block — the
+    per-appearance analogue of the partial summaries: appending block
+    results in block order reproduces exactly the serial pass's lists
+    (concatenation of ascending runs over adjacent holiday ranges is the
+    associative merge here).
+    """
+    (schedule, graph, horizon, chunk, backend, first_chunk, chunk_count, offset, rows) = payload
+    schedule = _resume_payload_schedule(schedule)
+    stream = TraceStream(schedule, graph, horizon, chunk=chunk, backend=backend)
+    out: List[List[int]] = [[] for _ in rows]
+    for k in range(first_chunk, first_chunk + chunk_count):
+        start = k * chunk + 1
+        width = min(chunk, horizon - start + 1)
+        block = stream.block(start, width)
+        for slot, row in enumerate(rows):
+            if backend == "numpy":
+                out[slot].extend((offset + start + _np.flatnonzero(block._matrix[row])).tolist())
+            else:
+                out[slot].extend(_bit_positions(block._bits[row], offset=offset + start))
+    return out
 
 
 class StreamedTrace:
@@ -895,18 +995,30 @@ class StreamedTrace:
     tests (``tests/core/test_stream.py``) assert exact agreement with the
     dense engine on every query, backend and chunk width.
 
-    Parallelism: with ``jobs > 1`` the summary pass (and the legality scan)
-    splits the chunk sequence into contiguous blocks evaluated on worker
-    processes and merged in order — possible because the accumulator is
-    associative and the periodic/cyclic fast paths can build any chunk from
-    ``(schedule, chunk range)`` alone.  Raw happy-set sequences ship each
-    worker only its block's slice; generator-backed schedules (which must
-    run forward) fall back to the serial scan.  Determinism contract:
+    Parallelism: with ``jobs > 1`` the summary pass, the legality scan
+    *and* the dedicated per-appearance passes split the chunk sequence
+    into contiguous blocks evaluated on worker processes and merged in
+    order — possible because every accumulator involved is associative and
+    the periodic/cyclic fast paths can build any chunk from ``(schedule,
+    chunk range)`` alone.  Raw happy-set sequences ship each worker only
+    its block's slice.  Generator-backed schedules — whose future depends
+    on their past — parallelise when they implement the **checkpoint
+    protocol** (:class:`~repro.core.schedule.GeneratorSchedule` built with
+    ``checkpoint=``/``restore=``): the parent runs the generator forward,
+    snapshotting its state at every chunk boundary into a
+    :class:`_CheckpointPlan`, and each worker resumes a picklable
+    :class:`~repro.core.schedule.GeneratorCheckpoint` to regenerate its
+    own block while the parent keeps generating ahead of the pool.  The
+    cached per-chunk handles double as replay points, so second passes
+    (``appearances``/``all_gaps``/``happy_set``) work even on windowed
+    generators whose history was evicted.  A generator schedule *without*
+    the protocol (or with ``checkpoint=False`` on the trace) still runs
+    the serial scan — with one logged warning naming the schedule and the
+    reason when ``jobs > 1`` silently degrades.  Determinism contract:
     ``jobs`` never changes any result — ``jobs=1`` and ``jobs=N`` produce
     identical summaries, reports and violation lists, so ``jobs`` is purely
-    a wall-clock knob (asserted by ``tests/core/test_stream_parallel.py``).
-    The dedicated per-appearance passes stay serial: they are bounded by
-    their output size, not by scan throughput.
+    a wall-clock knob (asserted by ``tests/core/test_stream_parallel.py``
+    and ``tests/core/test_checkpoint.py``).
     """
 
     #: representation tag, mirroring :attr:`TraceMatrix.mode`.
@@ -920,6 +1032,7 @@ class StreamedTrace:
         backend: str = "auto",
         chunk: Optional[int] = None,
         jobs: int = 1,
+        checkpoint: bool = True,
     ) -> None:
         self.graph = graph
         self.horizon = horizon
@@ -929,6 +1042,7 @@ class StreamedTrace:
         if self.jobs < 1:
             raise ValueError(f"jobs must be >= 1, got {jobs!r}")
         self.schedule = schedule
+        self.checkpoint = bool(checkpoint)
         self._order: List[Node] = graph.nodes()
         self._index: Dict[Node, int] = {p: i for i, p in enumerate(self._order)}
         # one re-iterable stream shared by every pass, so the cyclic fast
@@ -940,6 +1054,8 @@ class StreamedTrace:
         self._stats: Optional[List[_NodeStreamStats]] = None
         self._collisions: Optional[Dict[Tuple[Node, Node], List[int]]] = None
         self._unknown: Optional[List[Tuple[int, Node]]] = None
+        self._plan: Optional[_CheckpointPlan] = None
+        self._warned_serial = False
 
     def _stream(self) -> TraceStream:
         return self._source
@@ -963,7 +1079,8 @@ class StreamedTrace:
         instead of ``O(blocks)`` copies of the whole prefix.  Everything
         else — notably :class:`~repro.core.schedule.GeneratorSchedule`,
         whose future depends on its past — must be run forward in one
-        process.
+        process; *checkpointable* generators still parallelise, through
+        :meth:`_checkpoint_plan` rather than this method.
         """
         if isinstance(self.schedule, ExplicitSchedule):
             if self.schedule.is_periodic():
@@ -977,9 +1094,63 @@ class StreamedTrace:
             return self.schedule  # raw sequence: workers get their slice
         return None
 
-    def _block_payload(self, source: ScheduleOrSets, first_chunk: int, chunk_count: int) -> Tuple:
+    def _checkpoint_plan(self) -> Optional[_CheckpointPlan]:
+        """The per-chunk checkpoint plan for a checkpointable generator
+        schedule, or None when the schedule has no checkpoint support, the
+        trace was built with ``checkpoint=False``, or the generator was
+        already advanced before this trace could snapshot holiday 0
+        (generator state cannot be rewound)."""
+        if self._plan is not None:
+            return self._plan
+        if not self.checkpoint:
+            return None
+        schedule = self.schedule
+        if not (isinstance(schedule, GeneratorSchedule) and schedule.checkpointable):
+            return None
+        if schedule.frontier() != 0:
+            return None
+        self._plan = _CheckpointPlan(schedule, self.chunk, self._source.num_chunks())
+        return self._plan
+
+    def _parallel_plan(self) -> Optional[Union[ScheduleOrSets, _CheckpointPlan]]:
+        """What a parallel pass can fan blocks out from — a direct source
+        (:meth:`_parallel_source`), a checkpoint plan, or None when the pass
+        must stay serial.  Warns once per trace when ``jobs > 1`` silently
+        degrades to a serial scan for lack of checkpoint support."""
+        if self.jobs <= 1 or self._source.num_chunks() <= 1:
+            return None
+        source = self._parallel_source()
+        if source is not None:
+            return source
+        plan = self._checkpoint_plan()
+        if plan is not None:
+            return plan
+        if not self._warned_serial and self.checkpoint:
+            self._warned_serial = True
+            _LOG.warning(
+                "jobs=%d has no effect for %s: the schedule must be generated "
+                "forward and does not implement the checkpoint/restore protocol "
+                "(GeneratorSchedule checkpoint=/restore=); running the serial "
+                "chunk scan instead",
+                self.jobs,
+                self.schedule.describe() if isinstance(self.schedule, Schedule)
+                else type(self.schedule).__name__,
+            )
+        return None
+
+    def _block_payload(self, source, first_chunk: int, chunk_count: int) -> Tuple:
         """The ``(schedule, graph, horizon, chunk, backend, first, count,
-        offset)`` tuple one worker needs to rebuild and scan its block."""
+        offset)`` tuple one worker needs to rebuild and scan its block.
+
+        For a :class:`_CheckpointPlan` this advances the parent's generator
+        to the block's first boundary and ships the resume handle — called
+        in block order from the submission loops, the parent snapshots just
+        enough to keep submitting while earlier workers already fold.
+        """
+        if isinstance(source, _CheckpointPlan):
+            source.ensure(first_chunk)
+            return (source.handles[first_chunk], self.graph, self.horizon, self.chunk,
+                    self.backend, first_chunk, chunk_count, 0)
         if isinstance(source, Schedule):
             return (source, self.graph, self.horizon, self.chunk, self.backend,
                     first_chunk, chunk_count, 0)
@@ -988,11 +1159,64 @@ class StreamedTrace:
         return (list(source[lo:hi]), self.graph, hi - lo, self.chunk, self.backend,
                 0, chunk_count, lo)
 
+    def _serial_blocks(self) -> Iterator[Tuple[int, TraceMatrix]]:
+        """One in-order ``(start, block)`` pass over the stream, snapshotting
+        per-chunk checkpoints as a side effect when the schedule supports
+        them — so a serial first pass leaves the same replay handles behind
+        as a parallel one."""
+        plan = self._checkpoint_plan()
+        stream = self._stream()
+        for k in range(self._source.num_chunks()):
+            start = k * self.chunk + 1
+            width = min(self.chunk, self.horizon - start + 1)
+            if (plan is not None and len(plan.handles) == k
+                    and plan.schedule.frontier() == k * self.chunk):
+                plan.ensure(k)  # frontier sits exactly at the boundary
+            yield start, stream.block(start, width)
+
+    def _replay_handles(self) -> Optional[List[GeneratorCheckpoint]]:
+        """Complete per-chunk resume handles, or None when unavailable."""
+        if self._plan is not None and self._plan.complete:
+            return self._plan.handles
+        return None
+
+    def _single_block(self, start: int, width: int) -> TraceMatrix:
+        """Build the one block covering ``start..start+width-1``, resuming a
+        checkpoint when the generator's own history was already evicted."""
+        schedule = self.schedule
+        if isinstance(schedule, GeneratorSchedule) and schedule.evicted_below >= start:
+            handles = self._replay_handles()
+            if handles is not None:
+                resumed = handles[(start - 1) // self.chunk].resume()
+                return TraceMatrix._from_sets(
+                    resumed.prefix(width, start=start), self.graph, width, self.backend
+                )
+        return self._stream().block(start, width)
+
+    def _pass_blocks(self) -> Iterator[Tuple[int, TraceMatrix]]:
+        """``(start, block)`` pairs for a dedicated (possibly repeated)
+        serial pass: windowed generators whose history was evicted replay
+        chunk-by-chunk from the cached checkpoints; everything else
+        re-streams directly."""
+        schedule = self.schedule
+        if isinstance(schedule, GeneratorSchedule) and schedule.evicted_below > 0:
+            handles = self._replay_handles()
+            if handles is not None:
+                for k in range(self._source.num_chunks()):
+                    start = k * self.chunk + 1
+                    width = min(self.chunk, self.horizon - start + 1)
+                    resumed = handles[k].resume()
+                    yield start, TraceMatrix._from_sets(
+                        resumed.prefix(width, start=start), self.graph, width, self.backend
+                    )
+                return
+        yield from self._serial_blocks()
+
     def _scan(self) -> None:
         if self._stats is not None:
             return
-        source = self._parallel_source() if self.jobs > 1 else None
-        if source is not None and self._source.num_chunks() > 1:
+        source = self._parallel_plan()
+        if source is not None:
             self._scan_parallel(source)
             return
         stats = [_NodeStreamStats() for _ in self._order]
@@ -1000,20 +1224,24 @@ class StreamedTrace:
         edge_rows = [(self._index[u], self._index[v]) for u, v in edges]
         collisions: List[List[int]] = [[] for _ in edges]
         unknown: List[Tuple[int, Node]] = []
-        for start, block in self._stream():
+        for start, block in self._pass_blocks():
             _fold_summary_block(start, block, self.backend, stats, edge_rows, collisions, unknown)
         self._stats = stats
         self._collisions = {edge: collisions[k] for k, edge in enumerate(edges)}
         self._unknown = unknown
 
-    def _scan_parallel(self, source: ScheduleOrSets) -> None:
+    def _scan_parallel(self, source) -> None:
         """The summary pass, fanned out over contiguous blocks of chunks.
 
         Each worker returns its block's partial per-node stats, per-edge
         collision fragments and unknown pairs; the parent folds them back
         together **in block order** via the associative
         :meth:`_NodeStreamStats.merge`, which reproduces the serial
-        left-to-right state exactly.
+        left-to-right state exactly.  For a checkpoint plan the submission
+        loop itself runs the generator forward (payload building snapshots
+        each block's boundary), pipelining the sequential generation with
+        the workers' folds; the remaining per-chunk replay handles are
+        captured while the pool drains.
         """
         blocks = _chunk_blocks(self._source.num_chunks(), self.jobs * BLOCKS_PER_JOB)
         with ProcessPoolExecutor(max_workers=min(self.jobs, len(blocks))) as pool:
@@ -1021,6 +1249,8 @@ class StreamedTrace:
                 pool.submit(_summary_block_worker, self._block_payload(source, first, count))
                 for first, count in blocks
             ]
+            if isinstance(source, _CheckpointPlan):
+                source.ensure_all()
             partials = [future.result() for future in futures]
         stats = [_NodeStreamStats() for _ in self._order]
         edges = self.graph.edges()
@@ -1078,12 +1308,42 @@ class StreamedTrace:
         """Sorted distinct inter-appearance differences of ``node``."""
         return sorted(self._node_stats(node).diffs)
 
+    def _row_positions_parallel(self, rows: Sequence[int]) -> Optional[List[List[int]]]:
+        """Per-row ascending global appearance holidays via a fanned-out
+        block pass, or None when the pass must stay serial.  Block results
+        concatenate in block order, so the lists are identical to a serial
+        pass's (the per-appearance determinism contract)."""
+        source = self._parallel_plan()
+        if source is None:
+            return None
+        blocks = _chunk_blocks(self._source.num_chunks(), self.jobs * BLOCKS_PER_JOB)
+        with ProcessPoolExecutor(max_workers=min(self.jobs, len(blocks))) as pool:
+            futures = [
+                pool.submit(
+                    _appearance_block_worker,
+                    self._block_payload(source, first, count) + (list(rows),),
+                )
+                for first, count in blocks
+            ]
+            if isinstance(source, _CheckpointPlan):
+                source.ensure_all()
+            partials = [future.result() for future in futures]
+        out: List[List[int]] = [[] for _ in rows]
+        for part in partials:
+            for slot, positions in enumerate(part):
+                out[slot].extend(positions)
+        return out
+
     def appearances(self, node: Node) -> List[int]:
         """Sorted 1-indexed holidays at which ``node`` is happy (dedicated
-        streaming pass; the result itself is O(appearances))."""
+        streaming pass, fanned out over chunk blocks when ``jobs > 1``; the
+        result itself is O(appearances))."""
         row = self._index[node]
+        parallel = self._row_positions_parallel([row])
+        if parallel is not None:
+            return parallel[0]
         out: List[int] = []
-        for start, block in self._stream():
+        for start, block in self._pass_blocks():
             out.extend(self._block_positions(start, block, row))
         return out
 
@@ -1117,10 +1377,25 @@ class StreamedTrace:
         return {p: self.happiness_rate(p) for p in self._order}
 
     def all_gaps(self) -> Dict[Node, List[int]]:
-        """``{node: gap list}`` for every node, in one streaming pass."""
+        """``{node: gap list}`` for every node, in one streaming pass
+        (fanned out over chunk blocks when ``jobs > 1``)."""
+        rows = list(range(len(self._order)))
+        positions = self._row_positions_parallel(rows)
+        if positions is not None:
+            out: Dict[Node, List[int]] = {}
+            for i, p in enumerate(self._order):
+                times = positions[i]
+                if not times:
+                    out[p] = [self.horizon]
+                    continue
+                node_gaps = [times[0] - 1]
+                node_gaps.extend(b - a - 1 for a, b in zip(times, times[1:]))
+                node_gaps.append(self.horizon - times[-1])
+                out[p] = node_gaps
+            return out
         gaps: List[List[int]] = [[] for _ in self._order]
         prev = [0] * len(self._order)
-        for start, block in self._stream():
+        for start, block in self._pass_blocks():
             for i in range(len(self._order)):
                 acc, before = gaps[i], prev[i]
                 for t in self._block_positions(start, block, i):
@@ -1139,7 +1414,7 @@ class StreamedTrace:
             raise ValueError(f"holiday {holiday} outside recorded horizon 1..{self.horizon}")
         start = holiday - (holiday - 1) % self.chunk
         width = min(self.chunk, self.horizon - start + 1)
-        block = self._stream().block(start, width)
+        block = self._single_block(start, width)
         return block.happy_set(holiday - start + 1)
 
     def edge_collisions(self, u: Node, v: Node) -> List[int]:
@@ -1154,7 +1429,7 @@ class StreamedTrace:
                 return list(self._collisions[key])
         i, j = self._index[u], self._index[v]
         out: List[int] = []
-        for start, block in self._stream():
+        for start, block in self._pass_blocks():
             if self.backend == "numpy":
                 both = block._matrix[i] & block._matrix[j]
                 if both.any():
@@ -1184,9 +1459,10 @@ class StreamedTrace:
         the early-exit the streaming validator advertises.  Without
         ``fail_fast``, edges matching the trace's own graph reuse the cached
         summary pass instead of streaming again.  With ``jobs > 1`` the scan
-        fans chunk blocks out to worker processes; under ``fail_fast`` the
-        parent merges block results in order and cancels every outstanding
-        block past the first violating chunk.
+        fans chunk blocks out to worker processes (checkpointable generator
+        schedules included, via their resume handles); under ``fail_fast``
+        the parent merges block results in order and cancels every
+        outstanding block past the first violating chunk.
         """
         edges = graph.edges()
         if not fail_fast and edges == self.graph.edges():
@@ -1200,12 +1476,12 @@ class StreamedTrace:
                     collisions.setdefault(t, []).append((u, v))
             return unknown_by_holiday, collisions
         edge_rows = [(self._index[u], self._index[v]) for u, v in edges]
-        source = self._parallel_source() if self.jobs > 1 else None
-        if source is not None and self._source.num_chunks() > 1:
+        source = self._parallel_plan()
+        if source is not None:
             return self._legality_scan_parallel(source, edges, edge_rows, fail_fast)
         unknown_by_holiday = {}
         collisions = {}
-        for start, block in self._stream():
+        for start, block in self._pass_blocks():
             _fold_legality_block(
                 start, block, self.backend, edges, edge_rows, unknown_by_holiday, collisions
             )
@@ -1215,7 +1491,7 @@ class StreamedTrace:
 
     def _legality_scan_parallel(
         self,
-        source: ScheduleOrSets,
+        source,
         edges: Sequence[Tuple[Node, Node]],
         edge_rows: Sequence[Tuple[int, int]],
         fail_fast: bool,
@@ -1242,6 +1518,8 @@ class StreamedTrace:
                 )
                 for first, count in blocks
             ]
+            if isinstance(source, _CheckpointPlan):
+                source.ensure_all()
             try:
                 for future in futures:
                     block_unknown, block_collisions = future.result()

@@ -19,6 +19,7 @@ from __future__ import annotations
 
 import hashlib
 import math as _math
+import pickle
 import random as _stdlib_random
 from typing import Hashable, Iterable, List
 
@@ -163,6 +164,42 @@ class RngStream:
     def exponential(self, scale: float = 1.0, size=None):
         """Exponentially distributed floats."""
         return self.generator.exponential(scale, size=size)
+
+    # -- state serialization (the generator checkpoint protocol) -------------------
+    def getstate(self) -> bytes:
+        """Serialize the stream's exact position as bytes.
+
+        Feeding the bytes to :meth:`setstate` — in any process with the
+        *same* rng backend (numpy vs the pure-Python fallback; the two draw
+        different bit streams by design) — resumes the stream so that every
+        subsequent draw is identical.  This is what makes rng-driven
+        schedulers (first-come-first-grab) checkpointable: their whole
+        state is the stream position.
+        """
+        if isinstance(self.generator, _PurePythonGenerator):
+            return pickle.dumps(("stdlib", self.generator._rng.getstate()))
+        return pickle.dumps(("numpy", self.generator.bit_generator.state))
+
+    def setstate(self, state: bytes) -> None:
+        """Restore a position captured by :meth:`getstate`."""
+        kind, payload = pickle.loads(state)
+        if kind == "stdlib":
+            if not isinstance(self.generator, _PurePythonGenerator):
+                raise ValueError(
+                    "rng state was captured on the pure-Python backend but this "
+                    "stream runs on numpy; backends must match to resume"
+                )
+            self.generator._rng.setstate(payload)
+            return
+        if kind == "numpy":
+            if isinstance(self.generator, _PurePythonGenerator):
+                raise ValueError(
+                    "rng state was captured on the numpy backend but numpy is "
+                    "not available here; backends must match to resume"
+                )
+            self.generator.bit_generator.state = payload
+            return
+        raise ValueError(f"unrecognized rng state kind {kind!r}")
 
 
 def spawn_streams(root_seed: int, labels: Iterable[Hashable]) -> List[RngStream]:

@@ -84,6 +84,8 @@ class TestEngineConfig:
             EngineConfig(window=0)
         with pytest.raises(ValueError, match="batch"):
             EngineConfig(batch=0)
+        with pytest.raises(ValueError, match="checkpoint"):
+            EngineConfig(checkpoint="yes")
 
     def test_sets_stream_rejected_with_one_message(self):
         """The historical asymmetry: backend='sets' + streaming used to raise
@@ -136,6 +138,7 @@ class TestJsonRoundTrip:
             "stream_jobs": 1,
             "window": None,
             "batch": None,
+            "checkpoint": True,
         }
 
     def test_unknown_fields_rejected(self):
@@ -182,6 +185,8 @@ class TestResolve:
             backend="bitmask", horizon_mode="stream", chunk=7, stream_jobs=2, window=99
         ).resolve(4, 100)
         assert (engine.chunk, engine.stream_jobs, engine.window) == (7, 2, 99)
+        assert engine.checkpoint is True
+        assert EngineConfig(checkpoint=False).resolve(4, 100).checkpoint is False
 
 
 # ---------------------------------------------------------------------------
