@@ -30,6 +30,11 @@ setup(
         "test": ["pytest", "pytest-benchmark"],
     },
     entry_points={
-        "console_scripts": ["repro-holiday = repro.cli:main"],
+        "console_scripts": [
+            "repro-holiday = repro.cli:main",
+            # invariant-aware static analysis (repro.devtools): CI keeps
+            # `repro-lint src/` at zero findings
+            "repro-lint = repro.devtools.cli:main",
+        ],
     },
 )

@@ -195,19 +195,21 @@ def expand_grid(param_lists: Mapping[str, Sequence[object]]) -> List[Dict[str, o
 # spec and cells
 # ---------------------------------------------------------------------------
 
-def _absorb_legacy_config(
-    obj: object,
+def _coerced_init_config(
+    config: object,
     caller: str,
     backend: Optional[str],
     horizon_mode: Optional[str],
     chunk: Optional[int],
     stream_jobs: Optional[int],
-) -> None:
-    """Fold the deprecated per-knob init keywords of a frozen spec/cell into
-    its ``config`` field (one DeprecationWarning, via ``coerce_config``); a
-    plain mapping passed as ``config`` is promoted to an EngineConfig."""
-    if not isinstance(obj.config, EngineConfig):
-        object.__setattr__(obj, "config", EngineConfig.from_dict(dict(obj.config)))
+) -> EngineConfig:
+    """The effective ``config`` for a spec/cell under construction: a plain
+    mapping is promoted to an EngineConfig, and the deprecated per-knob init
+    keywords fold in through ``coerce_config`` (one DeprecationWarning).
+    Returns the config; the caller's ``__post_init__`` installs it — the one
+    place a frozen instance may mutate."""
+    if not isinstance(config, EngineConfig):
+        config = EngineConfig.from_dict(dict(config))
     legacy = {
         "backend": backend,
         "horizon_mode": horizon_mode,
@@ -215,11 +217,11 @@ def _absorb_legacy_config(
         "stream_jobs": stream_jobs,
     }
     if any(v is not None for v in legacy.values()):
-        coerced = coerce_config(
-            None if obj.config == DEFAULT_CONFIG else obj.config,
+        config = coerce_config(
+            None if config == DEFAULT_CONFIG else config,
             legacy, caller=caller, stacklevel=5,
         )
-        object.__setattr__(obj, "config", coerced)
+    return config
 
 
 @dataclass(frozen=True)
@@ -265,7 +267,8 @@ class ExperimentSpec:
         chunk: Optional[int],
         stream_jobs: Optional[int],
     ) -> None:
-        _absorb_legacy_config(self, "ExperimentSpec", backend, horizon_mode, chunk, stream_jobs)
+        object.__setattr__(self, "config", _coerced_init_config(
+            self.config, "ExperimentSpec", backend, horizon_mode, chunk, stream_jobs))
         object.__setattr__(self, "workloads", tuple(self.workloads))
         object.__setattr__(self, "algorithms", tuple(self.algorithms))
         object.__setattr__(self, "seeds", tuple(int(s) for s in self.seeds))
@@ -449,7 +452,8 @@ class ExperimentCell:
         chunk: Optional[int],
         stream_jobs: Optional[int],
     ) -> None:
-        _absorb_legacy_config(self, "ExperimentCell", backend, horizon_mode, chunk, stream_jobs)
+        object.__setattr__(self, "config", _coerced_init_config(
+            self.config, "ExperimentCell", backend, horizon_mode, chunk, stream_jobs))
 
     def param_key(self) -> str:
         """Canonical string form of the grid point (stable across processes

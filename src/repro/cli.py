@@ -45,6 +45,12 @@ Installed as ``repro-holiday`` (see ``setup.py``); also runnable as
     store records back out as JSONL, ``results campaigns`` lists recorded
     campaigns.  JSONL stays the wire format; the store adds indexed
     cross-campaign lookup.
+
+``lint``
+    Invariant-aware static analysis (:mod:`repro.devtools`): the project's
+    determinism, picklability and hashing contracts enforced at the AST
+    level.  Same tool as the ``repro-lint`` console script; all arguments
+    pass through (``lint src/``, ``lint --list-rules``).
 """
 
 from __future__ import annotations
@@ -629,6 +635,14 @@ def cmd_results(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_lint(args: argparse.Namespace) -> int:
+    # thin delegation so `repro-holiday lint ...` and `repro-lint ...` stay
+    # one tool; imported lazily to keep the scheduling CLI import-light
+    from repro.devtools.cli import main as lint_main
+
+    return lint_main(args.lint_args)
+
+
 # ---------------------------------------------------------------------------
 # parser
 # ---------------------------------------------------------------------------
@@ -812,11 +826,29 @@ def build_parser() -> argparse.ArgumentParser:
     res_cam.add_argument("store", help="store path (SQLite file)")
     res_cam.set_defaults(func=cmd_results)
 
+    lint = sub.add_parser(
+        "lint",
+        help="invariant-aware static analysis (same as the repro-lint script)",
+        description=(
+            "Run the project linter (repro.devtools): determinism, "
+            "picklability and hashing contracts enforced at the AST level. "
+            "All arguments pass through to repro-lint; try 'lint --list-rules'."
+        ),
+        add_help=False,
+    )
+    lint.add_argument("lint_args", nargs=argparse.REMAINDER, help="repro-lint arguments")
+    lint.set_defaults(func=cmd_lint)
+
     return parser
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if argv[:1] == ["lint"]:
+        # dispatched before argparse: the linter owns its whole argument
+        # vector (argparse.REMAINDER would swallow leading --flags)
+        return cmd_lint(argparse.Namespace(lint_args=argv[1:]))
     parser = build_parser()
     args = parser.parse_args(argv)
     return args.func(args)

@@ -69,9 +69,24 @@ __all__ = [
     "EngineConfig",
     "ResolvedEngine",
     "DEFAULT_CONFIG",
+    "RESULT_KNOBS",
+    "WALL_CLOCK_KNOBS",
     "coerce_config",
     "config_with",
 ]
+
+#: knobs that change computed results: part of every content-addressed
+#: cache key (and, when non-default, of experiment cell ids).  Every
+#: EngineConfig field must appear in exactly one of RESULT_KNOBS /
+#: WALL_CLOCK_KNOBS — enforced statically by lint rule REP104, so a new
+#: knob cannot ship without deciding its hashing story.
+RESULT_KNOBS = frozenset({"backend", "horizon_mode", "chunk", "window"})
+
+#: knobs the determinism contracts prove result-neutral (``stream_jobs``,
+#: ``batch``, ``checkpoint`` — parallelism and batching never change an
+#: answer, differentially tested): excluded from cache keys so warming a
+#: cache at one parallelism serves every other.
+WALL_CLOCK_KNOBS = frozenset({"stream_jobs", "batch", "checkpoint"})
 
 #: backends EngineConfig accepts: the matrix backends plus the frozenset
 #: reference engine (which is handled above the TraceMatrix layer).
@@ -219,17 +234,16 @@ class EngineConfig:
 
         The config component of content-addressed cache keys (notably the
         shared trace cache behind :mod:`repro.serve`): canonical JSON of the
-        :meth:`non_default` fields, minus the knobs that provably never
-        change an answer (``stream_jobs``, ``batch``, ``checkpoint`` —
-        wall-clock only, by the determinism contracts that keep results
-        identical for every value of each).
-        Like cell ids, default knobs leave the key untouched, so keys stay
-        stable as new knobs grow onto the config.
+        :meth:`non_default` fields, minus :data:`WALL_CLOCK_KNOBS` — the
+        knobs that provably never change an answer, wall-clock only by the
+        determinism contracts that keep results identical for every value
+        of each.  Like cell ids, default knobs leave the key untouched, so
+        keys stay stable as new knobs grow onto the config.
         """
         overrides = {
             k: v
             for k, v in self.non_default().items()
-            if k not in ("stream_jobs", "batch", "checkpoint")
+            if k not in WALL_CLOCK_KNOBS
         }
         return json.dumps(overrides, sort_keys=True)
 

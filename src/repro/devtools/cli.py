@@ -1,0 +1,100 @@
+"""``repro-lint`` — the command-line front end of :mod:`repro.devtools`.
+
+Usage::
+
+    repro-lint src/                         # everything, text report
+    repro-lint src/ --output json           # machine report (docs/linting.md)
+    repro-lint src/ --select REP103,REP105  # only these rules
+    repro-lint src/ --ignore REP106         # all but these
+    repro-lint --list-rules                 # the registered rule table
+
+Exit codes (CI contract): ``0`` no findings, ``1`` findings, ``2`` the lint
+could not run (bad path, syntax error, unknown rule code).  Also reachable
+as ``repro-holiday lint ...`` and ``python -m repro.devtools.cli``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional, Sequence
+
+from repro.analysis.tables import render_table
+from repro.devtools.driver import LintError, lint_paths
+from repro.devtools.registry import available_rules, select_rules
+from repro.devtools.reporters import render_json, render_text
+
+__all__ = ["main", "build_parser"]
+
+
+def _codes(value: str) -> List[str]:
+    """Parse a comma-separated code list (``REP103,REP105``)."""
+    return [code.strip().upper() for code in value.split(",") if code.strip()]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-lint",
+        description=(
+            "Invariant-aware static analysis for the repro codebase: "
+            "determinism, picklability and hashing contracts at the AST level."
+        ),
+    )
+    parser.add_argument("paths", nargs="*", help="files or directories to lint")
+    parser.add_argument(
+        "--select",
+        type=_codes,
+        default=[],
+        metavar="CODES",
+        help="comma-separated rule codes/prefixes to run (default: all)",
+    )
+    parser.add_argument(
+        "--ignore",
+        type=_codes,
+        default=[],
+        metavar="CODES",
+        help="comma-separated rule codes/prefixes to skip",
+    )
+    parser.add_argument(
+        "--output",
+        choices=("text", "json"),
+        default="text",
+        help="report format (json schema: docs/linting.md)",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the registered rule table and exit",
+    )
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+
+    if args.list_rules:
+        rows = [[r.code, r.name, r.category, r.description] for r in available_rules()]
+        print(render_table(["code", "rule", "category", "description"], rows,
+                           title="registered lint rules"))
+        return 0
+
+    if not args.paths:
+        print("error: no paths given (try: repro-lint src/)", file=sys.stderr)
+        return 2
+
+    try:
+        findings, files_checked = lint_paths(args.paths, args.select, args.ignore)
+    except LintError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    ran = [r.code for r in select_rules(args.select, args.ignore)]
+    if args.output == "json":
+        print(render_json(findings, files_checked, ran))
+    else:
+        print(render_text(findings, files_checked))
+    return 1 if findings else 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via console script
+    sys.exit(main())

@@ -1,0 +1,81 @@
+"""Parsed-file and project contexts handed to rules, plus path roles.
+
+Each file is read and parsed exactly once (:class:`FileContext` carries the
+source, the AST and the noqa map); :class:`Project` is the full set, which
+project-level rules (e.g. the :data:`REP104 <repro.devtools.rules.config_contract>`
+``EngineConfig`` contract) consume whole.
+
+Rules scope themselves by *path role*, derived structurally so the same
+rule applies to ``src/repro/...`` and to the test fixture corpus alike:
+
+* **engine modules** (determinism contracts): any file under a ``core``
+  directory, plus ``analysis/engine.py``;
+* **serve modules** (lock discipline, error envelopes): any file under a
+  ``serve`` directory;
+* **cli modules** (exempt from the no-print rule): ``cli.py`` /
+  ``__main__.py``.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path, PurePath
+from typing import Dict, FrozenSet, List
+
+from repro.devtools.noqa import parse_noqa
+
+__all__ = [
+    "FileContext",
+    "Project",
+    "is_engine_module",
+    "is_serve_module",
+    "is_cli_module",
+]
+
+
+@dataclass
+class FileContext:
+    """One source file, parsed once: path, source text, AST, noqa map."""
+
+    path: str  # display path (as given / relative)
+    source: str
+    tree: ast.Module
+    noqa: Dict[int, FrozenSet[str]] = field(default_factory=dict)
+
+    @classmethod
+    def parse(cls, path: Path, display: str) -> "FileContext":
+        """Read and parse ``path``; propagates :class:`SyntaxError`."""
+        source = path.read_text(encoding="utf-8")
+        tree = ast.parse(source, filename=display)
+        return cls(path=display, source=source, tree=tree, noqa=parse_noqa(source))
+
+
+@dataclass
+class Project:
+    """Every parsed file of one lint invocation, in discovery order."""
+
+    files: List[FileContext]
+
+
+def _parts(path: str) -> tuple:
+    return PurePath(path).parts
+
+
+def is_engine_module(path: str) -> bool:
+    """Files bound by the determinism contracts (REP103 scope)."""
+    parts = _parts(path)
+    name = parts[-1] if parts else ""
+    return "core" in parts[:-1] or (name == "engine.py" and "analysis" in parts[:-1])
+
+
+def is_serve_module(path: str) -> bool:
+    """Files bound by the serving-layer contracts (REP105/REP108 scope)."""
+    return "serve" in _parts(path)[:-1]
+
+
+def is_cli_module(path: str) -> bool:
+    """Command-line front ends, exempt from the no-print rule (REP106)."""
+    parts = _parts(path)
+    name = parts[-1] if parts else ""
+    return name in ("cli.py", "__main__.py")

@@ -1,0 +1,100 @@
+"""The lint driver: discover, parse once, run rules, filter noqa, sort.
+
+``lint_paths`` is the library entry point the CLI and the test suite share.
+Every ``.py`` file is parsed exactly once into a
+:class:`~repro.devtools.context.FileContext`; file-local rules then visit
+each tree independently and project rules see the whole
+:class:`~repro.devtools.context.Project`, so adding a rule never adds a
+parse pass.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import List, Sequence, Tuple
+
+from repro.devtools.context import FileContext, Project
+from repro.devtools.findings import Finding
+from repro.devtools.noqa import suppresses
+from repro.devtools.registry import Rule, select_rules
+
+# importing the rules package registers the built-in rule set
+import repro.devtools.rules  # noqa: F401  (import for side effect)
+
+__all__ = ["LintError", "iter_python_files", "lint_paths"]
+
+
+class LintError(Exception):
+    """A problem with the lint invocation itself (bad path, syntax error).
+
+    Distinct from findings: findings are exit code 1, a ``LintError`` is
+    exit code 2 — CI can tell "contract violated" from "lint never ran".
+    """
+
+
+def iter_python_files(paths: Sequence[str]) -> List[Path]:
+    """Expand files and directories into a sorted list of ``.py`` files."""
+    out: List[Path] = []
+    for raw in paths:
+        path = Path(raw)
+        if path.is_dir():
+            out.extend(
+                p for p in sorted(path.rglob("*.py")) if "__pycache__" not in p.parts
+            )
+        elif path.is_file():
+            out.append(path)
+        else:
+            raise LintError(f"no such file or directory: {raw}")
+    if not out:
+        raise LintError(f"no Python files found under: {', '.join(map(str, paths))}")
+    return out
+
+
+def _display(path: Path) -> str:
+    """Stable display path: relative to the CWD when under it, else as given."""
+    try:
+        return str(path.resolve().relative_to(Path.cwd()))
+    except ValueError:
+        return str(path)
+
+
+def lint_paths(
+    paths: Sequence[str],
+    select: Sequence[str] = (),
+    ignore: Sequence[str] = (),
+) -> Tuple[List[Finding], int]:
+    """Lint every Python file under ``paths``.
+
+    Returns ``(findings, files_checked)`` with findings noqa-filtered and
+    sorted by ``(path, line, column, code)``.  Raises :class:`LintError`
+    for unreadable paths, syntax errors, or unknown ``select``/``ignore``
+    codes.
+    """
+    try:
+        rules: List[Rule] = select_rules(select, ignore)
+    except ValueError as exc:
+        raise LintError(str(exc))
+
+    contexts: List[FileContext] = []
+    for path in iter_python_files(paths):
+        display = _display(path)
+        try:
+            contexts.append(FileContext.parse(path, display))
+        except (SyntaxError, UnicodeDecodeError) as exc:
+            raise LintError(f"cannot parse {display}: {exc}")
+
+    project = Project(files=contexts)
+    findings: List[Finding] = []
+    for ctx in contexts:
+        for rule in rules:
+            findings.extend(rule.check_file(ctx))
+    for rule in rules:
+        findings.extend(rule.check_project(project))
+
+    noqa_by_path = {ctx.path: ctx.noqa for ctx in contexts}
+    kept = [
+        f
+        for f in findings
+        if not suppresses(noqa_by_path.get(f.path, {}), f.line, f.code)
+    ]
+    return sorted(set(kept)), len(contexts)

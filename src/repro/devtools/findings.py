@@ -1,0 +1,41 @@
+"""The unit of lint output: one :class:`Finding` per violated contract site."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One rule violation at one source location.
+
+    Ordering is ``(path, line, column, code)`` — the dataclass field order —
+    so a sorted findings list reads like a compiler's output and the JSON
+    report is byte-stable for a given tree.
+    """
+
+    path: str
+    line: int
+    column: int
+    code: str
+    message: str
+
+    def to_dict(self) -> Dict[str, object]:
+        """The JSON-report form (see ``docs/linting.md``)."""
+        from repro.devtools.registry import get_rule
+
+        rule = get_rule(self.code)
+        return {
+            "code": self.code,
+            "rule": rule.name,
+            "category": rule.category,
+            "path": self.path,
+            "line": self.line,
+            "column": self.column,
+            "message": self.message,
+        }
+
+    def render(self) -> str:
+        """``path:line:col: CODE message`` — the text-reporter line."""
+        return f"{self.path}:{self.line}:{self.column}: {self.code} {self.message}"

@@ -1,0 +1,62 @@
+"""``# repro: noqa[REPxxx]`` suppression comments.
+
+The project's suppression marker is deliberately namespaced (``repro:
+noqa``) so it never collides with flake8/ruff's bare ``# noqa`` — the two
+tools suppress independent rule sets.  Forms:
+
+* ``# repro: noqa[REP103]`` — suppress one code on this line;
+* ``# repro: noqa[REP103,REP106]`` — several codes;
+* ``# repro: noqa`` — every code on this line (discouraged; prefer codes).
+
+Policy (``docs/linting.md``): every suppression carries a one-line reason
+in the same comment, e.g. ``# repro: noqa[REP103] - wall-clock stamp only``.
+"""
+
+from __future__ import annotations
+
+import io
+import re
+import tokenize
+from typing import Dict, FrozenSet
+
+__all__ = ["parse_noqa", "suppresses", "ALL_CODES"]
+
+#: sentinel for a bare ``# repro: noqa`` (suppresses every code on the line)
+ALL_CODES: FrozenSet[str] = frozenset({"*"})
+
+_NOQA = re.compile(
+    r"#\s*repro:\s*noqa(?:\[(?P<codes>[A-Z0-9,\s]+)\])?", re.IGNORECASE
+)
+
+
+def parse_noqa(source: str) -> Dict[int, FrozenSet[str]]:
+    """Map line number -> suppressed codes for one file's source.
+
+    Uses :mod:`tokenize` (not a per-line regex) so markers inside string
+    literals don't suppress anything.  The caller has already parsed the
+    file, so tokenization cannot fail on syntax.
+    """
+    suppressions: Dict[int, FrozenSet[str]] = {}
+    for token in tokenize.generate_tokens(io.StringIO(source).readline):
+        if token.type != tokenize.COMMENT:
+            continue
+        match = _NOQA.search(token.string)
+        if match is None:
+            continue
+        codes = match.group("codes")
+        if codes is None:
+            suppressions[token.start[0]] = ALL_CODES
+        else:
+            parsed = frozenset(
+                code.strip().upper() for code in codes.split(",") if code.strip()
+            )
+            suppressions[token.start[0]] = suppressions.get(token.start[0], frozenset()) | parsed
+    return suppressions
+
+
+def suppresses(suppressions: Dict[int, FrozenSet[str]], line: int, code: str) -> bool:
+    """True when the noqa map silences ``code`` on ``line``."""
+    codes = suppressions.get(line)
+    if codes is None:
+        return False
+    return codes is ALL_CODES or "*" in codes or code in codes

@@ -1,0 +1,102 @@
+"""Rule base class and registry (the :mod:`repro.algorithms.registry` idiom).
+
+A rule is a stateless class with a stable ``code`` (``REPxxx``), a
+``category``, a one-line ``description`` and one or both hooks:
+
+* :meth:`Rule.check_file` — runs once per parsed file (file-local AST
+  visitors live here);
+* :meth:`Rule.check_project` — runs once per lint invocation with every
+  parsed file in hand (cross-module consistency checks live here).
+
+Rules self-register at import time via the :func:`register_rule` decorator;
+importing :mod:`repro.devtools.rules` pulls in the whole built-in set.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, Iterable, Iterator, List, Sequence
+
+from repro.devtools.findings import Finding
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from repro.devtools.context import FileContext, Project
+
+__all__ = ["Rule", "register_rule", "get_rule", "available_rules", "select_rules"]
+
+
+class Rule:
+    """Base class for one lint rule; subclasses override the hooks they need."""
+
+    #: stable identifier, ``REP`` + 3 digits (what noqa/--select match on)
+    code: str = ""
+    #: short kebab-case name for reports
+    name: str = ""
+    #: invariant family: determinism, picklability, hashing, ...
+    category: str = ""
+    #: one line for ``--list-rules``
+    description: str = ""
+
+    def check_file(self, ctx: "FileContext") -> Iterator[Finding]:
+        """Findings local to one file (default: none)."""
+        return iter(())
+
+    def check_project(self, project: "Project") -> Iterator[Finding]:
+        """Findings needing the whole file set (default: none)."""
+        return iter(())
+
+
+_RULES: Dict[str, Rule] = {}
+
+
+def register_rule(cls: type) -> type:
+    """Class decorator: instantiate and register a :class:`Rule` subclass.
+
+    Raises :class:`ValueError` on duplicate or malformed codes so a typo'd
+    rule fails at import, not silently at selection time.
+    """
+    rule = cls()
+    if not (rule.code.startswith("REP") and rule.code[3:].isdigit()):
+        raise ValueError(f"rule code must be REP<digits>, got {rule.code!r}")
+    if rule.code in _RULES:
+        raise ValueError(f"rule {rule.code} is already registered")
+    _RULES[rule.code] = rule
+    return cls
+
+
+def get_rule(code: str) -> Rule:
+    """The rule registered under ``code``."""
+    if code not in _RULES:
+        raise KeyError(f"unknown rule {code!r}; available: {', '.join(sorted(_RULES))}")
+    return _RULES[code]
+
+
+def available_rules() -> List[Rule]:
+    """Every registered rule, sorted by code."""
+    return [_RULES[code] for code in sorted(_RULES)]
+
+
+def select_rules(
+    select: Sequence[str] = (), ignore: Sequence[str] = ()
+) -> List[Rule]:
+    """The registered rules surviving ``--select`` / ``--ignore`` filters.
+
+    Codes match by prefix (``REP1`` selects every ``REP1xx`` rule, flake8
+    style); an empty ``select`` means all rules.  Unknown prefixes raise
+    :class:`ValueError` so a typo'd filter can't silently disable a check.
+    """
+
+    def matches(code: str, prefixes: Iterable[str]) -> bool:
+        return any(code.startswith(p) for p in prefixes)
+
+    for prefix in list(select) + list(ignore):
+        if not any(code.startswith(prefix) for code in _RULES):
+            raise ValueError(
+                f"no registered rule matches {prefix!r}; "
+                f"available: {', '.join(sorted(_RULES))}"
+            )
+    chosen = [
+        rule
+        for rule in available_rules()
+        if (not select or matches(rule.code, select)) and not matches(rule.code, ignore)
+    ]
+    return chosen

@@ -1,0 +1,47 @@
+"""Small AST helpers shared by the rule modules."""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional, Tuple
+
+__all__ = ["callee_name", "walk_functions", "import_aliases"]
+
+
+def callee_name(call: ast.Call) -> Optional[str]:
+    """The last path segment of a call target: ``f(...)`` and ``m.f(...)``
+    both answer ``"f"``; subscripted/computed callees answer ``None``."""
+    func = call.func
+    if isinstance(func, ast.Name):
+        return func.id
+    if isinstance(func, ast.Attribute):
+        return func.attr
+    return None
+
+
+def walk_functions(tree: ast.AST) -> Iterator[ast.AST]:
+    """Every function/lambda definition node in the tree."""
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+            yield node
+
+
+def import_aliases(tree: ast.Module, module: str) -> Tuple[set, dict]:
+    """Names bound to ``module`` in this file.
+
+    Returns ``(module_aliases, member_names)``: ``module_aliases`` are local
+    names referring to the module itself (``import random`` -> ``random``,
+    ``import random as _r`` -> ``_r``), ``member_names`` maps local names of
+    ``from module import x [as y]`` bindings to the imported member.
+    """
+    aliases = set()
+    members = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.name == module:
+                    aliases.add(alias.asname or alias.name)
+        elif isinstance(node, ast.ImportFrom) and node.module == module:
+            for alias in node.names:
+                members[alias.asname or alias.name] = alias.name
+    return aliases, members

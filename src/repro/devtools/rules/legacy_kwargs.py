@@ -1,0 +1,77 @@
+"""REP101 — deprecated per-call engine kwargs at entry points.
+
+The :class:`~repro.core.config.EngineConfig` migration (PR 5) left the
+historical ``backend=``/``mode=``/``chunk=``/``jobs=`` keywords alive as a
+shim that emits one :class:`DeprecationWarning` per call.  The CI
+``deprecation-clean`` job proves first-party code never *executes* the
+shim; this rule is its static companion — the same contract enforced
+without running anything, so a reintroduced legacy kwarg fails at review
+even on a code path no test covers.
+
+Per entry point only the kwargs that are actually deprecated there are
+flagged (``compare_schedulers(jobs=...)`` is the *current* cell fan-out
+knob and stays legal; its deprecated spelling is ``stream_jobs=``).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, FrozenSet, Iterator
+
+from repro.devtools.context import FileContext
+from repro.devtools.findings import Finding
+from repro.devtools.registry import Rule, register_rule
+from repro.devtools.rules._util import callee_name
+
+#: trace/metric/validation entry points sharing the metrics-layer shim
+#: spelling (``mode`` for the horizon mode, ``jobs`` for stream workers).
+_METRIC_LEGACY = frozenset({"backend", "mode", "chunk", "jobs"})
+
+#: entry point -> the kwargs deprecated *for that entry point*.
+DEPRECATED_KWARGS: Dict[str, FrozenSet[str]] = {
+    "build_trace": _METRIC_LEGACY,
+    "evaluate_schedule": _METRIC_LEGACY,
+    "max_unhappiness_lengths": _METRIC_LEGACY,
+    "unhappiness_gaps": _METRIC_LEGACY,
+    "observed_periods": _METRIC_LEGACY,
+    "happiness_rates": _METRIC_LEGACY,
+    "normalized_gaps": _METRIC_LEGACY,
+    "check_independent_sets": _METRIC_LEGACY,
+    "certify_local_bound": _METRIC_LEGACY,
+    "certify_periodicity": _METRIC_LEGACY,
+    "validate_schedule": _METRIC_LEGACY,
+    "run_scheduler": frozenset({"backend", "horizon_mode", "chunk", "jobs"}),
+    "compare_schedulers": frozenset({"backend", "horizon_mode", "chunk", "stream_jobs"}),
+    "ExperimentSpec": frozenset({"backend", "horizon_mode", "chunk", "stream_jobs"}),
+    "ExperimentCell": frozenset({"backend", "horizon_mode", "chunk", "stream_jobs"}),
+}
+
+
+@register_rule
+class LegacyEngineKwargs(Rule):
+    code = "REP101"
+    name = "legacy-engine-kwargs"
+    category = "deprecation"
+    description = "deprecated backend=/mode=/chunk=/jobs= passed to an engine entry point"
+
+    def check_file(self, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = callee_name(node)
+            deprecated = DEPRECATED_KWARGS.get(name or "")
+            if not deprecated:
+                continue
+            for keyword in node.keywords:
+                if keyword.arg in deprecated:
+                    yield Finding(
+                        path=ctx.path,
+                        line=keyword.value.lineno,
+                        column=keyword.value.col_offset,
+                        code=self.code,
+                        message=(
+                            f"deprecated engine kwarg {keyword.arg}= passed to "
+                            f"{name}(); pass config=EngineConfig(...) instead "
+                            "(repro.core.config)"
+                        ),
+                    )

@@ -1,0 +1,142 @@
+"""REP105 — serve-layer mutable state is written under ``self._lock``.
+
+The serving layer is the one place the codebase is genuinely concurrent:
+:class:`~repro.serve.cache.TraceCache`,
+:class:`~repro.serve.cache.SingleFlight` and
+:class:`~repro.serve.health.ServiceMetrics` are shared across the worker
+threads of a ``ThreadingHTTPServer``, and their invariants (byte budget ==
+sum of entry sizes, monotonic counters, LRU order) hold only because every
+mutation happens inside ``with self._lock:`` — proven dynamically by the
+threaded-herd and seeded property suites in ``tests/serve/``.  This rule is
+the static half: in any serve-layer class whose ``__init__`` creates a
+``self._lock`` (or ``_*lock``-named) primitive, writes to ``self.*`` state
+outside a lexical ``with self._lock:`` block are findings.
+
+Flagged mutation shapes: attribute assignment/augmentation
+(``self._bytes += n``), subscript stores (``self._entries[k] = v``), and
+calls of known mutators on underscore attributes
+(``self._entries.popitem()``, ``.move_to_end()``, ...).  ``__init__`` is
+exempt — construction happens-before sharing.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List, Optional
+
+from repro.devtools.context import FileContext, is_serve_module
+from repro.devtools.findings import Finding
+from repro.devtools.registry import Rule, register_rule
+
+_MUTATORS = frozenset({
+    "add", "append", "clear", "discard", "extend", "insert", "move_to_end",
+    "pop", "popitem", "remove", "setdefault", "update",
+})
+
+
+def _is_self_attr(node: ast.AST) -> Optional[str]:
+    if isinstance(node, ast.Attribute) and isinstance(node.value, ast.Name) and node.value.id == "self":
+        return node.attr
+    return None
+
+
+def _lock_attr_from_init(cls: ast.ClassDef) -> Optional[str]:
+    """The ``self._lock``-style attribute created in ``__init__``, if any."""
+    for stmt in cls.body:
+        if isinstance(stmt, ast.FunctionDef) and stmt.name == "__init__":
+            for node in ast.walk(stmt):
+                if isinstance(node, ast.Assign):
+                    for target in node.targets:
+                        attr = _is_self_attr(target)
+                        if attr is not None and "lock" in attr:
+                            return attr
+    return None
+
+
+def _holds_lock(with_node: ast.With, lock_attr: str) -> bool:
+    for item in with_node.items:
+        attr = _is_self_attr(item.context_expr)
+        if attr is not None and "lock" in attr:
+            return True
+    return False
+
+
+class _MethodWalker:
+    """Lexical walk of one method body tracking ``with self._lock:`` nesting."""
+
+    def __init__(self, rule: "ServeLockDiscipline", path: str, lock_attr: str) -> None:
+        self.rule = rule
+        self.path = path
+        self.lock_attr = lock_attr
+        self.findings: List[Finding] = []
+
+    def flag(self, node: ast.AST, what: str) -> None:
+        self.findings.append(
+            Finding(
+                path=self.path,
+                line=node.lineno,
+                column=node.col_offset,
+                code=self.rule.code,
+                message=(
+                    f"{what} outside a 'with self.{self.lock_attr}:' block; "
+                    "serve-layer shared state mutates under the lock "
+                    "(thread-safety contract of repro.serve)"
+                ),
+            )
+        )
+
+    def walk(self, node: ast.AST, locked: bool) -> None:
+        if isinstance(node, ast.With) and _holds_lock(node, self.lock_attr):
+            for child in ast.iter_child_nodes(node):
+                self.walk(child, True)
+            return
+        if not locked:
+            self._check(node)
+        for child in ast.iter_child_nodes(node):
+            self.walk(child, locked)
+
+    def _check(self, node: ast.AST) -> None:
+        targets: List[ast.AST] = []
+        if isinstance(node, ast.Assign):
+            targets = list(node.targets)
+        elif isinstance(node, (ast.AugAssign, ast.AnnAssign)):
+            targets = [node.target]
+        for target in targets:
+            attr = _is_self_attr(target)
+            if attr is not None and attr != self.lock_attr:
+                self.flag(target, f"write to self.{attr}")
+            if isinstance(target, ast.Subscript):
+                attr = _is_self_attr(target.value)
+                if attr is not None:
+                    self.flag(target, f"item store into self.{attr}")
+        if isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute):
+            if node.func.attr in _MUTATORS:
+                attr = _is_self_attr(node.func.value)
+                if attr is not None and attr.startswith("_"):
+                    self.flag(node, f"self.{attr}.{node.func.attr}()")
+
+
+@register_rule
+class ServeLockDiscipline(Rule):
+    code = "REP105"
+    name = "serve-lock-discipline"
+    category = "concurrency"
+    description = "serve-layer mutable state written outside 'with self._lock:'"
+
+    def check_file(self, ctx: FileContext) -> Iterator[Finding]:
+        if not is_serve_module(ctx.path):
+            return iter(())
+        findings: List[Finding] = []
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.ClassDef):
+                continue
+            lock_attr = _lock_attr_from_init(node)
+            if lock_attr is None:
+                continue
+            for stmt in node.body:
+                if isinstance(stmt, ast.FunctionDef) and stmt.name != "__init__":
+                    walker = _MethodWalker(self, ctx.path, lock_attr)
+                    for child in ast.iter_child_nodes(stmt):
+                        walker.walk(child, False)
+                    findings.extend(walker.findings)
+        return iter(findings)

@@ -1,0 +1,48 @@
+"""REP106 — library code logs; only CLI front ends print.
+
+The library's output contract (``utils/logging.py``): importing or calling
+:mod:`repro` never writes to stdout — benchmarks and experiments stream
+progress through the namespaced ``repro.*`` loggers, which callers turn up
+or down with one ``logging`` call and CI captures deterministically.  A
+stray ``print()`` in library code bypasses the level switch, corrupts
+piped/machine-read output (``--output json`` reports, JSONL sinks), and
+can't be silenced by embedders.  CLI modules (``cli.py``/``__main__.py``)
+are the presentation layer and are exempt.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.devtools.context import FileContext, is_cli_module
+from repro.devtools.findings import Finding
+from repro.devtools.registry import Rule, register_rule
+
+
+@register_rule
+class NoPrintInLibrary(Rule):
+    code = "REP106"
+    name = "no-print-in-library"
+    category = "logging"
+    description = "print() in library code; use repro.utils.logging.get_logger"
+
+    def check_file(self, ctx: FileContext) -> Iterator[Finding]:
+        if is_cli_module(ctx.path):
+            return iter(())
+        return iter(
+            Finding(
+                path=ctx.path,
+                line=node.lineno,
+                column=node.col_offset,
+                code=self.code,
+                message=(
+                    "print() in library code; route output through "
+                    "repro.utils.logging.get_logger(...) (CLI modules are exempt)"
+                ),
+            )
+            for node in ast.walk(ctx.tree)
+            if isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Name)
+            and node.func.id == "print"
+        )

@@ -1,0 +1,81 @@
+"""REP108 — broad ``except`` in serve code answers through the envelope.
+
+The serving layer's fault contract (``tests/serve/test_faults.py``): every
+failure crossing the wire is the JSON error envelope ``{"error": {"code",
+"message", "status"}}`` with a matching HTTP status — a stack trace never
+leaks, and a handler never swallows an error into a half-written 200.  A
+``except:`` / ``except Exception:`` that neither re-raises nor responds
+through an envelope helper breaks that contract silently, typically under
+exactly the fault-injection conditions production sees first.  This rule
+requires every broad handler in ``serve/`` code to contain a ``raise`` or
+a call to one of the envelope responders (``_send_json``, ``payload``,
+``error_envelope``, ``send_error``).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.devtools.context import FileContext, is_serve_module
+from repro.devtools.findings import Finding
+from repro.devtools.registry import Rule, register_rule
+from repro.devtools.rules._util import callee_name
+
+#: calls that produce/transmit the JSON error envelope
+_ENVELOPE_RESPONDERS = frozenset({
+    "_send_json", "payload", "error_envelope", "send_error",
+})
+
+_BROAD = frozenset({"Exception", "BaseException"})
+
+
+def _is_broad(handler: ast.ExceptHandler) -> bool:
+    if handler.type is None:  # bare except:
+        return True
+    types = handler.type.elts if isinstance(handler.type, ast.Tuple) else [handler.type]
+    for node in types:
+        name = node.id if isinstance(node, ast.Name) else (
+            node.attr if isinstance(node, ast.Attribute) else None
+        )
+        if name in _BROAD:
+            return True
+    return False
+
+
+def _answers_properly(handler: ast.ExceptHandler) -> bool:
+    for node in ast.walk(handler):
+        if isinstance(node, ast.Raise):
+            return True
+        if isinstance(node, ast.Call) and callee_name(node) in _ENVELOPE_RESPONDERS:
+            return True
+    return False
+
+
+@register_rule
+class ServeErrorEnvelope(Rule):
+    code = "REP108"
+    name = "serve-error-envelope"
+    category = "fault-handling"
+    description = "broad except in serve code must re-raise or answer via the error envelope"
+
+    def check_file(self, ctx: FileContext) -> Iterator[Finding]:
+        if not is_serve_module(ctx.path):
+            return iter(())
+        return iter(
+            Finding(
+                path=ctx.path,
+                line=node.lineno,
+                column=node.col_offset,
+                code=self.code,
+                message=(
+                    "broad except neither re-raises nor answers through the "
+                    "error envelope; faults must surface as the JSON envelope "
+                    "with a real status (repro.serve fault contract)"
+                ),
+            )
+            for node in ast.walk(ctx.tree)
+            if isinstance(node, ast.ExceptHandler)
+            and _is_broad(node)
+            and not _answers_properly(node)
+        )

@@ -1,0 +1,17 @@
+"""REP101 bad fixture: legacy engine kwargs at current entry points.
+
+Every call below spells an engine knob through a deprecated keyword that
+``repro.analysis.engine.coerce_config`` only keeps alive for compatibility.
+"""
+
+
+def legacy_metric_calls(schedule, graph, evaluate_schedule, build_trace):
+    report = evaluate_schedule(schedule, graph, horizon=64, backend="numpy")
+    trace = build_trace(schedule, graph, horizon=64, mode="auto", chunk=8)
+    return report, trace
+
+
+def legacy_runner_calls(scheduler, graph, run_scheduler, ExperimentSpec):
+    outcome = run_scheduler(scheduler, graph, horizon=128, jobs=2)
+    spec = ExperimentSpec(graph=graph, scheduler=scheduler, stream_jobs=4)
+    return outcome, spec

@@ -1,0 +1,16 @@
+"""REP101 good fixture: engine knobs travel through ``EngineConfig``."""
+
+
+def config_calls(schedule, graph, evaluate_schedule, run_scheduler, EngineConfig):
+    config = EngineConfig(backend="numpy", chunk=8)
+    report = evaluate_schedule(schedule, graph, horizon=64, config=config)
+    outcome = run_scheduler(
+        run_scheduler, graph, horizon=128, config=EngineConfig(stream_jobs=2)
+    )
+    return report, outcome
+
+
+def current_compare_fanout(compare_schedulers, schedulers, graph):
+    # ``jobs=`` on compare_schedulers is the *current* cell fan-out knob,
+    # not a legacy engine kwarg -- it must not be flagged.
+    return compare_schedulers(schedulers, graph, jobs=4)

@@ -1,0 +1,35 @@
+"""REP102 bad fixture: unpicklable callables handed to a process pool."""
+
+from concurrent.futures import ProcessPoolExecutor
+from functools import partial
+
+
+def square_all(values):
+    with ProcessPoolExecutor() as pool:
+        futures = [pool.submit(lambda v: v * v, v) for v in values]
+    return [f.result() for f in futures]
+
+
+def sum_chunks(chunks):
+    def _worker(chunk):
+        return sum(chunk)
+
+    with ProcessPoolExecutor(max_workers=2) as pool:
+        return list(pool.map(_worker, chunks))
+
+
+def sum_partial(chunks):
+    def _scaled(chunk, factor):
+        return sum(chunk) * factor
+
+    with ProcessPoolExecutor() as pool:
+        return list(pool.map(partial(_scaled, factor=2), chunks))
+
+
+class Runner:
+    def _step(self, item):
+        return item + 1
+
+    def run_all(self, items):
+        pool = ProcessPoolExecutor()
+        return [pool.submit(self._step, item) for item in items]

@@ -1,0 +1,28 @@
+"""REP102 good fixture: pool callables are module-level (picklable by name)."""
+
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from functools import partial
+
+
+def _worker(chunk):
+    return sum(chunk)
+
+
+def _scaled(chunk, factor):
+    return sum(chunk) * factor
+
+
+def sum_chunks(chunks):
+    with ProcessPoolExecutor(max_workers=2) as pool:
+        return list(pool.map(_worker, chunks))
+
+
+def sum_partial(chunks):
+    with ProcessPoolExecutor() as pool:
+        return list(pool.map(partial(_scaled, factor=2), chunks))
+
+
+def thread_pool_is_exempt(values):
+    # threads share the interpreter; closures never cross a pickle boundary
+    with ThreadPoolExecutor() as pool:
+        return list(pool.map(lambda v: v * v, values))

@@ -1,0 +1,25 @@
+"""REP103 bad fixture: nondeterminism inside an engine module.
+
+Lives under a ``core/`` directory so the engine-module scoping applies.
+"""
+
+import json
+import random
+import time
+
+
+def stamp(cells):
+    started = time.time()
+    return {"started": started, "cells": cells}
+
+
+def pick(cells):
+    return random.choice(cells)
+
+
+def hash_payload(payload):
+    return json.dumps(payload)
+
+
+def collect(nodes):
+    return [n for n in set(nodes)]

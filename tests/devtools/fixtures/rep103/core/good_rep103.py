@@ -1,0 +1,25 @@
+"""REP103 good fixture: the deterministic spellings of the same operations."""
+
+import json
+import random
+from time import perf_counter
+
+
+def stamp(cells):
+    # wall-clock measurement (not identity) is fine: perf_counter is never
+    # hashed into a result
+    elapsed = perf_counter()
+    return {"elapsed": elapsed, "cells": cells}
+
+
+def pick(cells, seed):
+    rng = random.Random(seed)
+    return rng.choice(cells)
+
+
+def hash_payload(payload):
+    return json.dumps(payload, sort_keys=True)
+
+
+def collect(nodes):
+    return sorted(set(nodes))

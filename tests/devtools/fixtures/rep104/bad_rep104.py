@@ -1,0 +1,35 @@
+"""REP104 bad fixture: an ``EngineConfig`` field missing from the knob lists.
+
+``turbo`` is declared on the dataclass but appears in neither RESULT_KNOBS
+nor WALL_CLOCK_KNOBS, so nothing says whether it belongs in cache keys.
+"""
+
+from dataclasses import dataclass, fields
+
+RESULT_KNOBS = frozenset({"backend"})
+WALL_CLOCK_KNOBS = frozenset({"stream_jobs"})
+
+
+@dataclass(frozen=True)
+class EngineConfig:
+    backend: str = "auto"
+    stream_jobs: int = 1
+    turbo: bool = False
+
+    def non_default(self):
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+    def to_dict(self):
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+    @classmethod
+    def from_dict(cls, payload):
+        known = {f.name for f in fields(cls)}
+        return cls(**{k: v for k, v in payload.items() if k in known})
+
+    def cache_key(self):
+        items = {
+            k: v for k, v in self.non_default().items()
+            if k not in WALL_CLOCK_KNOBS
+        }
+        return repr(sorted(items.items()))

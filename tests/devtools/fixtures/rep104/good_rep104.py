@@ -1,0 +1,31 @@
+"""REP104 good fixture: every ``EngineConfig`` field is classified."""
+
+from dataclasses import dataclass, fields
+
+RESULT_KNOBS = frozenset({"backend", "turbo"})
+WALL_CLOCK_KNOBS = frozenset({"stream_jobs"})
+
+
+@dataclass(frozen=True)
+class EngineConfig:
+    backend: str = "auto"
+    stream_jobs: int = 1
+    turbo: bool = False
+
+    def non_default(self):
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+    def to_dict(self):
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+    @classmethod
+    def from_dict(cls, payload):
+        known = {f.name for f in fields(cls)}
+        return cls(**{k: v for k, v in payload.items() if k in known})
+
+    def cache_key(self):
+        items = {
+            k: v for k, v in self.non_default().items()
+            if k not in WALL_CLOCK_KNOBS
+        }
+        return repr(sorted(items.items()))

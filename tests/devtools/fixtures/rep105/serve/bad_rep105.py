@@ -1,0 +1,17 @@
+"""REP105 bad fixture: shared serve-layer state written outside the lock."""
+
+import threading
+
+
+class HitCounter:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._hits = 0
+        self._entries = {}
+
+    def record(self, key):
+        self._hits += 1
+        self._entries[key] = self._hits
+
+    def forget(self, key):
+        self._entries.pop(key, None)

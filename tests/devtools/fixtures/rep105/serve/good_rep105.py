@@ -1,0 +1,33 @@
+"""REP105 good fixture: every shared write happens under ``self._lock``."""
+
+import threading
+
+
+class HitCounter:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._hits = 0
+        self._entries = {}
+
+    def record(self, key):
+        with self._lock:
+            self._hits += 1
+            self._entries[key] = self._hits
+
+    def forget(self, key):
+        with self._lock:
+            self._entries.pop(key, None)
+
+    def snapshot(self):
+        with self._lock:
+            return dict(self._entries)
+
+
+class Stateless:
+    """No lock attribute: the rule only polices lock-owning classes."""
+
+    def __init__(self):
+        self.calls = 0
+
+    def bump(self):
+        self.calls += 1

@@ -1,0 +1,6 @@
+"""REP106 bad fixture: ``print`` in library code."""
+
+
+def summarize(report):
+    print("max unhappiness:", report["max_unhappiness"])
+    return report

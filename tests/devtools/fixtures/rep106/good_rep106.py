@@ -1,0 +1,10 @@
+"""REP106 good fixture: library code reports through the project logger."""
+
+from repro.utils.logging import get_logger
+
+_LOG = get_logger(__name__)
+
+
+def summarize(report):
+    _LOG.info("max unhappiness: %s", report["max_unhappiness"])
+    return report

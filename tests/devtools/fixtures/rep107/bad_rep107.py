@@ -1,0 +1,17 @@
+"""REP107 bad fixture: frozen-instance backdoor outside ``__post_init__``."""
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Cell:
+    label: str
+    horizon: int
+
+    def rename(self, label):
+        object.__setattr__(self, "label", label)
+
+
+def retarget(cell, horizon):
+    object.__setattr__(cell, "horizon", horizon)
+    return cell

@@ -1,0 +1,17 @@
+"""REP107 good fixture: the backdoor only inside ``__post_init__``."""
+
+import dataclasses
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Cell:
+    label: str
+    horizon: int
+
+    def __post_init__(self):
+        object.__setattr__(self, "label", self.label.strip())
+
+    def rename(self, label):
+        # outside __post_init__, evolve via dataclasses.replace
+        return dataclasses.replace(self, label=label)

@@ -1,0 +1,15 @@
+"""REP108 bad fixture: broad excepts that swallow serve-layer faults."""
+
+
+def handle(request):
+    try:
+        return request.run()
+    except Exception:
+        return None
+
+
+def poll(source):
+    try:
+        return source.read()
+    except:  # noqa here is deliberate bait: plain noqa is NOT repro noqa
+        pass

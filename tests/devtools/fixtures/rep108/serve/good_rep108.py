@@ -1,0 +1,24 @@
+"""REP108 good fixture: broad excepts re-raise or answer via the envelope."""
+
+
+def handle(request, _send_json):
+    try:
+        return request.run()
+    except Exception as exc:
+        _send_json(500, {"error": {"code": "internal", "message": str(exc), "status": 500}})
+
+
+def reload(store):
+    try:
+        return store.refresh()
+    except Exception:
+        store.rollback()
+        raise
+
+
+def narrow(source):
+    try:
+        return source.read()
+    except KeyError:
+        # narrow excepts are always fine; only broad ones carry the contract
+        return None
